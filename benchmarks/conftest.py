@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures.
+
+Calibration is expensive relative to a single bench, so the calibrated
+service demands (real executions of the TPC-W procedures on the repro
+engine, backend-only and through MTCache) are computed once per session at
+the bench scale and shared by every experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import ClusterModel, ClusterSpec, calibrate
+from repro.tpcw import TPCWConfig
+
+#: The bench scale: larger than unit tests so relative interaction costs
+#: resemble the paper's (bestseller dominating the Browse class, etc.).
+BENCH_CONFIG = dict(num_items=200, num_ebs=40, bestseller_window=200)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> TPCWConfig:
+    return TPCWConfig(**BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def cal_cached(bench_config):
+    return calibrate("cached", TPCWConfig(**BENCH_CONFIG), repetitions=6)
+
+
+@pytest.fixture(scope="session")
+def cal_nocache(bench_config):
+    return calibrate("nocache", TPCWConfig(**BENCH_CONFIG), repetitions=6)
+
+
+@pytest.fixture(scope="session")
+def spec() -> ClusterSpec:
+    return ClusterSpec()
+
+
+@pytest.fixture(scope="session")
+def cached_model(cal_cached, spec) -> ClusterModel:
+    return ClusterModel(cal_cached, spec)
+
+
+@pytest.fixture(scope="session")
+def nocache_model(cal_nocache, spec) -> ClusterModel:
+    return ClusterModel(cal_nocache, spec, replication_enabled=False)
+
+
+def emit(capsys, title: str, lines) -> None:
+    """Print an experiment table straight to the terminal (uncaptured)."""
+    with capsys.disabled():
+        print(f"\n=== {title} ===")
+        for line in lines:
+            print(line)

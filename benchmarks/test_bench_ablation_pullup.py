@@ -1,0 +1,86 @@
+"""Ablation — ChoosePlan pull-up (paper §5.1.2).
+
+"Pulling the ChoosePlan operator above the join may produce a better plan
+because the two branches can now be optimized independently. ... However,
+the transformation has two drawbacks. It increases optimization time and
+the final plan may be larger than minimally needed."
+
+This bench measures all three effects: plan quality (estimated cost and
+actual execution work per branch), plan size (operator count), and
+optimization time (the pytest-benchmark timing of planning itself).
+"""
+
+import pytest
+
+from repro import MTCacheDeployment
+from repro.sql import parse
+
+from tests.conftest import make_shop_backend
+from benchmarks.conftest import emit
+
+JOIN_QUERY = (
+    "SELECT c.cname, o.total FROM customer c JOIN orders o ON o.o_cid = c.cid "
+    "WHERE c.cid <= @cid"
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    backend = make_shop_backend(customers=1000, orders=2000)
+    deployment = MTCacheDeployment(backend, "shop")
+
+    def provision(name, pullup):
+        cache = deployment.add_cache_server(
+            name, optimizer_options={"pullup_chooseplan": pullup}
+        )
+        cache.create_cached_view(
+            f"CREATE CACHED VIEW cust_{name} AS "
+            "SELECT cid, cname, caddress FROM customer WHERE cid <= 500"
+        )
+        cache.create_cached_view(
+            f"CREATE CACHED VIEW ord_{name} AS SELECT oid, o_cid, total FROM orders"
+        )
+        return cache
+
+    return backend, provision("pullup", True), provision("nopullup", False)
+
+
+def plan_size(planned):
+    return sum(1 for _ in planned.root.walk())
+
+
+def test_bench_pullup_ablation(env, benchmark, capsys):
+    backend, pullup_cache, nopullup_cache = env
+
+    pullup_plan = pullup_cache.plan(JOIN_QUERY)
+    nopullup_plan = nopullup_cache.plan(JOIN_QUERY)
+
+    emit(
+        capsys,
+        "Ablation: ChoosePlan pull-up vs leaf-level ChoosePlan",
+        [
+            f"pull-up   : cost={pullup_plan.estimated_cost:10.1f} "
+            f"operators={plan_size(pullup_plan):3d}",
+            f"no pull-up: cost={nopullup_plan.estimated_cost:10.1f} "
+            f"operators={plan_size(nopullup_plan):3d}",
+        ],
+    )
+
+    # The paper's trade-off: pull-up duplicates the join (bigger plan)...
+    assert plan_size(pullup_plan) > plan_size(nopullup_plan)
+    # ...in exchange for an estimated cost at least as good.
+    assert pullup_plan.estimated_cost <= nopullup_plan.estimated_cost * 1.01
+
+    # Both are correct for both branches.
+    for cache in (pullup_cache, nopullup_cache):
+        assert len(cache.execute(JOIN_QUERY, params={"cid": 100}).rows) == 200
+        assert len(cache.execute(JOIN_QUERY, params={"cid": 600}).rows) == 1200
+
+    # Optimization time: time the planner itself (fresh, uncached).
+    statement = parse(JOIN_QUERY)
+
+    def plan_once():
+        optimizer = pullup_cache.server.optimizer_for(pullup_cache.database)
+        return optimizer.plan_select(statement)
+
+    benchmark(plan_once)

@@ -1,0 +1,59 @@
+"""Ablation — the remote-cost multiplier (paper §5).
+
+"We modified cost estimation to favor local execution over execution on
+the backend server. All cost estimates of remote operations are multiplied
+by a small factor (greater than 1.0)."
+
+Sweeping the factor shows the routing crossover: with no penalty (1.0) and
+free transfer, borderline queries flow to the loaded backend; as the
+penalty grows, they move onto the cache.
+"""
+
+import pytest
+
+from repro import MTCacheDeployment
+from repro.optimizer.cost import CostModel
+
+from tests.conftest import make_shop_backend
+from benchmarks.conftest import emit
+
+#: A borderline query: the view can answer it with a scan; the backend has
+#: no better access path either.
+QUERY = "SELECT caddress FROM customer WHERE cname = 'cust77'"
+
+
+def build_cache(deployment, name, penalty):
+    model = CostModel(
+        remote_penalty=penalty, transfer_startup=0.0, transfer_per_byte=0.0
+    )
+    cache = deployment.add_cache_server(name, cost_model=model)
+    cache.create_cached_view(
+        f"CREATE CACHED VIEW v_{name} AS SELECT cid, cname, caddress FROM customer"
+    )
+    return cache
+
+
+def test_bench_remote_penalty_sweep(benchmark, capsys):
+    backend = make_shop_backend(customers=500, orders=500)
+    deployment = MTCacheDeployment(backend, "shop")
+    lines = [f"{'penalty':>8s} {'routed':>8s} {'est.cost':>10s}"]
+    routing = {}
+    for penalty in (0.5, 1.0, 1.3, 2.0, 4.0):
+        cache = build_cache(deployment, f"p{str(penalty).replace('.', '_')}", penalty)
+        planned = cache.plan(QUERY)
+        where = "remote" if planned.uses_remote else "local"
+        routing[penalty] = where
+        lines.append(f"{penalty:8.1f} {where:>8s} {planned.estimated_cost:10.1f}")
+    emit(capsys, "Ablation: remote-penalty sweep (borderline scan query)", lines)
+
+    # Monotone crossover: once local, higher penalties stay local.
+    order = [routing[p] for p in (0.5, 1.0, 1.3, 2.0, 4.0)]
+    first_local = order.index("local") if "local" in order else len(order)
+    assert all(choice == "local" for choice in order[first_local:])
+    # A strongly discounted backend attracts the query; a strongly
+    # penalized one repels it.
+    assert routing[0.5] == "remote"
+    assert routing[4.0] == "local"
+
+    cache = build_cache(deployment, "bench", 1.3)
+    benchmark(lambda: cache.execute(QUERY))

@@ -1,0 +1,43 @@
+"""E1a — §6.2.1 baseline throughput table (no caching).
+
+Paper (backend-only, backend at ~90 % CPU):
+
+    Workload   WIPS
+    Browsing     50
+    Shopping     82
+    Ordering    283
+
+Absolute WIPS differ (simulated cluster, scaled data); the *shape* to
+reproduce is: the backend is the bottleneck at ~90 % utilization, and
+Ordering sustains the most interactions per second while Browsing — whose
+Browse-class queries (bestseller, searches) are the most expensive —
+sustains the fewest.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+
+PAPER = {"Browsing": 50, "Shopping": 82, "Ordering": 283}
+
+
+def test_bench_baseline_wips(nocache_model, benchmark, capsys):
+    points = {
+        mix: nocache_model.baseline_wips(mix)
+        for mix in ("Browsing", "Shopping", "Ordering")
+    }
+    lines = [f"{'Workload':10s} {'WIPS':>8s} {'backend util':>13s} {'bottleneck':>11s}   paper WIPS"]
+    for mix, point in points.items():
+        lines.append(
+            f"{mix:10s} {point.wips:8.1f} {point.backend_utilization:13.1%} "
+            f"{point.bottleneck:>11s}   {PAPER[mix]}"
+        )
+    emit(capsys, "E1a: baseline throughput (no caching)", lines)
+
+    # Shape assertions: backend-bound at 90 %, Ordering > Shopping > Browsing.
+    for point in points.values():
+        assert point.bottleneck == "backend"
+        assert point.backend_utilization == pytest.approx(0.9, abs=0.01)
+    assert points["Ordering"].wips > points["Shopping"].wips > points["Browsing"].wips
+
+    benchmark(lambda: nocache_model.baseline_wips("Shopping"))

@@ -1,0 +1,52 @@
+"""E1b companion — Figure 6(a) validated end-to-end through the DES.
+
+The analytic model divides capacities; this bench re-derives the Shopping
+scale-out curve by actually simulating users, machines and replication at
+each cluster size, using the paper's procedure (saturate, measure WIPS),
+and confirms the same linear shape.
+"""
+
+import pytest
+
+from repro.simulation import DESConfig, simulate_cluster
+
+from benchmarks.conftest import emit
+
+
+def test_bench_des_scaleout_curve(cal_cached, benchmark, capsys):
+    points = []
+    for servers in (1, 2, 3, 4, 5):
+        result = simulate_cluster(
+            cal_cached,
+            DESConfig(
+                users=350 * servers,
+                mix_name="Shopping",
+                servers=servers,
+                duration=40,
+                warmup=8,
+            ),
+        )
+        points.append((servers, result))
+
+    lines = [f"{'servers':>8s} {'WIPS':>9s} {'web util':>9s} {'backend':>9s}"]
+    for servers, result in points:
+        lines.append(
+            f"{servers:8d} {result.wips:9.1f} {result.web_utilization:9.1%} "
+            f"{result.backend_utilization:9.1%}"
+        )
+    emit(capsys, "E1b (DES): Shopping WIPS vs servers, saturated users", lines)
+
+    wips = [result.wips for _, result in points]
+    for index in range(1, 5):
+        assert wips[index] / wips[0] == pytest.approx(index + 1, rel=0.15)
+    # Backend stays unsaturated throughout (the Shopping shape).
+    assert all(result.backend_utilization < 0.6 for _, result in points)
+
+    benchmark.pedantic(
+        lambda: simulate_cluster(
+            cal_cached,
+            DESConfig(users=350, mix_name="Shopping", servers=1, duration=20, warmup=5),
+        ),
+        rounds=1,
+        iterations=1,
+    )

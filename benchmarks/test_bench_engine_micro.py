@@ -1,0 +1,102 @@
+"""Engine micro-benchmarks: the operations the experiments are built on.
+
+Not a paper table — these keep the substrate honest: point-query latency
+through the cache, the bestseller query (the paper's most expensive
+frequent query), plan-cache effectiveness, and replication apply
+throughput.
+"""
+
+import pytest
+
+from repro import MTCacheDeployment
+
+from tests.conftest import make_shop_backend
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def env():
+    backend = make_shop_backend(customers=2000, orders=4000)
+    deployment = MTCacheDeployment(backend, "shop")
+    cache = deployment.add_cache_server("micro")
+    cache.create_cached_view(
+        "CREATE CACHED VIEW mc AS SELECT cid, cname, segment FROM customer"
+    )
+    cache.create_cached_view(
+        "CREATE CACHED VIEW mo AS SELECT oid, o_cid, total FROM orders"
+    )
+    return backend, deployment, cache
+
+
+def test_bench_point_query_via_cache(env, benchmark):
+    _, _, cache = env
+    result = benchmark(
+        lambda: cache.execute("SELECT cname FROM customer WHERE cid = @c", params={"c": 777})
+    )
+    assert result.rows == [("cust777",)]
+
+
+def test_bench_point_query_direct_backend(env, benchmark):
+    backend, _, _ = env
+    result = benchmark(
+        lambda: backend.execute(
+            "SELECT cname FROM customer WHERE cid = @c", params={"c": 777}, database="shop"
+        )
+    )
+    assert result.rows == [("cust777",)]
+
+
+def test_bench_group_join_query(env, benchmark):
+    _, _, cache = env
+    sql = (
+        "SELECT TOP 10 c.cname, SUM(o.total) AS spent "
+        "FROM customer c JOIN orders o ON o.o_cid = c.cid "
+        "WHERE c.segment = 'gold' GROUP BY c.cname ORDER BY spent DESC"
+    )
+    result = benchmark(lambda: cache.execute(sql))
+    assert len(result.rows) == 10
+
+
+def test_bench_plan_cache_hit(env, benchmark, capsys):
+    """Planning amortization: a cache hit must be orders of magnitude
+    cheaper than planning from scratch."""
+    import time
+
+    _, _, cache = env
+    sql = "SELECT cname FROM customer WHERE cid <= @c"
+    cache.plan(sql)  # warm
+
+    start = time.perf_counter()
+    from repro.sql import parse
+
+    statement = parse(sql)
+    optimizer = cache.server.optimizer_for(cache.database)
+    optimizer.plan_select(statement)
+    cold = time.perf_counter() - start
+
+    def hit():
+        return cache.plan(sql)
+
+    result = benchmark(hit)
+    assert result is not None
+    emit(capsys, "plan cache", [f"cold planning: {cold * 1e6:.0f} us"])
+
+
+def test_bench_replication_apply_throughput(env, benchmark):
+    backend, deployment, cache = env
+    counter = [3000]
+
+    def apply_batch():
+        base = counter[0]
+        counter[0] += 50
+        for i in range(base, base + 50):
+            backend.execute(
+                f"INSERT INTO customer VALUES ({i}, 'c{i}', 'a', 'base')",
+                database="shop",
+            )
+        deployment.sync()
+
+    benchmark.pedantic(apply_batch, rounds=5, iterations=1)
+    assert cache.execute(
+        "SELECT COUNT(*) FROM mc WHERE cid >= 3000"
+    ).scalar >= 250

@@ -1,0 +1,60 @@
+"""E1b — Figure 6(a): measured throughput vs number of web/cache servers.
+
+Paper: WIPS grows linearly with the number of web/cache servers for the
+read-dominated Browsing and Shopping workloads (1-5 servers); Ordering
+grows only until the backend saturates.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig6a_throughput_curves(cached_model, benchmark, capsys):
+    curves = {
+        mix: cached_model.curve(mix, 5)
+        for mix in ("Browsing", "Shopping", "Ordering")
+    }
+    lines = [f"{'servers':>8s} " + "".join(f"{mix:>12s}" for mix in curves)]
+    for n in range(5):
+        lines.append(
+            f"{n + 1:8d} "
+            + "".join(f"{curves[mix][n].wips:12.1f}" for mix in curves)
+        )
+    emit(capsys, "E1b / Figure 6(a): WIPS vs web/cache servers", lines)
+
+    # Browsing and Shopping scale linearly across the whole range.
+    for mix in ("Browsing", "Shopping"):
+        wips = [point.wips for point in curves[mix]]
+        for n in range(1, 5):
+            assert wips[n] / wips[0] == pytest.approx(n + 1, rel=0.05), mix
+    # Ordering eventually flattens (backend saturated) or at minimum grows
+    # sublinearly at five servers relative to the read workloads.
+    ordering = [point.wips for point in curves["Ordering"]]
+    browsing = [point.wips for point in curves["Browsing"]]
+    assert ordering[4] / ordering[0] <= browsing[4] / browsing[0] + 1e-9
+
+    benchmark(lambda: cached_model.curve("Shopping", 5))
+
+
+def test_bench_fig6a_des_validation(cal_cached, capsys, benchmark):
+    """Cross-check one analytic point against the discrete-event simulator:
+    with plentiful users, DES throughput approaches the analytic bound."""
+    from repro.simulation import DESConfig, simulate_cluster
+
+    def run():
+        return simulate_cluster(
+            cal_cached,
+            DESConfig(users=600, mix_name="Shopping", servers=2, duration=60, warmup=10),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        capsys,
+        "E1b cross-check: DES at 2 servers, Shopping, 600 users",
+        [
+            f"DES WIPS={result.wips:.1f} web_util={result.web_utilization:.1%} "
+            f"backend_util={result.backend_utilization:.1%}"
+        ],
+    )
+    assert result.web_utilization > 0.85  # saturated web tier, as intended

@@ -1,0 +1,60 @@
+"""E1c — Figure 6(b): backend CPU load vs number of web/cache servers.
+
+Paper: with caching enabled, backend load stays low and grows slowly for
+Browsing/Shopping (the coasting backend) while Ordering drives it up
+steeply — the reason Ordering cannot scale out.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig6b_backend_load(cached_model, benchmark, capsys):
+    curves = {
+        mix: cached_model.curve(mix, 5)
+        for mix in ("Browsing", "Shopping", "Ordering")
+    }
+    lines = [f"{'servers':>8s} " + "".join(f"{mix:>12s}" for mix in curves)]
+    for n in range(5):
+        lines.append(
+            f"{n + 1:8d} "
+            + "".join(
+                f"{curves[mix][n].backend_utilization:12.1%}" for mix in curves
+            )
+        )
+    emit(capsys, "E1c / Figure 6(b): backend CPU load vs web/cache servers", lines)
+
+    for mix, curve in curves.items():
+        utils = [point.backend_utilization for point in curve]
+        # Monotonically non-decreasing, never past the 90 % operating point.
+        assert all(a <= b + 1e-9 for a, b in zip(utils, utils[1:])), mix
+        assert utils[-1] <= 0.9 + 1e-9
+    # Ordering loads the backend far more than Browsing at every point.
+    for n in range(5):
+        assert (
+            curves["Ordering"][n].backend_utilization
+            > curves["Shopping"][n].backend_utilization
+            > curves["Browsing"][n].backend_utilization
+        )
+
+    benchmark(lambda: [cached_model.point("Ordering", n) for n in range(1, 6)])
+
+
+def test_bench_speculative_max_scaleout(cached_model, capsys, benchmark):
+    """The paper's §6.2.1 speculative analysis: Browsing should scale to
+    roughly 10x more servers than Ordering before the backend saturates
+    (paper: ~50 vs ~8-9; Shopping in between at ~25)."""
+    limits = {
+        mix: cached_model.max_scaleout(mix)
+        for mix in ("Browsing", "Shopping", "Ordering")
+    }
+    emit(
+        capsys,
+        "E1c extension: servers until backend saturation (paper: ~50 / ~25 / <10)",
+        [f"{mix:10s} {limit:5d}" for mix, limit in limits.items()],
+    )
+    assert limits["Browsing"] > limits["Shopping"] > limits["Ordering"]
+    assert limits["Browsing"] >= 10 * limits["Ordering"] / 2  # order of magnitude
+
+    benchmark(lambda: cached_model.max_scaleout("Browsing"))

@@ -1,0 +1,59 @@
+"""E1d — §6.2.1 summary table: no-cache vs five web/cache servers.
+
+Paper:
+
+    Workload   No cache   Five web/cache servers
+               WIPS       WIPS   Backend load
+    Browsing     50        129    7.5 %
+    Shopping     82        199   15.9 %
+    Ordering    283        271   55.4 %
+
+Shapes to reproduce: Browsing/Shopping improve substantially with five
+cache servers while the backend coasts (low single/low double-digit load);
+Ordering does NOT improve (cached ≈ or below baseline) and keeps the
+backend heavily loaded relative to the read mixes.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+
+PAPER = {
+    "Browsing": (50, 129, 0.075),
+    "Shopping": (82, 199, 0.159),
+    "Ordering": (283, 271, 0.554),
+}
+
+
+def test_bench_summary_table(cached_model, nocache_model, benchmark, capsys):
+    lines = [
+        f"{'Workload':10s} {'no-cache':>9s} {'cached@5':>9s} {'b.load@5':>9s}"
+        f"   paper: base/cached/load"
+    ]
+    measured = {}
+    for mix in ("Browsing", "Shopping", "Ordering"):
+        base = nocache_model.baseline_wips(mix)
+        at5 = cached_model.point(mix, 5)
+        measured[mix] = (base.wips, at5.wips, at5.backend_utilization)
+        paper_base, paper_cached, paper_load = PAPER[mix]
+        lines.append(
+            f"{mix:10s} {base.wips:9.1f} {at5.wips:9.1f} {at5.backend_utilization:9.1%}"
+            f"   {paper_base}/{paper_cached}/{paper_load:.1%}"
+        )
+    emit(capsys, "E1d: no-cache vs five web/cache servers", lines)
+
+    # Who-wins shape checks.
+    assert measured["Browsing"][1] > measured["Browsing"][0]  # caching wins
+    assert measured["Shopping"][1] > measured["Shopping"][0]  # caching wins
+    assert measured["Ordering"][1] <= measured["Ordering"][0] * 1.05  # no win
+    # Backend-load ordering mirrors the paper's 7.5 < 15.9 < 55.4.
+    assert (
+        measured["Browsing"][2]
+        < measured["Shopping"][2]
+        < measured["Ordering"][2]
+    )
+    # Browsing/Shopping leave the backend mostly idle; Ordering does not.
+    assert measured["Shopping"][2] < 0.25
+    assert measured["Ordering"][2] > 0.35
+
+    benchmark(lambda: cached_model.point("Browsing", 5))

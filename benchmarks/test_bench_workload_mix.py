@@ -1,0 +1,39 @@
+"""E0 — §6.1.1 workload-mix table.
+
+Paper:
+
+    Workload   Browse  Order
+    Browsing     95 %    5 %
+    Shopping     80 %   20 %
+    Ordering     50 %   50 %
+
+Regenerates the table from the implemented interaction mixes and times mix
+sampling (the load driver's hot path).
+"""
+
+import random
+
+import pytest
+
+from repro.tpcw.workload import MIXES, browse_order_split
+
+from benchmarks.conftest import emit
+
+PAPER = {"Browsing": (0.95, 0.05), "Shopping": (0.80, 0.20), "Ordering": (0.50, 0.50)}
+
+
+def test_bench_workload_mix(benchmark, capsys):
+    lines = [f"{'Workload':10s} {'Browse':>8s} {'Order':>8s}   paper"]
+    for name in ("Browsing", "Shopping", "Ordering"):
+        browse, order = browse_order_split(name)
+        paper_browse, paper_order = PAPER[name]
+        lines.append(
+            f"{name:10s} {browse:8.2%} {order:8.2%}   {paper_browse:.0%}/{paper_order:.0%}"
+        )
+        assert browse == pytest.approx(paper_browse, abs=0.005)
+        assert order == pytest.approx(paper_order, abs=0.005)
+    emit(capsys, "E0: workload mix (Browse/Order class split)", lines)
+
+    mix = MIXES["Shopping"]
+    rng = random.Random(1)
+    benchmark(lambda: [mix.sample(rng) for _ in range(1000)])

@@ -1,0 +1,96 @@
+"""Freshness requirements and a routing tour.
+
+Demonstrates two things:
+
+1. the paper's *future-work* SQL extension — a freshness clause
+   (``WITH FRESHNESS n SECONDS``) that tells the optimizer how stale a
+   result may be, letting it use cached data only when replication lag is
+   within bounds;
+2. how the cost-based router decides between the cache and the backend for
+   a spectrum of queries (covered / partially covered / uncovered /
+   parameterized).
+
+Run:  python examples/freshness_and_routing.py
+"""
+
+from repro import MTCacheDeployment, Server
+
+
+def build() -> tuple:
+    backend = Server("backend")
+    backend.create_database("shop")
+    backend.execute(
+        """
+        CREATE TABLE product (
+            pid INT PRIMARY KEY,
+            name VARCHAR(40) NOT NULL,
+            price FLOAT,
+            category VARCHAR(20)
+        );
+        CREATE INDEX ix_product_category ON product (category);
+        """
+    )
+    shop = backend.database("shop")
+    shop.bulk_load(
+        "product",
+        [
+            (i, f"product{i}", round(i * 1.1, 2), f"cat{i % 10}")
+            for i in range(1, 1001)
+        ],
+    )
+    shop.analyze_all()
+    deployment = MTCacheDeployment(backend, "shop")
+    cache = deployment.add_cache_server("cache1")
+    cache.create_cached_view(
+        "CREATE CACHED VIEW HotProducts AS "
+        "SELECT pid, name, price FROM product WHERE pid <= 500"
+    )
+    return backend, deployment, cache
+
+
+def main() -> None:
+    backend, deployment, cache = build()
+
+    # --- Routing tour ---------------------------------------------------------
+    tour = [
+        ("covered point query", "SELECT name FROM product WHERE pid = 10"),
+        ("covered range query", "SELECT name FROM product WHERE pid BETWEEN 5 AND 50"),
+        ("uncovered column", "SELECT category FROM product WHERE pid = 10"),
+        ("uncovered range", "SELECT name FROM product WHERE pid > 900"),
+        ("parameterized (dynamic plan)", "SELECT name, price FROM product WHERE pid <= @p"),
+    ]
+    for label, sql in tour:
+        planned = cache.plan(sql)
+        route = "DYNAMIC" if planned.is_dynamic else (
+            "REMOTE" if planned.uses_remote else "LOCAL"
+        )
+        print(f"[{route:7s}] {label}")
+        print("    " + planned.explain().replace("\n", "\n    "))
+        print()
+
+    # --- Freshness ------------------------------------------------------------
+    print("Freshness demo:")
+    deployment.sync()
+    backend.execute(
+        "UPDATE product SET price = 999.0 WHERE pid = 10", database="shop"
+    )
+    deployment.clock.advance(120.0)  # two minutes pass without replication
+
+    relaxed = cache.execute(
+        "SELECT price FROM product WHERE pid = 10 WITH FRESHNESS 10 MINUTES"
+    )
+    strict = cache.execute(
+        "SELECT price FROM product WHERE pid = 10 WITH FRESHNESS 30 SECONDS"
+    )
+    print(f"  staleness bound 10 min -> price {relaxed.scalar}  (stale cache allowed)")
+    print(f"  staleness bound 30 s   -> price {strict.scalar}  (forced to backend)")
+
+    deployment.sync()
+    after = cache.execute(
+        "SELECT price FROM product WHERE pid = 10 WITH FRESHNESS 30 SECONDS"
+    )
+    print(f"  after replication sync -> price {after.scalar}  (cache fresh again)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Scale-out analysis: regenerate the paper's Figure 6 and summary table.
+
+Calibrates per-interaction CPU demands by running every TPC-W interaction
+on real engines (backend-only and through MTCache), then sweeps the number
+of web/cache servers through the analytic cluster model and cross-checks
+one point with the discrete-event simulator.
+
+Run:  python examples/scaleout_analysis.py
+"""
+
+from repro.simulation import (
+    ClusterModel,
+    ClusterSpec,
+    DESConfig,
+    calibrate,
+    simulate_cluster,
+)
+from repro.tpcw import TPCWConfig
+
+MIX_NAMES = ("Browsing", "Shopping", "Ordering")
+
+
+def main() -> None:
+    config = TPCWConfig(num_items=200, num_ebs=40, bestseller_window=200)
+    print("Calibrating service demands from real engine executions...")
+    cal_cached = calibrate("cached", config, repetitions=6)
+    cal_nocache = calibrate("nocache", config, repetitions=6)
+
+    spec = ClusterSpec()  # dual-CPU backend, single-CPU web/cache machines
+    cached_model = ClusterModel(cal_cached, spec)
+    nocache_model = ClusterModel(cal_nocache, spec, replication_enabled=False)
+
+    # --- Figure 6(a): throughput vs servers ---------------------------------
+    print("\nFigure 6(a): WIPS vs number of web/cache servers")
+    print(f"{'servers':>8s}" + "".join(f"{mix:>12s}" for mix in MIX_NAMES))
+    curves = {mix: cached_model.curve(mix, 5) for mix in MIX_NAMES}
+    for n in range(5):
+        row = "".join(f"{curves[mix][n].wips:12.1f}" for mix in MIX_NAMES)
+        print(f"{n + 1:8d}{row}")
+
+    # --- Figure 6(b): backend CPU load ---------------------------------------
+    print("\nFigure 6(b): backend CPU load vs number of web/cache servers")
+    print(f"{'servers':>8s}" + "".join(f"{mix:>12s}" for mix in MIX_NAMES))
+    for n in range(5):
+        row = "".join(
+            f"{curves[mix][n].backend_utilization:12.1%}" for mix in MIX_NAMES
+        )
+        print(f"{n + 1:8d}{row}")
+
+    # --- Summary table (paper §6.2.1) ----------------------------------------
+    print("\nSummary: no-cache baseline vs five web/cache servers")
+    print(f"{'Workload':10s} {'base WIPS':>10s} {'cached@5':>10s} {'backend load':>13s}")
+    for mix in MIX_NAMES:
+        base = nocache_model.baseline_wips(mix)
+        at5 = cached_model.point(mix, 5)
+        print(
+            f"{mix:10s} {base.wips:10.1f} {at5.wips:10.1f} "
+            f"{at5.backend_utilization:13.1%}"
+        )
+
+    print("\nServers until the backend saturates (speculative analysis):")
+    for mix in MIX_NAMES:
+        print(f"  {mix:10s} ~{cached_model.max_scaleout(mix)} servers")
+
+    # --- DES cross-check ------------------------------------------------------
+    print("\nDiscrete-event cross-check (Shopping, 2 servers, 600 users):")
+    result = simulate_cluster(
+        cal_cached,
+        DESConfig(users=600, mix_name="Shopping", servers=2, duration=60, warmup=10),
+    )
+    print(
+        f"  DES WIPS={result.wips:.1f}  p90 latency={result.p90_latency:.2f}s  "
+        f"web util={result.web_utilization:.0%}  backend util={result.backend_utilization:.0%}"
+    )
+    analytic = cached_model.point("Shopping", 2)
+    print(f"  analytic bound at 90% web utilization: {analytic.wips:.1f} WIPS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` works offline (no wheel package).
+
+The real metadata lives in pyproject.toml; this file only enables the
+setuptools legacy editable-install path on environments without `wheel`.
+"""
+from setuptools import setup
+
+setup()

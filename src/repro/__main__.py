@@ -1,0 +1,116 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``     — the quickstart walkthrough (cached views, dynamic plans,
+  transparent updates);
+* ``scaleout`` — regenerate the paper's Figure 6 and summary table from
+  calibrated cluster models;
+* ``tpcw``     — run TPC-W traffic against backend and cache and report
+  the work split.
+
+These wrap the scripts under ``examples/`` so the package is runnable
+after installation without a source checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _demo() -> None:
+    from repro import MTCacheDeployment, Server
+
+    backend = Server("backend")
+    backend.create_database("shop")
+    backend.execute(
+        "CREATE TABLE customer (cid INT PRIMARY KEY, cname VARCHAR(40) NOT NULL)"
+    )
+    shop = backend.database("shop")
+    shop.bulk_load("customer", [(i, f"cust{i}") for i in range(1, 2001)])
+    shop.analyze_all()
+
+    deployment = MTCacheDeployment(backend, "shop")
+    cache = deployment.add_cache_server("cache1")
+    cache.create_cached_view(
+        "CREATE CACHED VIEW Cust1000 AS "
+        "SELECT cid, cname FROM customer WHERE cid <= 1000"
+    )
+    query = "SELECT cid, cname FROM customer WHERE cid <= @cid"
+    print("Dynamic plan (with cost annotations):\n")
+    print(cache.plan(query).explain(costs=True))
+    print()
+    for value in (500, 1500):
+        rows = cache.execute(query, params={"cid": value}).rows
+        print(f"@cid={value:5d} -> {len(rows)} rows")
+    cache.execute("UPDATE customer SET cname = 'RENAMED' WHERE cid = 1")
+    deployment.clock.advance(1.0)
+    deployment.sync()
+    print(
+        "after update + sync:",
+        cache.execute("SELECT cname FROM Cust1000 WHERE cid = 1").scalar,
+    )
+
+
+def _scaleout() -> None:
+    import runpy
+    import pathlib
+
+    script = pathlib.Path(__file__).resolve().parents[2] / "examples" / "scaleout_analysis.py"
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return
+    # Installed without the examples directory: inline fallback.
+    from repro.simulation import ClusterModel, ClusterSpec, calibrate
+    from repro.tpcw import TPCWConfig
+
+    config = TPCWConfig(num_items=200, num_ebs=40, bestseller_window=200)
+    cached = ClusterModel(calibrate("cached", config, repetitions=6), ClusterSpec())
+    for mix in ("Browsing", "Shopping", "Ordering"):
+        curve = cached.curve(mix, 5)
+        wips = ", ".join(f"{point.wips:.0f}" for point in curve)
+        print(f"{mix:10s} WIPS(1..5 servers): {wips}")
+
+
+def _tpcw() -> None:
+    import random
+
+    from repro.mtcache.odbc import OdbcSourceRegistry
+    from repro.tpcw import MIXES, TPCWApplication, TPCWConfig, build_backend, enable_caching
+
+    backend, config = build_backend(TPCWConfig(num_items=100, num_ebs=20))
+    deployment, caches = enable_caching(backend, ["cache1"], config)
+    registry = OdbcSourceRegistry()
+    registry.register("tpcw", caches[0].server, "tpcw")
+    application = TPCWApplication(registry.connect("tpcw"), config)
+    rng = random.Random(1)
+    sessions = [application.new_session() for _ in range(8)]
+    mix = MIXES["Shopping"]
+    backend.reset_work()
+    caches[0].server.reset_work()
+    for step in range(300):
+        application.run(mix.sample(rng), sessions[step % 8])
+        deployment.tick(0.02)
+    deployment.sync()
+    print(f"interactions: 300  db calls: {application.db_calls}")
+    print(f"cache work:   {caches[0].server.total_work.rows_processed:,} row touches")
+    print(f"backend work: {backend.total_work.rows_processed:,} row touches")
+    latency = deployment.average_replication_latency()
+    if latency is not None:
+        print(f"replication latency: {latency:.2f}s")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MTCache reproduction (SIGMOD 2003) demos",
+    )
+    parser.add_argument("command", choices=["demo", "scaleout", "tpcw"])
+    args = parser.parse_args(argv)
+    {"demo": _demo, "scaleout": _scaleout, "tpcw": _tpcw}[args.command]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

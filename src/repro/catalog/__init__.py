@@ -1,0 +1,19 @@
+"""Catalog: metadata for tables, views, indexes, procedures, permissions."""
+
+from repro.catalog.objects import (
+    IndexDef,
+    ProcedureDef,
+    TableDef,
+    ViewDef,
+)
+from repro.catalog.catalog import Catalog
+from repro.catalog.permissions import PermissionSet
+
+__all__ = [
+    "Catalog",
+    "IndexDef",
+    "ProcedureDef",
+    "TableDef",
+    "ViewDef",
+    "PermissionSet",
+]

@@ -1,0 +1,156 @@
+"""The per-database catalog: object registry plus permissions.
+
+Provides the clone operation that powers MTCache shadow databases: every
+table, view, index, procedure and grant is duplicated as metadata, while
+data stays behind on the backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.catalog.objects import IndexDef, ProcedureDef, TableDef, ViewDef
+from repro.catalog.permissions import PermissionSet
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """Name-keyed registry of database objects (case-insensitive)."""
+
+    def __init__(self):
+        self.tables: Dict[str, TableDef] = {}
+        self.views: Dict[str, ViewDef] = {}
+        self.indexes: Dict[str, IndexDef] = {}
+        self.procedures: Dict[str, ProcedureDef] = {}
+        self.permissions = PermissionSet()
+
+    # -- tables --------------------------------------------------------------
+
+    def add_table(self, table: TableDef) -> None:
+        key = table.name.lower()
+        if key in self.tables or key in self.views:
+            raise CatalogError(f"object {table.name!r} already exists")
+        self.tables[key] = table
+
+    def get_table(self, name: str) -> TableDef:
+        table = self.tables.get(name.lower())
+        if table is None:
+            raise CatalogError(f"no table {name!r}")
+        return table
+
+    def maybe_table(self, name: str) -> Optional[TableDef]:
+        return self.tables.get(name.lower())
+
+    def drop_table(self, name: str) -> None:
+        if name.lower() not in self.tables:
+            raise CatalogError(f"no table {name!r}")
+        del self.tables[name.lower()]
+        self.indexes = {
+            key: index
+            for key, index in self.indexes.items()
+            if index.table.lower() != name.lower()
+        }
+
+    # -- views ---------------------------------------------------------------
+
+    def add_view(self, view: ViewDef) -> None:
+        key = view.name.lower()
+        if key in self.views or key in self.tables:
+            raise CatalogError(f"object {view.name!r} already exists")
+        self.views[key] = view
+
+    def get_view(self, name: str) -> ViewDef:
+        view = self.views.get(name.lower())
+        if view is None:
+            raise CatalogError(f"no view {name!r}")
+        return view
+
+    def maybe_view(self, name: str) -> Optional[ViewDef]:
+        return self.views.get(name.lower())
+
+    def drop_view(self, name: str) -> None:
+        if name.lower() not in self.views:
+            raise CatalogError(f"no view {name!r}")
+        del self.views[name.lower()]
+
+    def materialized_views(self) -> List[ViewDef]:
+        """All materialized views (cached views included)."""
+        return [view for view in self.views.values() if view.materialized]
+
+    def cached_views(self) -> List[ViewDef]:
+        """Only MTCache cached views."""
+        return [view for view in self.views.values() if view.cached]
+
+    # -- indexes ---------------------------------------------------------------
+
+    def add_index(self, index: IndexDef) -> None:
+        key = index.name.lower()
+        if key in self.indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        self.indexes[key] = index
+
+    def get_index(self, name: str) -> IndexDef:
+        index = self.indexes.get(name.lower())
+        if index is None:
+            raise CatalogError(f"no index {name!r}")
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name.lower() not in self.indexes:
+            raise CatalogError(f"no index {name!r}")
+        del self.indexes[name.lower()]
+
+    def indexes_on(self, table_name: str) -> List[IndexDef]:
+        """All index definitions on a table (or materialized view)."""
+        return [
+            index
+            for index in self.indexes.values()
+            if index.table.lower() == table_name.lower()
+        ]
+
+    # -- procedures --------------------------------------------------------------
+
+    def add_procedure(self, procedure: ProcedureDef) -> None:
+        key = procedure.name.lower()
+        if key in self.procedures:
+            raise CatalogError(f"procedure {procedure.name!r} already exists")
+        self.procedures[key] = procedure
+
+    def get_procedure(self, name: str) -> ProcedureDef:
+        procedure = self.procedures.get(name.lower())
+        if procedure is None:
+            raise CatalogError(f"no procedure {name!r}")
+        return procedure
+
+    def maybe_procedure(self, name: str) -> Optional[ProcedureDef]:
+        return self.procedures.get(name.lower())
+
+    def drop_procedure(self, name: str) -> None:
+        if name.lower() not in self.procedures:
+            raise CatalogError(f"no procedure {name!r}")
+        del self.procedures[name.lower()]
+
+    # -- resolution & cloning -----------------------------------------------------
+
+    def resolve_object(self, name: str) -> Optional[object]:
+        """Return the TableDef or ViewDef for a name, or None."""
+        return self.maybe_table(name) or self.maybe_view(name)
+
+    def clone_for_shadow(self, include_procedures: bool = False) -> "Catalog":
+        """Clone all metadata for an MTCache shadow database.
+
+        Tables, views, indexes and permissions are always shadowed (needed
+        for local parsing, view substitution and permission checks).
+        Procedures are copied only on request: the paper leaves procedure
+        placement to the DBA (``copy_procedure`` on the cache server).
+        """
+        shadow = Catalog()
+        shadow.tables = dict(self.tables)
+        shadow.views = {
+            key: view for key, view in self.views.items() if not view.cached
+        }
+        shadow.indexes = dict(self.indexes)
+        if include_procedures:
+            shadow.procedures = dict(self.procedures)
+        shadow.permissions = self.permissions.copy()
+        return shadow

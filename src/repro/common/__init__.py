@@ -1,0 +1,42 @@
+"""Shared value model: SQL types, schemas, rows and the simulated clock."""
+
+from repro.common.types import (
+    SqlType,
+    TypeKind,
+    INT,
+    BIGINT,
+    FLOAT,
+    NUMERIC,
+    VARCHAR,
+    CHAR,
+    DATE,
+    DATETIME,
+    BOOLEAN,
+    coerce_value,
+    common_type,
+    is_numeric,
+    sql_literal,
+)
+from repro.common.schema import Column, Schema
+from repro.common.clock import SimulatedClock
+
+__all__ = [
+    "SqlType",
+    "TypeKind",
+    "INT",
+    "BIGINT",
+    "FLOAT",
+    "NUMERIC",
+    "VARCHAR",
+    "CHAR",
+    "DATE",
+    "DATETIME",
+    "BOOLEAN",
+    "coerce_value",
+    "common_type",
+    "is_numeric",
+    "sql_literal",
+    "Column",
+    "Schema",
+    "SimulatedClock",
+]

@@ -1,0 +1,75 @@
+"""A Distributed Transaction Coordinator (DTC) analogue.
+
+SQL Server supports distributed transactions across linked servers through
+Microsoft DTC and two-phase commit. This module provides the equivalent
+for the repro engine: a coordinator that enlists per-database transactions
+and commits them atomically — all participants commit, or all roll back.
+
+The engine's local transactions apply changes eagerly with undo logs, so
+*prepare* here validates that every enlisted transaction is still active
+(the failure window 2PC protects against), and *commit* finalizes each
+participant. Any prepare/commit failure triggers rollback everywhere,
+which the undo logs make possible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import DistributedError, TransactionError
+
+
+class DistributedTransactionCoordinator:
+    """Coordinates one distributed transaction across databases."""
+
+    def __init__(self):
+        # Each participant is (database, transaction).
+        self._participants: List[Tuple[object, object]] = []
+        self._finished = False
+
+    def begin_on(self, database) -> object:
+        """Begin a branch transaction on a database and enlist it."""
+        transaction = database.transactions.begin()
+        self._participants.append((database, transaction))
+        return transaction
+
+    def enlist(self, database, transaction) -> None:
+        """Enlist an already-running transaction."""
+        self._participants.append((database, transaction))
+
+    @property
+    def participant_count(self) -> int:
+        return len(self._participants)
+
+    def prepare(self) -> bool:
+        """Phase one: every participant votes."""
+        if self._finished:
+            raise DistributedError("transaction already finished")
+        for _, transaction in self._participants:
+            if not transaction.active:
+                return False
+        return True
+
+    def commit(self) -> None:
+        """Phase two: commit everywhere, or roll back everywhere."""
+        if not self.prepare():
+            self.rollback()
+            raise DistributedError("prepare failed; distributed transaction rolled back")
+        errors = []
+        for database, transaction in self._participants:
+            try:
+                database.transactions.commit(transaction)
+            except TransactionError as exc:  # pragma: no cover - defensive
+                errors.append(exc)
+        self._finished = True
+        if errors:
+            raise DistributedError(f"commit phase reported errors: {errors}")
+
+    def rollback(self) -> None:
+        """Abort every still-active participant."""
+        if self._finished:
+            return
+        for database, transaction in self._participants:
+            if transaction.active:
+                database.transactions.rollback(transaction)
+        self._finished = True

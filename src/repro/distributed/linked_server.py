@@ -1,0 +1,70 @@
+"""Linked servers: SQL Server's mechanism for distributed queries.
+
+A :class:`ServerLink` connects one server to another by name. Remote
+subexpressions arrive as *textual SQL* (the optimizer's DataTransfer
+boundary renders plan fragments back to text) and are re-parsed and
+re-optimized by the target server — matching the paper's observation that
+plans cannot be shipped, only text.
+
+The registry also tracks simple traffic counters (queries, statements)
+used by tests and the cluster simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.results import Result
+from repro.errors import DistributedError
+
+
+class ServerLink:
+    """A named link to another server (possibly a specific database)."""
+
+    def __init__(self, name: str, server, database: Optional[str] = None):
+        self.name = name
+        self.server = server
+        self.database = database
+        self.queries_shipped = 0
+        self.statements_shipped = 0
+
+    def execute_remote_sql(self, sql: str, params: Optional[Dict[str, Any]] = None) -> List[Tuple]:
+        """Execute a query remotely; returns its rows.
+
+        Used by RemoteQueryOp: the remote side re-parses and re-optimizes.
+        """
+        self.queries_shipped += 1
+        result = self.server.execute(sql, params=params, database=self.database)
+        return result.rows
+
+    def execute_statement_text(
+        self, sql: str, params: Optional[Dict[str, Any]] = None
+    ) -> Result:
+        """Execute a forwarded statement (DML / EXEC); returns full result."""
+        self.statements_shipped += 1
+        return self.server.execute(sql, params=params, database=self.database)
+
+
+class LinkedServerRegistry:
+    """The set of linked servers registered on one server."""
+
+    def __init__(self):
+        self._links: Dict[str, ServerLink] = {}
+
+    def register(self, name: str, server, database: Optional[str] = None) -> ServerLink:
+        """Register (or replace) a linked server under ``name``."""
+        link = ServerLink(name, server, database)
+        self._links[name.lower()] = link
+        return link
+
+    def get(self, name: str) -> ServerLink:
+        link = self._links.get(name.lower())
+        if link is None:
+            raise DistributedError(f"no linked server {name!r}")
+        return link
+
+    def names(self) -> List[str]:
+        return list(self._links)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._links

@@ -1,0 +1,14 @@
+"""The database engine: servers, databases, sessions, transactions.
+
+A :class:`Server` is the SQL Server stand-in: it owns databases, accepts
+SQL text over sessions, and participates in distributed queries as a
+linked server. A :class:`Database` couples a catalog with storage,
+statistics and a write-ahead log.
+"""
+
+from repro.engine.database import Database
+from repro.engine.results import Result
+from repro.engine.server import Server
+from repro.engine.session import Session
+
+__all__ = ["Database", "Result", "Server", "Session"]

@@ -1,0 +1,43 @@
+"""Statement results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.common.schema import Schema
+
+
+@dataclass
+class Result:
+    """The outcome of executing one statement (or procedure).
+
+    ``rows``/``schema`` describe the (last) result set; ``rowcount`` is the
+    number of rows a DML statement affected; ``return_value`` carries a
+    stored procedure's RETURN code; ``messages`` collects PRINT output.
+    ``resultsets`` holds every result set a procedure produced, in order.
+    """
+
+    rows: List[Tuple] = field(default_factory=list)
+    schema: Optional[Schema] = None
+    rowcount: int = 0
+    return_value: Optional[Any] = None
+    messages: List[str] = field(default_factory=list)
+    resultsets: List[Tuple[Schema, List[Tuple]]] = field(default_factory=list)
+
+    @property
+    def scalar(self) -> Any:
+        """First column of the first row (None when empty)."""
+        if self.rows:
+            return self.rows[0][0]
+        return None
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one output column by name across all rows."""
+        if self.schema is None:
+            raise ValueError("result has no schema")
+        position = self.schema.resolve(name)
+        return [row[position] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)

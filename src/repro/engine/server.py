@@ -1,0 +1,437 @@
+"""The server: statement dispatch, plan cache, linked-server endpoint.
+
+One :class:`Server` instance models one SQL Server. It accepts SQL text
+(or pre-parsed ASTs from stored procedures), plans SELECTs through the
+MTCache-extended optimizer with a version-checked plan cache, executes DML
+locally or forwards it to the backend (the transparent-update rule), runs
+stored procedures locally or forwards the call, and serves as a linked
+server for other instances' remote subexpressions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.clock import SimulatedClock
+from repro.engine.database import Database
+from repro.engine.ddl import (
+    execute_create_index,
+    execute_create_procedure,
+    execute_create_table,
+    execute_create_view,
+    execute_drop,
+    execute_grant,
+)
+from repro.engine.dml import execute_delete, execute_insert, execute_update
+from repro.engine.procedures import ProcedureInterpreter
+from repro.engine.results import Result
+from repro.engine.session import Session
+from repro.errors import CatalogError, ExecutionError, TransactionError
+from repro.exec.context import ExecutionContext, WorkCounters
+from repro.optimizer.cost import CostModel
+from repro.optimizer.planner import Optimizer, PlannedStatement
+from repro.sql import ast, parse_statements
+from repro.sql.formatter import format_statement
+
+
+class Server:
+    """A database server instance (backend or mid-tier cache)."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: Optional[SimulatedClock] = None,
+        cost_model: Optional[CostModel] = None,
+        optimizer_options: Optional[Dict[str, Any]] = None,
+    ):
+        from repro.distributed.linked_server import LinkedServerRegistry
+
+        self.name = name
+        self.clock = clock or SimulatedClock()
+        self.cost_model = cost_model or CostModel()
+        self.optimizer_options = dict(optimizer_options or {})
+        self.databases: Dict[str, Database] = {}
+        self.default_database: Optional[str] = None
+        self.linked_servers = LinkedServerRegistry()
+        self._optimizers: Dict[str, Tuple[int, Optimizer]] = {}
+        self._plan_cache: Dict[Tuple[str, Any], Tuple[int, PlannedStatement]] = {}
+        # Cumulative work executed on this server (simulator calibration).
+        self.total_work = WorkCounters()
+        self.statements_executed = 0
+
+    # -- databases -----------------------------------------------------------
+
+    def create_database(self, name: str, make_default: bool = True) -> Database:
+        if name.lower() in self.databases:
+            raise CatalogError(f"database {name!r} already exists")
+        database = Database(name, clock=self.clock)
+        database.owner_server = self
+        self.databases[name.lower()] = database
+        if make_default or self.default_database is None:
+            self.default_database = name.lower()
+        return database
+
+    def database(self, name: Optional[str] = None) -> Database:
+        key = (name or self.default_database or "").lower()
+        database = self.databases.get(key)
+        if database is None:
+            raise CatalogError(f"no database {name or '(default)'!r} on server {self.name!r}")
+        return database
+
+    def optimizer_for(self, database: Database) -> Optimizer:
+        cached = self._optimizers.get(database.name.lower())
+        if cached is not None and cached[0] == database.version:
+            return cached[1]
+        optimizer = Optimizer(
+            database, cost_model=self.cost_model, **self.optimizer_options
+        )
+        self._optimizers[database.name.lower()] = (database.version, optimizer)
+        return optimizer
+
+    # -- public execution API --------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params: Optional[Dict[str, Any]] = None,
+        session: Optional[Session] = None,
+        database: Optional[str] = None,
+    ) -> Result:
+        """Execute a SQL batch; returns the last statement's result."""
+        session = session or Session()
+        target = self.database(database or session.database)
+        statements = parse_statements(sql)
+        if not statements:
+            return Result()
+        result = Result()
+        for statement in statements:
+            result = self.execute_statement(
+                statement, params=params, session=session, database=target
+            )
+        return result
+
+    def execute_statement(
+        self,
+        statement: ast.Statement,
+        params: Optional[Dict[str, Any]] = None,
+        session: Optional[Session] = None,
+        database: Optional[Database] = None,
+    ) -> Result:
+        session = session or Session()
+        database = database or self.database(session.database)
+        merged = session.merged_params(params)
+        self.statements_executed += 1
+
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement, merged, database, session)
+        if isinstance(statement, ast.UnionAll):
+            return self._execute_union(statement, merged, database, session)
+        if isinstance(statement, ast.Explain):
+            planned = self.plan_select(statement.statement, database)
+            from repro.common.schema import Column, Schema
+            from repro.common.types import VARCHAR
+
+            lines = planned.explain(costs=statement.costs).splitlines()
+            schema = Schema([Column("plan", VARCHAR(None))])
+            return Result(
+                rows=[(line,) for line in lines],
+                schema=schema,
+                rowcount=len(lines),
+            )
+        if isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
+            return self._execute_dml(statement, merged, database, session)
+        if isinstance(statement, ast.Execute):
+            return self._execute_procedure_call(statement, merged, database, session)
+        if isinstance(statement, ast.CreateTable):
+            return execute_create_table(database, statement)
+        if isinstance(statement, ast.CreateIndex):
+            return execute_create_index(database, statement)
+        if isinstance(statement, ast.CreateView):
+            runner = lambda select: self._run_select_rows(select, merged, database, session)  # noqa: E731
+            return execute_create_view(database, statement, select_runner=runner)
+        if isinstance(statement, ast.CreateProcedure):
+            return execute_create_procedure(database, statement)
+        if isinstance(statement, ast.DropObject):
+            return execute_drop(database, statement)
+        if isinstance(statement, ast.Grant):
+            return execute_grant(database, statement)
+        if isinstance(statement, ast.BeginTransaction):
+            database.transactions.begin()
+            session.in_transaction = True
+            return Result(messages=["transaction started"])
+        if isinstance(statement, ast.CommitTransaction):
+            database.transactions.commit()
+            session.in_transaction = False
+            return Result(messages=["transaction committed"])
+        if isinstance(statement, ast.RollbackTransaction):
+            database.transactions.rollback()
+            session.in_transaction = False
+            return Result(messages=["transaction rolled back"])
+        if isinstance(statement, ast.Declare):
+            value = None
+            if statement.initial is not None:
+                value = self._evaluate_scalar(statement.initial, merged, database, session)
+            session.variables[statement.name] = value
+            return Result()
+        if isinstance(statement, ast.SetVariable):
+            session.variables[statement.name] = self._evaluate_scalar(
+                statement.value, merged, database, session
+            )
+            return Result()
+        if isinstance(statement, ast.PrintStatement):
+            value = self._evaluate_scalar(statement.value, merged, database, session)
+            return Result(messages=[str(value)])
+        raise ExecutionError(f"cannot execute {type(statement).__name__} at session level")
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def plan_select(
+        self,
+        statement: ast.Select,
+        database: Database,
+        cache_key: Optional[Any] = None,
+    ) -> PlannedStatement:
+        """Plan a SELECT with version-checked caching.
+
+        Dynamic plans make this cache effective for parameterized queries:
+        one plan serves every parameter value, choosing its branch at run
+        time via startup predicates instead of re-optimizing.
+
+        The default cache key is the statement AST itself: AST nodes are
+        frozen dataclasses with structural equality, so textually equal
+        statements share a plan (and, unlike ``id()``, keys can never be
+        recycled onto a different statement).
+        """
+        key = (database.name.lower(), cache_key if cache_key is not None else statement)
+        cached = self._plan_cache.get(key)
+        if cached is not None and cached[0] == database.version:
+            return cached[1]
+        planned = self.optimizer_for(database).plan_select(statement)
+        self._plan_cache[key] = (database.version, planned)
+        return planned
+
+    def _execute_select(
+        self,
+        statement: ast.Select,
+        params: Dict[str, Any],
+        database: Database,
+        session: Session,
+    ) -> Result:
+        self._check_select_permissions(statement, database, session)
+        planned = self.plan_select(statement, database)
+        ctx = self._make_context(params, database, session)
+        rows = list(planned.root.execute(ctx))
+        ctx.work.rows_returned = len(rows)
+        self.total_work.merge(ctx.work)
+        result = Result(rows=rows, schema=planned.schema, rowcount=len(rows))
+        result.resultsets.append((planned.schema, rows))
+        return result
+
+    def _execute_union(
+        self,
+        statement: ast.UnionAll,
+        params: Dict[str, Any],
+        database: Database,
+        session: Session,
+    ) -> Result:
+        """UNION ALL: concatenate branch results (bag semantics).
+
+        Each branch routes independently — one side may come from a cached
+        view while another ships to the backend.
+        """
+        rows: List[Tuple] = []
+        schema = None
+        for branch in statement.branches:
+            result = self._execute_select(branch, params, database, session)
+            if schema is None:
+                schema = result.schema
+            elif len(result.schema) != len(schema):
+                raise ExecutionError(
+                    "UNION ALL branches must produce the same number of columns"
+                )
+            rows.extend(result.rows)
+        final = Result(rows=rows, schema=schema, rowcount=len(rows))
+        final.resultsets.append((schema, rows))
+        return final
+
+    def _run_select_rows(self, select, params, database, session):
+        result = self._execute_select(select, params, database, session)
+        return result.rows, result.schema
+
+    def run_subquery(
+        self,
+        select: ast.Select,
+        params: Dict[str, Any],
+        database: Database,
+        session: Session,
+    ) -> List[Tuple]:
+        planned = self.plan_select(select, database)
+        ctx = self._make_context(params, database, session)
+        rows = list(planned.root.execute(ctx))
+        self.total_work.merge(ctx.work)
+        return rows
+
+    def _make_context(
+        self, params: Dict[str, Any], database: Database, session: Session
+    ) -> ExecutionContext:
+        ctx = ExecutionContext(
+            database=database,
+            params=params,
+            linked_servers=self.linked_servers,
+            clock=self.clock,
+        )
+        ctx.subquery_executor = lambda select, sub_params: self.run_subquery(
+            select, sub_params, database, session
+        )
+        return ctx
+
+    def _evaluate_scalar(self, expression, params, database, session):
+        from repro.common.schema import Schema
+        from repro.exec.expressions import ExpressionCompiler
+
+        ctx = self._make_context(params, database, session)
+        return ExpressionCompiler(Schema(())).compile(expression)((), ctx)
+
+    # -- DML --------------------------------------------------------------------
+
+    def _execute_dml(
+        self,
+        statement,
+        params: Dict[str, Any],
+        database: Database,
+        session: Session,
+    ) -> Result:
+        target = statement.table.object_name
+        permission = {
+            ast.Insert: "INSERT",
+            ast.Update: "UPDATE",
+            ast.Delete: "DELETE",
+        }[type(statement)]
+        database.catalog.permissions.check(permission, target, session.principal)
+
+        # Transparent forwarding: shadow tables and four-part names update
+        # the real table on the owning server (paper §5: "all insert,
+        # delete and update requests ... immediately converted to remote").
+        server_name = statement.table.server
+        if server_name is None and database.is_remote_table(target):
+            server_name = database.backend_server
+        if server_name is not None:
+            link = self.linked_servers.get(server_name)
+            stripped = self._strip_server_prefix(statement)
+            return link.execute_statement_text(format_statement(stripped), params)
+
+        ctx = self._make_context(params, database, session)
+        autocommit = not session.in_transaction
+        transaction = (
+            database.transactions.begin()
+            if autocommit
+            else database.transactions.current
+        )
+        if transaction is None:
+            raise TransactionError("no active transaction for DML")
+        try:
+            if isinstance(statement, ast.Insert):
+                runner = lambda select: self._run_select_rows(  # noqa: E731
+                    select, params, database, session
+                )
+                result = execute_insert(database, statement, ctx, transaction, runner)
+            elif isinstance(statement, ast.Update):
+                result = execute_update(database, statement, ctx, transaction)
+            else:
+                result = execute_delete(database, statement, ctx, transaction)
+        except Exception:
+            if autocommit:
+                database.transactions.rollback(transaction)
+            raise
+        if autocommit:
+            database.transactions.commit(transaction)
+        self.total_work.merge(ctx.work)
+        return result
+
+    @staticmethod
+    def _strip_server_prefix(statement):
+        """Remove the linked-server part from a DML target name."""
+        table = statement.table
+        if len(table.parts) >= 2:
+            new_table = ast.TableName((table.parts[-1],), table.alias)
+        else:
+            new_table = table
+        if isinstance(statement, ast.Insert):
+            return ast.Insert(new_table, statement.columns, statement.rows, statement.select)
+        if isinstance(statement, ast.Update):
+            return ast.Update(new_table, statement.assignments, statement.where)
+        return ast.Delete(new_table, statement.where)
+
+    # -- procedures ---------------------------------------------------------------
+
+    def _execute_procedure_call(
+        self,
+        statement: ast.Execute,
+        params: Dict[str, Any],
+        database: Database,
+        session: Session,
+    ) -> Result:
+        name = statement.procedure[-1]
+        explicit_server = statement.procedure[0] if len(statement.procedure) == 4 else None
+        procedure = database.catalog.maybe_procedure(name)
+
+        if procedure is not None and explicit_server is None:
+            database.catalog.permissions.check("EXECUTE", name, session.principal)
+            interpreter = ProcedureInterpreter(self, database, session)
+            result = interpreter.call(procedure, list(statement.arguments), params)
+            return result
+
+        # Transparent forwarding of the call (paper §5.2): evaluate the
+        # arguments locally, ship EXEC with literal values.
+        server_name = explicit_server or database.backend_server
+        if server_name is None:
+            raise CatalogError(f"no procedure {name!r} and no backend server to forward to")
+        link = self.linked_servers.get(server_name)
+        literal_args = []
+        for arg_name, expression in statement.arguments:
+            value = self._evaluate_scalar(expression, params, database, session)
+            literal_args.append((arg_name, ast.Literal(value)))
+        forwarded = ast.Execute((name,), tuple(literal_args))
+        return link.execute_statement_text(format_statement(forwarded), {})
+
+    # -- linked-server endpoint -------------------------------------------------
+
+    def execute_remote_sql(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Result:
+        """Entry point used by other servers' RemoteQueryOps and DML
+        forwarding. The shipped SQL is re-parsed and re-optimized here,
+        as the paper notes must happen when plans cannot be shipped."""
+        return self.execute(sql, params=params)
+
+    # -- permissions ---------------------------------------------------------------
+
+    def _check_select_permissions(
+        self, statement: ast.Select, database: Database, session: Session
+    ) -> None:
+        if session.principal.lower() == "dbo":
+            return
+
+        def visit_ref(ref: Optional[ast.TableRef]) -> None:
+            if ref is None:
+                return
+            if isinstance(ref, ast.JoinRef):
+                visit_ref(ref.left)
+                visit_ref(ref.right)
+            elif isinstance(ref, ast.DerivedTable):
+                visit_select(ref.select)
+            elif isinstance(ref, ast.TableName):
+                database.catalog.permissions.check(
+                    "SELECT", ref.object_name, session.principal
+                )
+
+        def visit_select(select: ast.Select) -> None:
+            visit_ref(select.from_clause)
+
+        visit_select(statement)
+
+    def reset_work(self) -> None:
+        """Zero the cumulative work counters (between calibration runs)."""
+        self.total_work = WorkCounters()
+        self.statements_executed = 0
+
+    def __repr__(self) -> str:
+        return f"<Server {self.name} databases={list(self.databases)}>"

@@ -1,0 +1,26 @@
+"""Sessions: principal, current database, session variables, transaction."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class Session:
+    """One client connection to a server.
+
+    ``principal`` drives permission checks (the ``dbo`` owner bypasses
+    them). ``variables`` holds session-level ``DECLARE``/``SET`` state.
+    """
+
+    def __init__(self, principal: str = "dbo", database: Optional[str] = None):
+        self.principal = principal
+        self.database = database
+        self.variables: Dict[str, Any] = {}
+        self.in_transaction = False
+
+    def merged_params(self, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """Explicit parameters overlaid on session variables."""
+        merged = dict(self.variables)
+        if params:
+            merged.update(params)
+        return merged

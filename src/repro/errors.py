@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised on a deliberate code path derives from :class:`ReproError`
+so callers can catch engine failures without swallowing programming errors.
+The hierarchy mirrors the major subsystems: SQL frontend, catalog, execution,
+transactions, replication and distributed queries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro database engine."""
+
+
+class SqlError(ReproError):
+    """Base class for errors in the SQL frontend (lexing, parsing, binding)."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters an invalid token.
+
+    Carries the 1-based ``line`` and ``column`` of the offending character.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a statement from the token stream."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class BindError(SqlError):
+    """Raised when names in a statement cannot be resolved against the catalog."""
+
+
+class TypeCheckError(SqlError):
+    """Raised when an expression is not well typed (e.g. ``'abc' + 1``)."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog violations: duplicate or missing objects."""
+
+
+class PermissionError_(ReproError):
+    """Raised when the session principal lacks permission on an object.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class ConstraintError(ReproError):
+    """Raised when a DML statement violates a declared constraint."""
+
+
+class ExecutionError(ReproError):
+    """Raised for runtime failures while executing a physical plan."""
+
+
+class TransactionError(ReproError):
+    """Raised for invalid transaction state transitions or aborts."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the optimizer cannot produce a plan for a valid query."""
+
+
+class ReplicationError(ReproError):
+    """Raised for replication configuration or propagation failures."""
+
+
+class DistributedError(ReproError):
+    """Raised for linked-server and distributed-transaction failures."""
+
+
+class FreshnessError(ReproError):
+    """Raised when a query's freshness requirement cannot be met locally
+    and remote fallback is disabled."""

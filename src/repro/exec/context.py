@@ -1,0 +1,79 @@
+"""Execution context threaded through every operator.
+
+Carries run-time parameter values (the ``@param`` bindings that make
+dynamic plans choose a branch), access to the local database's storage,
+the linked-server registry for remote subplans, the virtual clock, and
+work counters the cluster simulator uses to calibrate CPU demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+@dataclass
+class WorkCounters:
+    """Accumulated work for one statement execution.
+
+    ``rows_processed`` counts operator row touches (a CPU proxy),
+    ``rows_returned`` the final result size, ``bytes_transferred`` the data
+    shipped across DataTransfer boundaries, and ``remote_queries`` how many
+    subexpressions were shipped to a linked server.
+    """
+
+    rows_processed: int = 0
+    rows_returned: int = 0
+    bytes_transferred: int = 0
+    remote_queries: int = 0
+    index_seeks: int = 0
+
+    def merge(self, other: "WorkCounters") -> None:
+        self.rows_processed += other.rows_processed
+        self.rows_returned += other.rows_returned
+        self.bytes_transferred += other.bytes_transferred
+        self.remote_queries += other.remote_queries
+        self.index_seeks += other.index_seeks
+
+
+class ExecutionContext:
+    """Per-execution state shared by all operators in a plan."""
+
+    def __init__(
+        self,
+        database: Optional[object] = None,
+        params: Optional[Dict[str, Any]] = None,
+        linked_servers: Optional[object] = None,
+        clock: Optional[object] = None,
+        subquery_executor: Optional[Callable] = None,
+    ):
+        self.database = database
+        self.params = dict(params or {})
+        self.linked_servers = linked_servers
+        self.clock = clock
+        self.work = WorkCounters()
+        # Callable(select_ast, params) -> list of rows; installed by the
+        # engine so scalar/IN subqueries can run nested statements.
+        self.subquery_executor = subquery_executor
+        self._subquery_cache: Dict[int, list] = {}
+
+    def param(self, name: str) -> Any:
+        """Fetch a parameter value; missing parameters read as NULL."""
+        return self.params.get(name)
+
+    def run_subquery(self, select_ast: object) -> list:
+        """Execute an uncorrelated subquery, caching by AST identity."""
+        key = id(select_ast)
+        if key not in self._subquery_cache:
+            if self.subquery_executor is None:
+                from repro.errors import ExecutionError
+
+                raise ExecutionError("no subquery executor installed in context")
+            self._subquery_cache[key] = self.subquery_executor(select_ast, self.params)
+        return self._subquery_cache[key]
+
+    def now(self) -> float:
+        """Virtual current time (0.0 when no clock attached)."""
+        if self.clock is None:
+            return 0.0
+        return self.clock.now()

@@ -1,0 +1,469 @@
+"""Expression compilation: AST → Python closures with SQL semantics.
+
+Expressions compile once per plan against an input :class:`Schema`; the
+resulting closures take ``(row, context)`` and return a Python value where
+``None`` is SQL NULL. Comparison and boolean operators follow SQL
+three-valued logic (``None`` = UNKNOWN); predicates accept a row only when
+the compiled closure returns exactly ``True``.
+
+Guard predicates for dynamic plans (paper §5.1) reference only parameters,
+so they compile to closures that ignore the row — the FilterOp startup
+predicate evaluates them once per execution.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from typing import Any, Callable, Optional, Tuple
+
+from repro.common.schema import Schema
+from repro.errors import BindError, ExecutionError, TypeCheckError
+from repro.sql import ast
+
+Scalar = Callable[[Tuple, "object"], Any]
+
+
+def sql_equal(left: Any, right: Any) -> Optional[bool]:
+    """Three-valued ``=``: NULL operands yield UNKNOWN (None)."""
+    if left is None or right is None:
+        return None
+    return _coerce_pair(left, right, "=") == 0
+
+
+def sql_compare(op: str, left: Any, right: Any) -> Optional[bool]:
+    """Three-valued comparison for =, <>, <, <=, >, >=."""
+    if left is None or right is None:
+        return None
+    sign = _coerce_pair(left, right, op)
+    if op == "=":
+        return sign == 0
+    if op == "<>":
+        return sign != 0
+    if op == "<":
+        return sign < 0
+    if op == "<=":
+        return sign <= 0
+    if op == ">":
+        return sign > 0
+    if op == ">=":
+        return sign >= 0
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _coerce_pair(left: Any, right: Any, op: str) -> int:
+    """Return -1/0/1 for left vs right, coercing numerics."""
+    if isinstance(left, bool):
+        left = int(left)
+    if isinstance(right, bool):
+        right = int(right)
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return (left > right) - (left < right)
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    # Date/datetime compared against ISO strings (common in generated SQL)
+    # — resolve the string side first, then fall through to temporal rules.
+    if isinstance(left, (datetime.date, datetime.datetime)) and isinstance(right, str):
+        right = _parse_temporal(right, left)
+    elif isinstance(right, (datetime.date, datetime.datetime)) and isinstance(left, str):
+        left = _parse_temporal(left, right)
+    if isinstance(left, datetime.datetime) or isinstance(right, datetime.datetime):
+        left_dt = _as_datetime(left)
+        right_dt = _as_datetime(right)
+        return (left_dt > right_dt) - (left_dt < right_dt)
+    if isinstance(left, datetime.date) and isinstance(right, datetime.date):
+        return (left > right) - (left < right)
+    raise TypeCheckError(f"cannot apply {op!r} to {type(left).__name__} and {type(right).__name__}")
+
+
+def _as_datetime(value: Any) -> datetime.datetime:
+    if isinstance(value, datetime.datetime):
+        return value
+    if isinstance(value, datetime.date):
+        return datetime.datetime(value.year, value.month, value.day)
+    raise TypeCheckError(f"cannot treat {value!r} as datetime")
+
+
+def _parse_temporal(text: str, template: Any) -> Any:
+    if isinstance(template, datetime.datetime):
+        return datetime.datetime.fromisoformat(text)
+    return datetime.date.fromisoformat(text)
+
+
+def sql_and(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """Kleene AND."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def sql_or(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """Kleene OR."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def sql_not(value: Optional[bool]) -> Optional[bool]:
+    """Kleene NOT."""
+    if value is None:
+        return None
+    return not value
+
+
+def like_to_regex(pattern: str) -> "re.Pattern":
+    """Translate a SQL LIKE pattern (% _) into an anchored regex."""
+    out = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE | re.DOTALL)
+
+
+class ExpressionCompiler:
+    """Compiles AST expressions to closures over a fixed input schema."""
+
+    def __init__(self, schema: Optional[Schema] = None):
+        self.schema = schema or Schema(())
+
+    def compile(self, expression: ast.Expression) -> Scalar:
+        """Compile a scalar expression."""
+        method = getattr(self, f"_compile_{type(expression).__name__.lower()}", None)
+        if method is None:
+            raise ExecutionError(
+                f"cannot compile expression of type {type(expression).__name__}"
+            )
+        return method(expression)
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _compile_literal(self, node: ast.Literal) -> Scalar:
+        value = node.value
+        return lambda row, ctx: value
+
+    def _compile_columnref(self, node: ast.ColumnRef) -> Scalar:
+        position = self.schema.resolve(node.name, node.qualifier)
+        return lambda row, ctx: row[position]
+
+    def _compile_parameter(self, node: ast.Parameter) -> Scalar:
+        name = node.name
+        return lambda row, ctx: ctx.param(name)
+
+    def _compile_star(self, node: ast.Star) -> Scalar:
+        raise ExecutionError("'*' is only valid in select lists and COUNT(*)")
+
+    # -- operators ---------------------------------------------------------------
+
+    def _compile_binaryop(self, node: ast.BinaryOp) -> Scalar:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        op = node.op
+        if op == "AND":
+            return lambda row, ctx: sql_and(_as_bool(left(row, ctx)), _as_bool(right(row, ctx)))
+        if op == "OR":
+            return lambda row, ctx: sql_or(_as_bool(left(row, ctx)), _as_bool(right(row, ctx)))
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return lambda row, ctx: sql_compare(op, left(row, ctx), right(row, ctx))
+        if op in ("+", "-", "*", "/", "%"):
+            return _compile_arithmetic(op, left, right)
+        raise ExecutionError(f"unknown binary operator {op!r}")
+
+    def _compile_unaryop(self, node: ast.UnaryOp) -> Scalar:
+        operand = self.compile(node.operand)
+        if node.op == "NOT":
+            return lambda row, ctx: sql_not(_as_bool(operand(row, ctx)))
+        if node.op == "-":
+            def negate(row, ctx):
+                value = operand(row, ctx)
+                return None if value is None else -value
+
+            return negate
+        raise ExecutionError(f"unknown unary operator {node.op!r}")
+
+    def _compile_isnull(self, node: ast.IsNull) -> Scalar:
+        operand = self.compile(node.operand)
+        if node.negated:
+            return lambda row, ctx: operand(row, ctx) is not None
+        return lambda row, ctx: operand(row, ctx) is None
+
+    def _compile_inlist(self, node: ast.InList) -> Scalar:
+        operand = self.compile(node.operand)
+        items = [self.compile(item) for item in node.items]
+
+        def evaluate(row, ctx):
+            value = operand(row, ctx)
+            if value is None:
+                return None
+            seen_null = False
+            for item in items:
+                candidate = item(row, ctx)
+                if candidate is None:
+                    seen_null = True
+                    continue
+                if sql_equal(value, candidate) is True:
+                    return False if node.negated else True
+            if seen_null:
+                return None
+            return True if node.negated else False
+
+        return evaluate
+
+    def _compile_insubquery(self, node: ast.InSubquery) -> Scalar:
+        operand = self.compile(node.operand)
+
+        def evaluate(row, ctx):
+            value = operand(row, ctx)
+            if value is None:
+                return None
+            rows = ctx.run_subquery(node.subquery)
+            seen_null = False
+            for subrow in rows:
+                candidate = subrow[0]
+                if candidate is None:
+                    seen_null = True
+                    continue
+                if sql_equal(value, candidate) is True:
+                    return False if node.negated else True
+            if seen_null:
+                return None
+            return True if node.negated else False
+
+        return evaluate
+
+    def _compile_between(self, node: ast.Between) -> Scalar:
+        operand = self.compile(node.operand)
+        low = self.compile(node.low)
+        high = self.compile(node.high)
+
+        def evaluate(row, ctx):
+            value = operand(row, ctx)
+            result = sql_and(
+                sql_compare(">=", value, low(row, ctx)),
+                sql_compare("<=", value, high(row, ctx)),
+            )
+            return sql_not(result) if node.negated else result
+
+        return evaluate
+
+    def _compile_like(self, node: ast.Like) -> Scalar:
+        operand = self.compile(node.operand)
+        pattern_fn = self.compile(node.pattern)
+        cache: dict = {}
+
+        def evaluate(row, ctx):
+            value = operand(row, ctx)
+            pattern = pattern_fn(row, ctx)
+            if value is None or pattern is None:
+                return None
+            regex = cache.get(pattern)
+            if regex is None:
+                regex = like_to_regex(str(pattern))
+                cache[pattern] = regex
+            matched = bool(regex.match(str(value)))
+            return (not matched) if node.negated else matched
+
+        return evaluate
+
+    def _compile_casewhen(self, node: ast.CaseWhen) -> Scalar:
+        compiled = [(self.compile(cond), self.compile(result)) for cond, result in node.whens]
+        else_fn = self.compile(node.else_result) if node.else_result is not None else None
+
+        def evaluate(row, ctx):
+            for condition, result in compiled:
+                if _as_bool(condition(row, ctx)) is True:
+                    return result(row, ctx)
+            if else_fn is not None:
+                return else_fn(row, ctx)
+            return None
+
+        return evaluate
+
+    def _compile_exists(self, node: ast.Exists) -> Scalar:
+        def evaluate(row, ctx):
+            rows = ctx.run_subquery(node.subquery)
+            found = bool(rows)
+            return (not found) if node.negated else found
+
+        return evaluate
+
+    def _compile_scalarsubquery(self, node: ast.ScalarSubquery) -> Scalar:
+        def evaluate(row, ctx):
+            rows = ctx.run_subquery(node.subquery)
+            if not rows:
+                return None
+            if len(rows) > 1:
+                raise ExecutionError("scalar subquery returned more than one row")
+            return rows[0][0]
+
+        return evaluate
+
+    def _compile_funccall(self, node: ast.FuncCall) -> Scalar:
+        if node.is_aggregate:
+            raise ExecutionError(
+                f"aggregate {node.name} outside GROUP BY context"
+            )
+        return _compile_scalar_function(self, node)
+
+
+def _as_bool(value: Any) -> Optional[bool]:
+    """Interpret a value in boolean context (non-zero numbers are true)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    return bool(value)
+
+
+def _compile_arithmetic(op: str, left: Scalar, right: Scalar) -> Scalar:
+    def evaluate(row, ctx):
+        lhs = left(row, ctx)
+        rhs = right(row, ctx)
+        if lhs is None or rhs is None:
+            return None
+        if op == "+":
+            if isinstance(lhs, str) or isinstance(rhs, str):
+                # T-SQL string concatenation via +
+                if isinstance(lhs, str) and isinstance(rhs, str):
+                    return lhs + rhs
+                raise TypeCheckError("cannot add string and non-string")
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if rhs == 0:
+                raise ExecutionError("division by zero")
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                # T-SQL integer division truncates toward zero.
+                quotient = abs(lhs) // abs(rhs)
+                return quotient if (lhs >= 0) == (rhs >= 0) else -quotient
+            return lhs / rhs
+        if op == "%":
+            if rhs == 0:
+                raise ExecutionError("modulo by zero")
+            return lhs - rhs * int(lhs / rhs)
+        raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+    return evaluate
+
+
+def _compile_scalar_function(compiler: ExpressionCompiler, node: ast.FuncCall) -> Scalar:
+    name = node.name
+    args = [compiler.compile(arg) for arg in node.args]
+
+    def need(count: int) -> None:
+        if len(args) != count:
+            raise ExecutionError(f"{name} expects {count} argument(s), got {len(args)}")
+
+    if name == "COALESCE":
+        def coalesce(row, ctx):
+            for arg in args:
+                value = arg(row, ctx)
+                if value is not None:
+                    return value
+            return None
+
+        return coalesce
+    if name == "ISNULL":
+        need(2)
+        return lambda row, ctx: (
+            args[0](row, ctx) if args[0](row, ctx) is not None else args[1](row, ctx)
+        )
+    if name in ("UPPER", "LOWER", "LTRIM", "RTRIM", "LEN", "ABS"):
+        need(1)
+        simple = {
+            "UPPER": lambda v: str(v).upper(),
+            "LOWER": lambda v: str(v).lower(),
+            "LTRIM": lambda v: str(v).lstrip(),
+            "RTRIM": lambda v: str(v).rstrip(),
+            "LEN": lambda v: len(str(v).rstrip()),
+            "ABS": abs,
+        }[name]
+        return lambda row, ctx: (None if args[0](row, ctx) is None else simple(args[0](row, ctx)))
+    if name == "ROUND":
+        need(2)
+
+        def round_fn(row, ctx):
+            value = args[0](row, ctx)
+            digits = args[1](row, ctx)
+            if value is None or digits is None:
+                return None
+            return round(value, int(digits))
+
+        return round_fn
+    if name == "SUBSTRING":
+        need(3)
+
+        def substring(row, ctx):
+            text = args[0](row, ctx)
+            start = args[1](row, ctx)
+            length = args[2](row, ctx)
+            if text is None or start is None or length is None:
+                return None
+            begin = max(0, int(start) - 1)  # SQL is 1-based
+            return str(text)[begin : begin + int(length)]
+
+        return substring
+    if name == "CHARINDEX":
+        need(2)
+
+        def charindex(row, ctx):
+            needle = args[0](row, ctx)
+            haystack = args[1](row, ctx)
+            if needle is None or haystack is None:
+                return None
+            return str(haystack).find(str(needle)) + 1  # 0 when absent, 1-based
+
+        return charindex
+    if name == "GETDATE":
+        def getdate(row, ctx):
+            return datetime.datetime(2003, 6, 9) + datetime.timedelta(seconds=ctx.now())
+
+        return getdate
+    if name in ("YEAR", "MONTH", "DAY"):
+        need(1)
+        attribute = name.lower()
+
+        def extract(row, ctx):
+            value = args[0](row, ctx)
+            if value is None:
+                return None
+            return getattr(value, attribute)
+
+        return extract
+    if name == "FLOOR":
+        need(1)
+        import math
+
+        return lambda row, ctx: (
+            None if args[0](row, ctx) is None else math.floor(args[0](row, ctx))
+        )
+    if name == "CEILING":
+        need(1)
+        import math
+
+        return lambda row, ctx: (
+            None if args[0](row, ctx) is None else math.ceil(args[0](row, ctx))
+        )
+    raise ExecutionError(f"unknown function {name!r}")
+
+
+def compile_scalar(expression: ast.Expression, schema: Optional[Schema] = None) -> Scalar:
+    """Compile a scalar expression against a schema (convenience)."""
+    return ExpressionCompiler(schema).compile(expression)
+
+
+def compile_predicate(expression: ast.Expression, schema: Optional[Schema] = None) -> Scalar:
+    """Compile a predicate; callers must test the result ``is True``."""
+    return ExpressionCompiler(schema).compile(expression)

@@ -1,0 +1,380 @@
+"""Cache design advisor — the paper's §7 wish granted.
+
+    "There are currently no tools to help a DBA define a caching strategy
+    by analyzing a workload and providing advice on what cached views to
+    create and where to run stored procedures. Such a design tool would be
+    highly desirable."
+
+The advisor consumes a weighted workload (SQL statements and/or stored
+procedure calls), attributes reads and writes to tables (resolving
+procedure bodies through the backend catalog), and recommends:
+
+* which **cached views** to create — select-project views covering the
+  columns the read workload touches on read-dominated tables, restricted
+  to a constant range when every read constrains the same column;
+* which **stored procedures to copy** to the cache tier — those whose
+  bodies are read-dominated over cacheable tables (mirroring the paper's
+  choice of 24 of 29).
+
+``CacheAdvisor.recommend()`` returns a report whose ``apply(cache)``
+provisions everything on a cache server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.optimizer.binder import Namespace, qualify_expression
+from repro.optimizer.predicates import (
+    SimpleComparison,
+    normalize_comparison,
+    split_conjuncts,
+)
+from repro.sql import ast, parse_statements
+
+
+@dataclass
+class WorkloadStatement:
+    """One workload entry: SQL text plus its relative frequency."""
+
+    sql: str
+    weight: float = 1.0
+
+
+@dataclass
+class TableUsage:
+    """Aggregated read/write pressure on one table."""
+
+    table: str
+    read_weight: float = 0.0
+    write_weight: float = 0.0
+    columns: Set[str] = field(default_factory=set)
+    # column -> list of (op, constant) bounds seen in read predicates; a
+    # column every read constrains may become the view's restriction.
+    constant_bounds: Dict[str, List[Tuple[str, object]]] = field(default_factory=dict)
+    reads_seen: int = 0
+    reads_constraining: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def read_fraction(self) -> float:
+        total = self.read_weight + self.write_weight
+        if total == 0:
+            return 0.0
+        return self.read_weight / total
+
+
+@dataclass
+class ViewRecommendation:
+    """One recommended cached view."""
+
+    view_name: str
+    table: str
+    columns: Tuple[str, ...]
+    predicate: Optional[str]
+    read_weight: float
+    write_weight: float
+
+    @property
+    def ddl(self) -> str:
+        columns = ", ".join(self.columns)
+        where = f" WHERE {self.predicate}" if self.predicate else ""
+        return (
+            f"CREATE CACHED VIEW {self.view_name} AS "
+            f"SELECT {columns} FROM {self.table}{where}"
+        )
+
+
+@dataclass
+class AdvisorReport:
+    """The advisor's output."""
+
+    views: List[ViewRecommendation]
+    procedures_to_copy: List[str]
+    table_usage: Dict[str, TableUsage]
+
+    def apply(self, cache) -> None:
+        """Provision every recommendation on a cache server."""
+        for view in self.views:
+            cache.create_cached_view(view.ddl)
+        existing = set()
+        for name in self.procedures_to_copy:
+            if name.lower() not in existing:
+                cache.copy_procedure(name)
+                existing.add(name.lower())
+
+    def summary(self) -> str:
+        lines = ["Cache design recommendation:"]
+        for view in self.views:
+            lines.append(
+                f"  {view.ddl}   -- reads {view.read_weight:.1f} / writes {view.write_weight:.1f}"
+            )
+        if self.procedures_to_copy:
+            lines.append("  copy procedures: " + ", ".join(self.procedures_to_copy))
+        return "\n".join(lines)
+
+
+class CacheAdvisor:
+    """Analyzes a workload against a backend database."""
+
+    def __init__(
+        self,
+        backend,
+        database_name: str,
+        read_fraction_threshold: float = 0.7,
+        min_read_weight: float = 1.0,
+    ):
+        self.backend = backend
+        self.database = backend.database(database_name)
+        self.read_fraction_threshold = read_fraction_threshold
+        self.min_read_weight = min_read_weight
+
+    # -- analysis ----------------------------------------------------------------
+
+    def recommend(self, workload: List[WorkloadStatement]) -> AdvisorReport:
+        usage: Dict[str, TableUsage] = {}
+        procedure_reads: Dict[str, float] = {}
+        procedure_writes: Dict[str, float] = {}
+
+        for entry in workload:
+            for statement in parse_statements(entry.sql):
+                self._analyze_statement(
+                    statement, entry.weight, usage, procedure_reads, procedure_writes
+                )
+
+        views = self._recommend_views(usage)
+        cacheable_tables = {view.table.lower() for view in views}
+        procedures = self._recommend_procedures(
+            procedure_reads, procedure_writes, cacheable_tables
+        )
+        return AdvisorReport(
+            views=views, procedures_to_copy=procedures, table_usage=usage
+        )
+
+    def _analyze_statement(
+        self, statement, weight, usage, procedure_reads, procedure_writes, proc_name=None
+    ) -> None:
+        if isinstance(statement, ast.Select):
+            self._analyze_select(statement, weight, usage)
+            if proc_name:
+                procedure_reads[proc_name] = procedure_reads.get(proc_name, 0.0) + weight
+            return
+        if isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
+            table = statement.table.object_name.lower()
+            self._usage_for(usage, table).write_weight += weight
+            if proc_name:
+                procedure_writes[proc_name] = (
+                    procedure_writes.get(proc_name, 0.0) + weight
+                )
+            return
+        if isinstance(statement, ast.Execute):
+            name = statement.procedure[-1]
+            procedure = self.database.catalog.maybe_procedure(name)
+            if procedure is None:
+                return
+            for body_statement in procedure.body:
+                self._analyze_body_statement(
+                    body_statement, weight, usage, procedure_reads, procedure_writes, name
+                )
+            return
+        # DDL / transactions: no caching impact.
+
+    def _analyze_body_statement(
+        self, statement, weight, usage, procedure_reads, procedure_writes, proc_name
+    ) -> None:
+        if isinstance(statement, (ast.Select, ast.Insert, ast.Update, ast.Delete, ast.Execute)):
+            self._analyze_statement(
+                statement, weight, usage, procedure_reads, procedure_writes, proc_name
+            )
+        elif isinstance(statement, ast.IfStatement):
+            for child in list(statement.then_body) + list(statement.else_body):
+                self._analyze_body_statement(
+                    child, weight * 0.5, usage, procedure_reads, procedure_writes, proc_name
+                )
+        elif isinstance(statement, ast.WhileStatement):
+            for child in statement.body:
+                self._analyze_body_statement(
+                    child, weight, usage, procedure_reads, procedure_writes, proc_name
+                )
+
+    def _analyze_select(self, select: ast.Select, weight: float, usage) -> None:
+        if select.from_clause is None:
+            return
+        sources = self._collect_table_sources(select.from_clause)
+        if not sources:
+            return
+        namespace = Namespace()
+        table_of_alias: Dict[str, str] = {}
+        for alias, table_name, columns in sources:
+            try:
+                namespace.add(alias, columns)
+            except Exception:
+                continue
+            table_of_alias[alias.lower()] = table_name.lower()
+
+        # Every FROM source is read even when no column is named (COUNT(*)).
+        referenced: Dict[str, Set[str]] = {
+            table_name.lower(): set() for _, table_name, _ in sources
+        }
+        expressions = [item.expression for item in select.items]
+        if select.where is not None:
+            expressions.append(select.where)
+        expressions.extend(select.group_by)
+        if select.having is not None:
+            expressions.append(select.having)
+        expressions.extend(entry.expression for entry in select.order_by)
+        for expression in expressions:
+            if isinstance(expression, ast.Star):
+                for alias, table_name, columns in sources:
+                    referenced.setdefault(table_name.lower(), set()).update(
+                        column.lower() for column in columns
+                    )
+                continue
+            try:
+                qualified = qualify_expression(expression, namespace)
+            except Exception:
+                continue
+            for column in ast.expression_columns(qualified):
+                table = table_of_alias.get((column.qualifier or "").lower())
+                if table:
+                    referenced.setdefault(table, set()).add(column.name.lower())
+
+        # Constant predicate bounds per table.
+        constrained: Dict[str, Dict[str, List[Tuple[str, object]]]] = {}
+        if select.where is not None:
+            try:
+                qualified = qualify_expression(select.where, namespace)
+            except Exception:
+                qualified = None
+            if qualified is not None:
+                for conjunct in split_conjuncts(qualified):
+                    comparison = normalize_comparison(conjunct)
+                    if comparison is None or comparison.is_parameterized:
+                        continue
+                    table = table_of_alias.get(
+                        (comparison.column.qualifier or "").lower()
+                    )
+                    if table:
+                        constrained.setdefault(table, {}).setdefault(
+                            comparison.column.name.lower(), []
+                        ).append((comparison.op, comparison.constant))
+
+        for table, columns in referenced.items():
+            record = self._usage_for(usage, table)
+            record.read_weight += weight
+            record.reads_seen += 1
+            record.columns.update(columns)
+            for column, bounds in constrained.get(table, {}).items():
+                record.constant_bounds.setdefault(column, []).extend(bounds)
+                record.reads_constraining[column] = (
+                    record.reads_constraining.get(column, 0) + 1
+                )
+
+        # Nested subqueries read too.
+        for expression in expressions:
+            for node in ast.walk_expression(expression):
+                if isinstance(node, (ast.InSubquery,)):
+                    self._analyze_select(node.subquery, weight, usage)
+                elif isinstance(node, (ast.Exists, )):
+                    self._analyze_select(node.subquery, weight, usage)
+                elif isinstance(node, ast.ScalarSubquery):
+                    self._analyze_select(node.subquery, weight, usage)
+
+    def _collect_table_sources(self, ref: ast.TableRef):
+        sources = []
+
+        def visit(node):
+            if isinstance(node, ast.JoinRef):
+                visit(node.left)
+                visit(node.right)
+                return
+            if isinstance(node, ast.DerivedTable):
+                return  # analyzed through its own select when encountered
+            assert isinstance(node, ast.TableName)
+            table = self.database.catalog.maybe_table(node.object_name)
+            if table is None:
+                return
+            sources.append(
+                (node.binding_name, node.object_name, list(table.schema.names))
+            )
+
+        visit(ref)
+        return sources
+
+    @staticmethod
+    def _usage_for(usage: Dict[str, TableUsage], table: str) -> TableUsage:
+        record = usage.get(table)
+        if record is None:
+            record = TableUsage(table=table)
+            usage[table] = record
+        return record
+
+    # -- recommendations --------------------------------------------------------
+
+    def _recommend_views(self, usage: Dict[str, TableUsage]) -> List[ViewRecommendation]:
+        views = []
+        for table, record in sorted(usage.items()):
+            if record.read_weight < self.min_read_weight:
+                continue
+            if record.read_fraction < self.read_fraction_threshold:
+                continue
+            table_def = self.database.catalog.maybe_table(table)
+            if table_def is None:
+                continue
+            # Keep the table's declared column order; always include the
+            # primary key so the subscriber can apply changes by key.
+            wanted = set(record.columns)
+            wanted.update(key.lower() for key in table_def.primary_key)
+            columns = tuple(
+                column.name
+                for column in table_def.schema
+                if column.name.lower() in wanted
+            )
+            predicate = self._restriction_for(record)
+            views.append(
+                ViewRecommendation(
+                    view_name=f"cv_{table}",
+                    table=table_def.name,
+                    columns=columns,
+                    predicate=predicate,
+                    read_weight=record.read_weight,
+                    write_weight=record.write_weight,
+                )
+            )
+        return views
+
+    def _restriction_for(self, record: TableUsage) -> Optional[str]:
+        """A constant range restriction when *every* read constrains the
+        same column with upper/lower bounds (horizontal partial caching)."""
+        for column, count in record.reads_constraining.items():
+            if count < record.reads_seen or record.reads_seen == 0:
+                continue
+            bounds = record.constant_bounds.get(column, [])
+            uppers = [value for op, value in bounds if op in ("<", "<=")]
+            lowers = [value for op, value in bounds if op in (">", ">=")]
+            equalities = [value for op, value in bounds if op == "="]
+            try:
+                if uppers and not lowers and not equalities:
+                    return f"{column} <= {max(uppers)}"
+                if lowers and not uppers and not equalities:
+                    return f"{column} >= {min(lowers)}"
+            except TypeError:
+                continue
+        return None
+
+    def _recommend_procedures(
+        self,
+        procedure_reads: Dict[str, float],
+        procedure_writes: Dict[str, float],
+        cacheable_tables: Set[str],
+    ) -> List[str]:
+        names = set(procedure_reads) | set(procedure_writes)
+        recommended = []
+        for name in sorted(names):
+            reads = procedure_reads.get(name, 0.0)
+            writes = procedure_writes.get(name, 0.0)
+            if reads <= 0:
+                continue
+            if reads / (reads + writes) >= self.read_fraction_threshold:
+                recommended.append(name)
+        return recommended

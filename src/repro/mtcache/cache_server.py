@@ -1,0 +1,231 @@
+"""A cache server: SQL Server configured with a shadow database.
+
+The shadow database contains the same tables, views, indexes, constraints
+and permissions as the backend database, all tables empty, with statistics
+adopted from the backend so the optimizer costs shadow tables as if the
+data were local (paper §3). What data actually lives here is defined by
+``CREATE CACHED VIEW`` statements, each of which automatically provisions
+a replication subscription (creating a matching publication article when
+none exists) and populates the view with an initial snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.catalog.objects import ViewDef
+from repro.common.schema import Column, Schema
+from repro.engine import Database, Server
+from repro.errors import ReplicationError
+from repro.replication.agent import DistributionAgent
+from repro.replication.publication import Article
+from repro.replication.subscription import Subscription
+from repro.sql import ast, parse
+from repro.sql.formatter import format_statement
+from repro.storage.statistics import TableStatistics
+
+
+class CacheServer:
+    """One mid-tier cache server attached to a deployment."""
+
+    def __init__(self, server: Server, deployment, shadow_db_name: str):
+        self.server = server
+        self.deployment = deployment
+        self.shadow_db_name = shadow_db_name
+        self.subscriptions: Dict[str, Subscription] = {}
+        self.agents: Dict[str, DistributionAgent] = {}
+        # Minimal shadows (paper §7) only carry the catalog relevant to
+        # the cached views; anything else is forwarded as whole statements.
+        self.minimal_shadow = False
+        self.statements_forwarded = 0
+
+    @property
+    def database(self) -> Database:
+        return self.server.database(self.shadow_db_name)
+
+    @property
+    def name(self) -> str:
+        return self.server.name
+
+    # -- the public query interface (what applications see) -----------------
+
+    def execute(self, sql: str, params: Optional[Dict] = None, session=None):
+        """Execute SQL exactly as an application would against the backend.
+
+        Queries route cost-based between local cached views and the
+        backend; updates and unknown procedure calls forward transparently.
+        On a *minimal shadow* (paper §7), statements touching objects the
+        shadow does not carry cannot be bound locally — they forward to
+        the backend as whole statements, preserving transparency.
+        """
+        from repro.errors import BindError, CatalogError
+
+        try:
+            return self.server.execute(
+                sql, params=params, session=session, database=self.shadow_db_name
+            )
+        except (BindError, CatalogError):
+            if not self.minimal_shadow:
+                raise
+            self.statements_forwarded += 1
+            return self.deployment.backend.execute(
+                sql, params=params, database=self.deployment.database_name
+            )
+
+    def plan(self, sql: str):
+        """Plan a SELECT and return the PlannedStatement (for inspection)."""
+        statement = parse(sql)
+        if not isinstance(statement, ast.Select):
+            raise ValueError("plan() accepts SELECT statements only")
+        return self.server.plan_select(statement, self.database, cache_key=sql)
+
+    # -- cached views ---------------------------------------------------------
+
+    def create_cached_view(self, sql: str) -> ViewDef:
+        """Run a ``CREATE CACHED VIEW`` statement.
+
+        Equivalent to executing the statement through :meth:`execute`; the
+        DDL layer routes it to :meth:`_handle_cached_view`.
+        """
+        statement = parse(sql)
+        if not (isinstance(statement, ast.CreateView) and statement.cached):
+            raise ValueError("create_cached_view expects CREATE CACHED VIEW ...")
+        self._handle_cached_view(statement)
+        return self.database.catalog.get_view(statement.name)
+
+    def _handle_cached_view(self, statement: ast.CreateView) -> None:
+        """The CREATE CACHED VIEW hook installed on the shadow database."""
+        select = statement.select
+        if not isinstance(select.from_clause, ast.TableName):
+            raise ReplicationError(
+                "cached views must be select-project expressions over one table"
+            )
+        source_table = select.from_clause.object_name
+        backend_db = self.deployment.backend_database
+        source_def = backend_db.catalog.get_table(source_table)
+
+        # Resolve the projected columns (Star expands to all columns).
+        columns: List[str] = []
+        output_names: List[str] = []
+        for item in select.items:
+            if isinstance(item.expression, ast.Star):
+                for column in source_def.schema.names:
+                    columns.append(column)
+                    output_names.append(column)
+                continue
+            if not isinstance(item.expression, ast.ColumnRef):
+                raise ReplicationError(
+                    "cached view select lists may contain only plain columns"
+                )
+            columns.append(item.expression.name)
+            output_names.append(item.alias or item.expression.name)
+
+        view_schema = Schema(
+            Column(
+                name=output_name,
+                sql_type=source_def.schema[source_def.schema.resolve(column)].sql_type,
+                nullable=source_def.schema[source_def.schema.resolve(column)].nullable,
+            )
+            for column, output_name in zip(columns, output_names)
+        )
+
+        # Primary key carries over when fully projected, giving the
+        # subscriber a unique index for change application.
+        projected = {column.lower() for column in columns}
+        primary_key = (
+            source_def.primary_key
+            if source_def.primary_key
+            and all(key.lower() in projected for key in source_def.primary_key)
+            else ()
+        )
+        if primary_key:
+            rename = {
+                column.lower(): output_name
+                for column, output_name in zip(columns, output_names)
+            }
+            primary_key = tuple(rename[key.lower()] for key in primary_key)
+
+        database = self.database
+        database.catalog.add_view(
+            ViewDef(
+                name=statement.name,
+                select=select,
+                schema=view_schema,
+                materialized=True,
+                cached=True,
+                source_text=format_statement(statement),
+            )
+        )
+        database.create_view_storage(statement.name, view_schema, primary_key)
+
+        # Mirror the backend's indexes whose columns the view projects
+        # ("all indexes on the cache servers were identical to indexes on
+        # the backend server", §6.1.2).
+        storage = database.storage_table(statement.name)
+        rename = {
+            column.lower(): output_name
+            for column, output_name in zip(columns, output_names)
+        }
+        for index in backend_db.catalog.indexes_on(source_table):
+            if all(column.lower() in projected for column in index.columns):
+                local_columns = [rename[column.lower()] for column in index.columns]
+                index_name = f"{statement.name}_{index.name}"
+                storage.create_index(index_name, local_columns, unique=False)
+                from repro.catalog.objects import IndexDef
+
+                database.catalog.add_index(
+                    IndexDef(index_name, statement.name, tuple(local_columns))
+                )
+
+        # Provision replication: article (creating it if absent),
+        # subscription, snapshot, push agent (paper §4).
+        article = self.deployment.ensure_article(
+            view_name=statement.name,
+            source_table=source_table,
+            columns=tuple(columns),
+            predicate=select.where,
+        )
+        subscription = Subscription(
+            name=f"{self.server.name}_{statement.name}",
+            article_name=article.name,
+            subscriber_database=database,
+            target_table=statement.name,
+        )
+        self.deployment.register_subscription(self, subscription)
+        self.deployment.snapshot(article, subscription)
+        database.analyze(statement.name)
+        self.subscriptions[statement.name.lower()] = subscription
+        database.bump_version()
+
+    # -- procedures -----------------------------------------------------------
+
+    def copy_procedure(self, name: str) -> None:
+        """Copy one stored procedure from the backend (DBA-controlled).
+
+        Procedures are not shadowed by default; the DBA selects which ones
+        run on the mid tier (paper §5.2).
+        """
+        backend_db = self.deployment.backend_database
+        procedure = backend_db.catalog.get_procedure(name)
+        self.database.catalog.add_procedure(procedure)
+        self.database.bump_version()
+
+    def copy_procedures(self, names: List[str]) -> None:
+        for name in names:
+            self.copy_procedure(name)
+
+    # -- freshness -----------------------------------------------------------
+
+    def staleness(self) -> float:
+        """Upper bound (seconds) on how stale the cached views may be."""
+        now = self.database.clock.now()
+        if not self.subscriptions:
+            return 0.0
+        bounds = []
+        for subscription in self.subscriptions.values():
+            synced = getattr(subscription, "synced_through", 0.0)
+            bounds.append(max(0.0, now - max(synced, subscription.last_applied_commit_ts)))
+        return max(bounds)
+
+    def __repr__(self) -> str:
+        return f"<CacheServer {self.server.name} views={list(self.subscriptions)}>"

@@ -1,0 +1,69 @@
+"""ODBC-source-style redirection: the transparency mechanism.
+
+In Windows, applications connect to a *logical* ODBC source name that maps
+to an actual server. Enabling MTCache for an application is a pure
+configuration change: redirect the source from the backend server to the
+cache server (paper §4, "Rerouting the application's ODBC sources").
+
+Applications written against :class:`OdbcConnection` never know which
+server answers them — the definition of cache transparency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.engine.results import Result
+from repro.engine.session import Session
+from repro.errors import DistributedError
+
+
+class OdbcConnection:
+    """A live connection through a logical source name."""
+
+    def __init__(self, server, database: Optional[str], principal: str):
+        self.server = server
+        self.database = database
+        self.session = Session(principal=principal, database=database)
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Result:
+        return self.server.execute(
+            sql, params=params, session=self.session, database=self.database
+        )
+
+    @property
+    def server_name(self) -> str:
+        """Which physical server this connection reaches (diagnostics)."""
+        return self.server.name
+
+
+class OdbcSourceRegistry:
+    """Maps logical source names to physical servers."""
+
+    def __init__(self):
+        self._sources: Dict[str, Dict[str, Any]] = {}
+
+    def register(self, name: str, server, database: Optional[str] = None) -> None:
+        """Define a logical source (initially pointing at the backend)."""
+        self._sources[name.lower()] = {"server": server, "database": database}
+
+    def redirect(self, name: str, server, database: Optional[str] = None) -> None:
+        """Re-point a source at a different server — no app changes needed."""
+        if name.lower() not in self._sources:
+            raise DistributedError(f"no ODBC source {name!r}")
+        entry = self._sources[name.lower()]
+        entry["server"] = server
+        if database is not None:
+            entry["database"] = database
+
+    def connect(self, name: str, principal: str = "dbo") -> OdbcConnection:
+        entry = self._sources.get(name.lower())
+        if entry is None:
+            raise DistributedError(f"no ODBC source {name!r}")
+        return OdbcConnection(entry["server"], entry["database"], principal)
+
+    def target_of(self, name: str) -> str:
+        entry = self._sources.get(name.lower())
+        if entry is None:
+            raise DistributedError(f"no ODBC source {name!r}")
+        return entry["server"].name

@@ -1,0 +1,23 @@
+"""Cost-based optimizer with DataLocation, DataTransfer and dynamic plans.
+
+This package implements the MTCache optimizer extensions described in
+section 5 of the paper:
+
+* every data source carries a **DataLocation** (Local or Remote);
+* a **DataTransfer** enforcer converts Remote subplans to Local by shipping
+  the subexpression to the backend as textual SQL (``RemoteQueryOp``) and
+  charging a transfer cost proportional to the shipped volume;
+* remote operator costs are multiplied by a configurable factor > 1 to
+  favour local execution on a loaded backend;
+* cached materialized views are matched against queries with full
+  select-project containment checking, producing either unconditional
+  matches or **parameter-guarded** matches;
+* guarded matches become **dynamic plans** (ChoosePlan), implemented as a
+  UnionAll whose branches carry startup predicates, with cost estimated as
+  the guard-frequency-weighted average of the branches.
+"""
+
+from repro.optimizer.cost import CostModel
+from repro.optimizer.planner import Optimizer, PlannedStatement
+
+__all__ = ["CostModel", "Optimizer", "PlannedStatement"]

@@ -1,0 +1,162 @@
+"""Name binding and AST rewriting utilities for the planner.
+
+The planner fully qualifies every column reference (attaching the table
+alias that supplies it) before predicate placement, so conjuncts can be
+attributed to table references syntactically. Because AST nodes are frozen
+dataclasses with structural equality, rewriting builds new trees and
+expression-to-column substitution can use plain dict lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import BindError
+from repro.sql import ast
+
+
+class Namespace:
+    """Maps aliases to their available column names (lowercase)."""
+
+    def __init__(self):
+        self._aliases: Dict[str, List[str]] = {}
+        self._order: List[str] = []
+
+    def add(self, alias: str, columns: List[str]) -> None:
+        key = alias.lower()
+        if key in self._aliases:
+            raise BindError(f"duplicate table alias {alias!r}")
+        self._aliases[key] = [column.lower() for column in columns]
+        self._order.append(key)
+
+    def aliases(self) -> List[str]:
+        return list(self._order)
+
+    def columns_of(self, alias: str) -> List[str]:
+        columns = self._aliases.get(alias.lower())
+        if columns is None:
+            raise BindError(f"unknown table alias {alias!r}")
+        return columns
+
+    def resolve_column(self, name: str, qualifier: Optional[str]) -> str:
+        """Return the alias supplying a column; raise on unknown/ambiguous."""
+        if qualifier:
+            key = qualifier.lower()
+            if key not in self._aliases:
+                raise BindError(f"unknown table alias {qualifier!r}")
+            if name.lower() not in self._aliases[key]:
+                raise BindError(f"no column {name!r} in {qualifier!r}")
+            return key
+        owners = [
+            alias for alias in self._order if name.lower() in self._aliases[alias]
+        ]
+        if not owners:
+            raise BindError(f"unknown column {name!r}")
+        if len(owners) > 1:
+            raise BindError(f"ambiguous column {name!r}")
+        return owners[0]
+
+
+def rewrite_expression(
+    expression: ast.Expression,
+    transform: Callable[[ast.Expression], Optional[ast.Expression]],
+) -> ast.Expression:
+    """Bottom-up rewrite; ``transform`` returning non-None replaces a node.
+
+    The transform is applied after children have been rewritten, so
+    replacements see updated subtrees.
+    """
+    rebuilt = _rebuild(expression, transform)
+    replacement = transform(rebuilt)
+    return replacement if replacement is not None else rebuilt
+
+
+def _rebuild(expression: ast.Expression, transform) -> ast.Expression:
+    recurse = lambda child: rewrite_expression(child, transform)  # noqa: E731
+    if isinstance(expression, ast.BinaryOp):
+        return ast.BinaryOp(expression.op, recurse(expression.left), recurse(expression.right))
+    if isinstance(expression, ast.UnaryOp):
+        return ast.UnaryOp(expression.op, recurse(expression.operand))
+    if isinstance(expression, ast.IsNull):
+        return ast.IsNull(recurse(expression.operand), expression.negated)
+    if isinstance(expression, ast.InList):
+        return ast.InList(
+            recurse(expression.operand),
+            tuple(recurse(item) for item in expression.items),
+            expression.negated,
+        )
+    if isinstance(expression, ast.InSubquery):
+        return ast.InSubquery(recurse(expression.operand), expression.subquery, expression.negated)
+    if isinstance(expression, ast.Between):
+        return ast.Between(
+            recurse(expression.operand),
+            recurse(expression.low),
+            recurse(expression.high),
+            expression.negated,
+        )
+    if isinstance(expression, ast.Like):
+        return ast.Like(recurse(expression.operand), recurse(expression.pattern), expression.negated)
+    if isinstance(expression, ast.CaseWhen):
+        return ast.CaseWhen(
+            tuple((recurse(cond), recurse(result)) for cond, result in expression.whens),
+            recurse(expression.else_result) if expression.else_result is not None else None,
+        )
+    if isinstance(expression, ast.FuncCall):
+        return ast.FuncCall(
+            expression.name,
+            tuple(recurse(arg) for arg in expression.args),
+            expression.distinct,
+        )
+    return expression
+
+
+def qualify_expression(expression: ast.Expression, namespace: Namespace) -> ast.Expression:
+    """Return a copy with every ColumnRef carrying its owning alias."""
+
+    def transform(node: ast.Expression) -> Optional[ast.Expression]:
+        if isinstance(node, ast.ColumnRef):
+            alias = namespace.resolve_column(node.name, node.qualifier)
+            if node.qualifier and node.qualifier.lower() == alias:
+                return None
+            return ast.ColumnRef(node.name, qualifier=alias)
+        return None
+
+    return rewrite_expression(expression, transform)
+
+
+def substitute(
+    expression: ast.Expression,
+    mapping: Dict[ast.Expression, ast.ColumnRef],
+) -> ast.Expression:
+    """Replace whole subexpressions per ``mapping`` (structural equality).
+
+    Used after aggregation: ``SUM(x)`` and group-by expressions in the
+    select list / HAVING / ORDER BY are replaced by references to the
+    aggregate operator's output columns.
+    """
+
+    def transform(node: ast.Expression) -> Optional[ast.Expression]:
+        return mapping.get(node)
+
+    # Top-down replacement must win over bottom-up rebuilding for exact
+    # matches, so check the root first.
+    if expression in mapping:
+        return mapping[expression]
+    return rewrite_expression(expression, transform)
+
+
+def contains_aggregate(expression: ast.Expression) -> bool:
+    """True when the expression contains an aggregate function call."""
+    return any(
+        isinstance(node, ast.FuncCall) and node.is_aggregate
+        for node in ast.walk_expression(expression)
+    )
+
+
+def collect_aggregates(expression: ast.Expression) -> List[ast.FuncCall]:
+    """All aggregate calls within an expression."""
+    return [
+        node
+        for node in ast.walk_expression(expression)
+        if isinstance(node, ast.FuncCall) and node.is_aggregate
+    ]

@@ -1,0 +1,96 @@
+"""The optimizer's cost model.
+
+Costs are abstract work units (roughly "row touches"). Two knobs implement
+the paper's location-aware costing:
+
+* ``remote_penalty`` — every cost estimated for execution on the backend
+  server is multiplied by this factor (> 1.0). The paper's motivation: the
+  backend may be powerful but it is shared and likely loaded, so the cache
+  server only gets a fraction of its capacity.
+* DataTransfer cost — ``transfer_startup + bytes * transfer_per_byte``,
+  proportional to the estimated volume shipped plus a constant startup
+  cost, exactly as described in section 5.
+
+All constants are dataclass fields so ablation benchmarks can sweep them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    """Tunable cost constants (abstract units)."""
+
+    # Per-row operator work
+    scan_row: float = 1.0
+    filter_row: float = 0.2
+    project_row: float = 0.1
+    hash_join_row: float = 1.5
+    nl_join_row: float = 0.3
+    sort_row_log: float = 0.5
+    aggregate_row: float = 1.2
+    distinct_row: float = 0.8
+
+    # Index access
+    index_seek_startup: float = 8.0
+    index_row: float = 1.2
+    index_lookup_probe: float = 2.0  # per-probe cost of an index NL join
+
+    # Location-aware knobs (the paper's extensions)
+    remote_penalty: float = 1.3
+    transfer_startup: float = 50.0
+    transfer_per_byte: float = 0.01
+
+    def seq_scan(self, rows: float) -> float:
+        """Full table scan cost."""
+        return max(1.0, rows) * self.scan_row
+
+    def index_seek(self, matching_rows: float) -> float:
+        """Index seek plus fetch of matching rows."""
+        return self.index_seek_startup + max(0.0, matching_rows) * self.index_row
+
+    def filter(self, input_rows: float) -> float:
+        return max(0.0, input_rows) * self.filter_row
+
+    def project(self, input_rows: float) -> float:
+        return max(0.0, input_rows) * self.project_row
+
+    def hash_join(self, left_rows: float, right_rows: float) -> float:
+        return (max(0.0, left_rows) + max(0.0, right_rows)) * self.hash_join_row
+
+    def nested_loop_join(self, left_rows: float, right_rows: float) -> float:
+        return max(1.0, left_rows) * max(1.0, right_rows) * self.nl_join_row
+
+    def index_lookup_join(self, left_rows: float, matches_per_probe: float) -> float:
+        """Index nested-loop join: one probe per outer row."""
+        per_probe = self.index_lookup_probe + max(0.0, matches_per_probe) * self.index_row
+        return max(1.0, left_rows) * per_probe
+
+    def merge_join(self, left_rows: float, right_rows: float) -> float:
+        """Sort-merge join: sort both inputs, then a linear merge."""
+        return (
+            self.sort(left_rows)
+            + self.sort(right_rows)
+            + (max(0.0, left_rows) + max(0.0, right_rows)) * self.scan_row
+        )
+
+    def sort(self, rows: float) -> float:
+        rows = max(2.0, rows)
+        return rows * math.log2(rows) * self.sort_row_log
+
+    def aggregate(self, rows: float) -> float:
+        return max(1.0, rows) * self.aggregate_row
+
+    def distinct(self, rows: float) -> float:
+        return max(1.0, rows) * self.distinct_row
+
+    def data_transfer(self, rows: float, row_width: int) -> float:
+        """Cost of shipping a result across servers (the enforcer's cost)."""
+        return self.transfer_startup + max(0.0, rows) * row_width * self.transfer_per_byte
+
+    def remote(self, cost: float) -> float:
+        """Inflate a cost for execution on the (loaded) backend server."""
+        return cost * self.remote_penalty

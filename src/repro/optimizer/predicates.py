@@ -1,0 +1,233 @@
+"""Predicate analysis: conjunct splitting, normalization, implication.
+
+View matching needs to reason about select-project view predicates:
+given a view defined with predicate ``P_v`` and a query asking for rows
+satisfying ``P_q``, the view contains the required rows when ``P_q ⇒ P_v``.
+When the implication depends on a run-time parameter the result is a
+*guard*: a parameter-only predicate that is sufficient for containment —
+exactly what the paper turns into a ChoosePlan branch condition.
+
+Normalization handles simple comparisons ``col op (literal|@param)`` in
+either orientation, plus BETWEEN (split into two bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.sql import ast
+
+_FLIP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def split_conjuncts(expression: Optional[ast.Expression]) -> List[ast.Expression]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if expression is None:
+        return []
+    result: List[ast.Expression] = []
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.BinaryOp) and node.op == "AND":
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, ast.Between):
+            # BETWEEN splits into two range conjuncts (preserving NOT forms
+            # is not needed: negated BETWEEN stays opaque).
+            if node.negated:
+                result.append(node)
+            else:
+                stack.append(ast.BinaryOp(">=", node.operand, node.low))
+                stack.append(ast.BinaryOp("<=", node.operand, node.high))
+        else:
+            result.append(node)
+    return result
+
+
+def and_together(conjuncts: List[ast.Expression]) -> Optional[ast.Expression]:
+    """Combine conjuncts back into a single AND expression (None if empty)."""
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = ast.BinaryOp("AND", result, conjunct)
+    return result
+
+
+@dataclass(frozen=True)
+class SimpleComparison:
+    """A normalized comparison ``column op operand``.
+
+    ``operand`` is a :class:`~repro.sql.ast.Literal` or
+    :class:`~repro.sql.ast.Parameter`; ``column`` keeps its qualifier so the
+    caller can attribute the conjunct to a table alias.
+    """
+
+    column: ast.ColumnRef
+    op: str
+    operand: Union[ast.Literal, ast.Parameter]
+
+    @property
+    def is_parameterized(self) -> bool:
+        return isinstance(self.operand, ast.Parameter)
+
+    @property
+    def constant(self) -> Any:
+        if isinstance(self.operand, ast.Literal):
+            return self.operand.value
+        return None
+
+
+def normalize_comparison(expression: ast.Expression) -> Optional[SimpleComparison]:
+    """Extract a SimpleComparison from a conjunct, or None if not simple."""
+    if not isinstance(expression, ast.BinaryOp):
+        return None
+    if expression.op not in _FLIP:
+        return None
+    left, right, op = expression.left, expression.right, expression.op
+    if isinstance(left, ast.ColumnRef) and isinstance(right, (ast.Literal, ast.Parameter)):
+        return SimpleComparison(left, op, right)
+    if isinstance(right, ast.ColumnRef) and isinstance(left, (ast.Literal, ast.Parameter)):
+        return SimpleComparison(right, _FLIP[op], left)
+    return None
+
+
+def conjunct_tables(expression: ast.Expression) -> set:
+    """Return the set of lowercase qualifiers referenced by an expression.
+
+    Unqualified columns produce an empty-string entry; the binder resolves
+    those to a unique table before predicate placement.
+    """
+    qualifiers = set()
+    for column in ast.expression_columns(expression):
+        qualifiers.add((column.qualifier or "").lower())
+    return qualifiers
+
+
+def references_parameters_only(expression: ast.Expression) -> bool:
+    """True when an expression references no columns (a valid guard)."""
+    return not ast.expression_columns(expression)
+
+
+@dataclass
+class ImplicationResult:
+    """Result of checking ``query_conjuncts ⇒ view_conjunct``.
+
+    * ``implied`` and no guard: containment holds unconditionally.
+    * ``implied`` with ``guard``: containment holds whenever the guard
+      (a parameter-only predicate) evaluates to true at run time.
+    * not ``implied``: the view cannot serve this query (for this conjunct).
+    """
+
+    implied: bool
+    guard: Optional[ast.Expression] = None
+
+
+def implies(
+    query_comparisons: List[SimpleComparison],
+    view_comparison: SimpleComparison,
+) -> ImplicationResult:
+    """Check whether the query's conjuncts on a column imply a view conjunct.
+
+    Only comparisons on the same column participate. Constants decide
+    immediately; parameters produce guards. The guards are *sufficient*
+    conditions (conservative for strict inequalities), which preserves
+    correctness: a false guard merely routes to the backend.
+    """
+    column = view_comparison.column.name.lower()
+    view_op = view_comparison.op
+    view_value = view_comparison.constant
+
+    candidates = [
+        comparison
+        for comparison in query_comparisons
+        if comparison.column.name.lower() == column
+    ]
+    for comparison in candidates:
+        outcome = _single_implication(comparison, view_op, view_value)
+        if outcome is not None:
+            return outcome
+    return ImplicationResult(implied=False)
+
+
+def _single_implication(
+    query: SimpleComparison, view_op: str, view_value: Any
+) -> Optional[ImplicationResult]:
+    """Check one query comparison against one view conjunct.
+
+    Returns None when this query comparison says nothing about the view
+    conjunct (another comparison may still decide it).
+    """
+    query_op = query.op
+
+    if query.is_parameterized:
+        parameter = query.operand
+        # query col = @p  ⇒  view col op K   iff   @p op K
+        if query_op == "=":
+            if view_op in ("=", "<", "<=", ">", ">="):
+                return ImplicationResult(True, ast.BinaryOp(view_op, parameter, ast.Literal(view_value)))
+            return None
+        # Upper-bound query predicates against upper-bound view conjuncts.
+        if query_op in ("<", "<=") and view_op in ("<", "<="):
+            # col <= @p ⇒ col <= K  iff @p <= K; col < @p ⇒ col < K iff @p <= K
+            # col <= @p ⇒ col < K   iff @p < K
+            guard_op = "<=" if (view_op == "<=" or query_op == "<") else "<"
+            if view_op == "<" and query_op == "<=":
+                guard_op = "<"
+            return ImplicationResult(True, ast.BinaryOp(guard_op, parameter, ast.Literal(view_value)))
+        if query_op in (">", ">=") and view_op in (">", ">="):
+            guard_op = ">=" if (view_op == ">=" or query_op == ">") else ">"
+            if view_op == ">" and query_op == ">=":
+                guard_op = ">"
+            return ImplicationResult(True, ast.BinaryOp(guard_op, parameter, ast.Literal(view_value)))
+        return None
+
+    constant = query.constant
+    if constant is None or view_value is None:
+        return None
+    try:
+        if query_op == "=":
+            if _op_holds(constant, view_op, view_value):
+                return ImplicationResult(True)
+            return ImplicationResult(False)
+        if query_op in ("<", "<=") and view_op in ("<", "<="):
+            # col <= c ⇒ col <= K iff c <= K ; col <= c ⇒ col < K iff c < K
+            boundary_ok = constant < view_value or (
+                constant == view_value
+                and not (view_op == "<" and query_op == "<=")
+            )
+            return ImplicationResult(boundary_ok)
+        if query_op in (">", ">=") and view_op in (">", ">="):
+            boundary_ok = constant > view_value or (
+                constant == view_value
+                and not (view_op == ">" and query_op == ">=")
+            )
+            return ImplicationResult(boundary_ok)
+    except TypeError:
+        return None
+    return None
+
+
+def _op_holds(left: Any, op: str, right: Any) -> bool:
+    if op == "=":
+        return left == right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "<>":
+        return left != right
+    raise ValueError(f"unknown op {op!r}")
+
+
+def negate(expression: ast.Expression) -> ast.Expression:
+    """Return NOT(expression), simplifying plain comparisons."""
+    if isinstance(expression, ast.BinaryOp) and expression.op in ("=", "<>", "<", "<=", ">", ">="):
+        inverse = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+        return ast.BinaryOp(inverse[expression.op], expression.left, expression.right)
+    return ast.UnaryOp("NOT", expression)

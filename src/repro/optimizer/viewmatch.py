@@ -1,0 +1,233 @@
+"""View matching for select-project materialized views.
+
+MTCache models cached data as materialized select-project views of backend
+tables. A query referencing table ``T`` can be served by a cached view over
+``T`` when (a) every required column is present in the view and (b) the
+query's predicate implies the view's predicate. Implication involving
+run-time parameters yields a *guard*: a parameter-only predicate that, when
+true at run time, guarantees containment — the raw material for dynamic
+plans (paper §5.1).
+
+The matcher also reports the information needed for the Figure 3
+"mixed-result" alternative (rows partly from the view, partly from the
+base table), which the optimizer may use for regular materialized views
+but never for cached views (staleness would break consistency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.catalog.objects import ViewDef
+from repro.optimizer.predicates import (
+    ImplicationResult,
+    SimpleComparison,
+    implies,
+    normalize_comparison,
+    split_conjuncts,
+)
+from repro.sql import ast
+
+
+@dataclass
+class ViewDescription:
+    """A select-project view over one base table, in analyzable form."""
+
+    view: ViewDef
+    base_table: str
+    # Maps lowercase base-column name -> view output column name.
+    column_mapping: Dict[str, str]
+    conjuncts: List[SimpleComparison]
+    opaque_predicate: bool  # view has conjuncts we cannot reason about
+
+
+def describe_view(view: ViewDef, base_columns: List[str]) -> Optional[ViewDescription]:
+    """Analyze a view; returns None when it is not select-project."""
+    select = view.select
+    if not isinstance(select.from_clause, ast.TableName):
+        return None
+    if select.group_by or select.having or select.order_by or select.top or select.distinct:
+        return None
+    base_table = select.from_clause.object_name
+    alias = select.from_clause.binding_name
+
+    column_mapping: Dict[str, str] = {}
+    for item in select.items:
+        expression = item.expression
+        if isinstance(expression, ast.Star):
+            for column in base_columns:
+                column_mapping.setdefault(column.lower(), column)
+            continue
+        if not isinstance(expression, ast.ColumnRef):
+            return None  # computed columns put the view out of scope
+        if expression.qualifier and expression.qualifier.lower() != alias.lower():
+            return None
+        output_name = item.alias or expression.name
+        column_mapping[expression.name.lower()] = output_name
+
+    comparisons: List[SimpleComparison] = []
+    opaque = False
+    for conjunct in split_conjuncts(select.where):
+        comparison = normalize_comparison(conjunct)
+        if comparison is None or comparison.is_parameterized:
+            opaque = True
+            continue
+        if comparison.column.qualifier and comparison.column.qualifier.lower() != alias.lower():
+            opaque = True
+            continue
+        comparisons.append(comparison)
+    return ViewDescription(
+        view=view,
+        base_table=base_table,
+        column_mapping=column_mapping,
+        conjuncts=comparisons,
+        opaque_predicate=opaque,
+    )
+
+
+@dataclass
+class ViewMatch:
+    """A successful match of a query table reference against a view.
+
+    ``guards`` is a list of ``(guard_expression, column_name)`` pairs; the
+    match is unconditional when empty. ``remainder`` describes, for
+    single-conjunct views, the predicate selecting rows *outside* the view
+    (used by mixed-result plans for regular materialized views).
+    """
+
+    description: ViewDescription
+    guards: List[Tuple[ast.Expression, str]] = field(default_factory=list)
+    remainder: Optional[ast.Expression] = None
+
+    @property
+    def view(self) -> ViewDef:
+        return self.description.view
+
+    @property
+    def unconditional(self) -> bool:
+        return not self.guards
+
+    def guard_expression(self) -> Optional[ast.Expression]:
+        """AND of all guards, or None for unconditional matches."""
+        result: Optional[ast.Expression] = None
+        for guard, _ in self.guards:
+            result = guard if result is None else ast.BinaryOp("AND", result, guard)
+        return result
+
+    def map_column(self, base_column: str) -> str:
+        """Translate a base-table column name to the view's output name."""
+        return self.description.column_mapping[base_column.lower()]
+
+
+def match_view(
+    description: ViewDescription,
+    table_name: str,
+    required_columns: Set[str],
+    query_conjuncts: List[ast.Expression],
+) -> Optional[ViewMatch]:
+    """Try to serve a table reference from a view.
+
+    ``required_columns`` are lowercase base-table column names needed
+    anywhere in the query (output or predicates). ``query_conjuncts`` are
+    the single-table conjuncts the query applies to this reference.
+    """
+    if description.base_table.lower() != table_name.lower():
+        return None
+    if description.opaque_predicate:
+        return None
+    if not required_columns.issubset(description.column_mapping.keys()):
+        return None
+    # Columns used by view conjuncts must exist in the view output too,
+    # otherwise the residual predicate could not be applied... actually
+    # residuals are the *query's* conjuncts, whose columns are in
+    # required_columns already. Nothing further to check there.
+
+    query_comparisons = [
+        comparison
+        for comparison in (normalize_comparison(conjunct) for conjunct in query_conjuncts)
+        if comparison is not None
+    ]
+
+    guards: List[Tuple[ast.Expression, str]] = []
+    for view_conjunct in description.conjuncts:
+        outcome = implies(query_comparisons, view_conjunct)
+        if not outcome.implied:
+            return None
+        if outcome.guard is not None:
+            guards.append((outcome.guard, view_conjunct.column.name))
+
+    remainder = _remainder_predicate(description, query_conjuncts)
+    return ViewMatch(description=description, guards=guards, remainder=remainder)
+
+
+def _remainder_predicate(
+    description: ViewDescription, query_conjuncts: List[ast.Expression]
+) -> Optional[ast.Expression]:
+    """Predicate selecting required rows NOT covered by the view.
+
+    Only defined for single-conjunct views (negating a conjunction would
+    introduce disjunctions the simple matcher does not track). The result
+    is ``NOT(view_conjunct) AND query_conjuncts``.
+    """
+    if len(description.conjuncts) != 1:
+        return None
+    view_conjunct = description.conjuncts[0]
+    inverse = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+    negated = ast.BinaryOp(
+        inverse[view_conjunct.op],
+        view_conjunct.column,
+        ast.Literal(view_conjunct.constant),
+    )
+    result: ast.Expression = negated
+    for conjunct in query_conjuncts:
+        result = ast.BinaryOp("AND", result, conjunct)
+    return result
+
+
+class ViewMatcher:
+    """Matches table references against all local materialized views."""
+
+    def __init__(self, catalog, schema_columns_fn):
+        """``schema_columns_fn(table_name) -> List[str]`` supplies base
+        column names for Star expansion."""
+        self.catalog = catalog
+        self._schema_columns_fn = schema_columns_fn
+        self._descriptions: Optional[List[ViewDescription]] = None
+
+    def invalidate(self) -> None:
+        """Drop the analyzed-view cache (after DDL)."""
+        self._descriptions = None
+
+    def descriptions(self) -> List[ViewDescription]:
+        if self._descriptions is None:
+            result = []
+            for view in self.catalog.materialized_views():
+                base_columns: List[str] = []
+                if isinstance(view.select.from_clause, ast.TableName):
+                    try:
+                        base_columns = self._schema_columns_fn(
+                            view.select.from_clause.object_name
+                        )
+                    except Exception:
+                        base_columns = []
+                description = describe_view(view, base_columns)
+                if description is not None:
+                    result.append(description)
+            self._descriptions = result
+        return self._descriptions
+
+    def matches(
+        self,
+        table_name: str,
+        required_columns: Set[str],
+        query_conjuncts: List[ast.Expression],
+    ) -> List[ViewMatch]:
+        """All views able to serve the reference, unconditional first."""
+        found = []
+        for description in self.descriptions():
+            match = match_view(description, table_name, required_columns, query_conjuncts)
+            if match is not None:
+                found.append(match)
+        found.sort(key=lambda match: len(match.guards))
+        return found

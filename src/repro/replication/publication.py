@@ -1,0 +1,86 @@
+"""Publications and articles.
+
+An article is a select-project expression over a published table: a subset
+of columns and a row-restriction predicate. Subscribers receive only the
+projected images of rows satisfying the predicate — this is what lets
+MTCache cache horizontal and vertical subsets of tables, not just complete
+tables (the paper's contrast with DBCache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.schema import Schema
+from repro.errors import ReplicationError
+from repro.exec.context import ExecutionContext
+from repro.exec.expressions import ExpressionCompiler
+from repro.sql import ast
+
+
+@dataclass
+class Article:
+    """One published select-project expression over a source table."""
+
+    name: str
+    source_table: str
+    columns: Tuple[str, ...]  # projected columns, in article order
+    predicate: Optional[ast.Expression] = None
+
+    # Compiled state (populated by bind()).
+    _positions: Optional[List[int]] = field(default=None, repr=False)
+    _predicate_fn: Any = field(default=None, repr=False)
+
+    def bind(self, source_schema: Schema) -> None:
+        """Resolve the article against the source table's schema."""
+        self._positions = [source_schema.resolve(column) for column in self.columns]
+        if self.predicate is not None:
+            qualified_schema = source_schema.with_qualifier(self.source_table)
+            self._predicate_fn = ExpressionCompiler(qualified_schema).compile(self.predicate)
+        else:
+            self._predicate_fn = None
+
+    def row_matches(self, row: Tuple) -> bool:
+        """Does a full source row fall inside the article's restriction?"""
+        if self._predicate_fn is None:
+            return True
+        return self._predicate_fn(row, _BLANK_CONTEXT) is True
+
+    def project(self, row: Tuple) -> Tuple:
+        """Project a full source row to the article's column subset."""
+        if self._positions is None:
+            raise ReplicationError(f"article {self.name!r} is not bound")
+        return tuple(row[position] for position in self._positions)
+
+
+_BLANK_CONTEXT = ExecutionContext()
+
+
+@dataclass
+class Publication:
+    """A named set of articles on one publisher database."""
+
+    name: str
+    database: str
+    articles: Dict[str, Article] = field(default_factory=dict)
+
+    def add_article(self, article: Article) -> None:
+        if article.name.lower() in self.articles:
+            raise ReplicationError(
+                f"article {article.name!r} already exists in publication {self.name!r}"
+            )
+        self.articles[article.name.lower()] = article
+
+    def article(self, name: str) -> Article:
+        found = self.articles.get(name.lower())
+        if found is None:
+            raise ReplicationError(f"no article {name!r} in publication {self.name!r}")
+        return found
+
+    def articles_for_table(self, table_name: str) -> List[Article]:
+        return [
+            article
+            for article in self.articles.values()
+            if article.source_table.lower() == table_name.lower()
+        ]

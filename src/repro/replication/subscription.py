@@ -1,0 +1,107 @@
+"""Subscriptions: a subscriber's claim on an article.
+
+A subscription binds one article to a target table on the subscriber (for
+MTCache: the backing table of a cached view). Applying commands keeps the
+target transactionally consistent with the publisher as of the last
+applied commit; the subscription tracks the commit timestamp high-water
+mark, which drives both the latency experiment and the freshness clause.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ReplicationError
+from repro.storage.table import Table
+
+
+class Subscription:
+    """One article -> one target table on a subscriber database."""
+
+    def __init__(
+        self,
+        name: str,
+        article_name: str,
+        subscriber_database,
+        target_table: str,
+    ):
+        self.name = name
+        self.article_name = article_name
+        self.subscriber_database = subscriber_database
+        self.target_table = target_table
+        # Position in the distribution database's commit-ordered stream.
+        self.last_sequence = 0
+        # Commit timestamp of the newest applied transaction.
+        self.last_applied_commit_ts: float = 0.0
+        # When (subscriber clock) the newest transaction was applied.
+        self.last_apply_time: float = 0.0
+        # (commit_ts, applied_at) samples for latency measurement.
+        self.latency_samples: List[Tuple[float, float]] = []
+        self.commands_applied = 0
+
+    def storage(self) -> Table:
+        return self.subscriber_database.storage_table(self.target_table)
+
+    def apply_transaction(self, transaction) -> int:
+        """Apply one replicated transaction's commands for this article."""
+        applied = 0
+        table = self.storage()
+        for command in transaction.commands:
+            if command.article_name.lower() != self.article_name.lower():
+                continue
+            if command.action == "insert":
+                table.insert(command.new_row)
+            elif command.action == "delete":
+                self._delete_row(table, command.old_row)
+            else:
+                rid = self._locate(table, command.old_row)
+                if rid is None:
+                    # The old image should exist; treat as insert to
+                    # converge rather than silently diverging.
+                    table.insert(command.new_row)
+                else:
+                    table.update_rid(rid, command.new_row)
+            applied += 1
+        now = self.subscriber_database.clock.now()
+        self.last_sequence = transaction.sequence
+        self.last_applied_commit_ts = max(
+            self.last_applied_commit_ts, transaction.commit_timestamp
+        )
+        self.last_apply_time = now
+        if applied:
+            self.latency_samples.append((transaction.commit_timestamp, now))
+            self.commands_applied += applied
+        return applied
+
+    def _delete_row(self, table: Table, old_row: Tuple) -> None:
+        rid = self._locate(table, old_row)
+        if rid is None:
+            raise ReplicationError(
+                f"subscription {self.name!r}: row to delete not found in {self.target_table!r}"
+            )
+        table.delete_rid(rid)
+
+    def _locate(self, table: Table, row: Tuple) -> Optional[int]:
+        """Find the target row: unique-index fast path, then full match."""
+        for index in table.indexes.values():
+            if index.unique:
+                key = tuple(row[position] for position in index.positions)
+                rids = index.seek(key)
+                if rids:
+                    return rids[0]
+                return None
+        for rid, existing in table.rows.items():
+            if existing == row:
+                return rid
+        return None
+
+    def average_latency(self) -> Optional[float]:
+        """Mean commit-to-apply delay over recorded samples."""
+        if not self.latency_samples:
+            return None
+        total = sum(applied - committed for committed, applied in self.latency_samples)
+        return total / len(self.latency_samples)
+
+    def reset_measurements(self) -> None:
+        self.latency_samples.clear()
+        self.commands_applied = 0

@@ -1,0 +1,37 @@
+"""Cluster simulation: reproducing the paper's performance experiments.
+
+The paper measured an 11-machine cluster. This package substitutes a
+simulated cluster whose *service demands are calibrated from real
+executions* of the TPC-W procedures on the repro engine:
+
+1. :mod:`repro.simulation.calibrate` runs every interaction against the
+   real backend (and against a real cache server) and records how much
+   engine work (operator row touches) lands on each tier, plus how many
+   replication commands each interaction generates.
+2. :mod:`repro.simulation.analytic` turns those demands into the
+   bottleneck throughput model that produces Figure 6(a)/6(b): WIPS and
+   backend CPU load as functions of the number of web/cache servers.
+3. :mod:`repro.simulation.des` is a discrete-event simulator (users with
+   think time, FCFS multi-server machines, replication agents) used for
+   the latency-sensitive experiments (response times, Experiment 3).
+"""
+
+from repro.simulation.calibrate import (
+    CalibrationResult,
+    InteractionProfile,
+    calibrate,
+)
+from repro.simulation.analytic import ClusterModel, ClusterSpec, ScaleoutPoint
+from repro.simulation.des import DESConfig, DESResult, simulate_cluster
+
+__all__ = [
+    "InteractionProfile",
+    "CalibrationResult",
+    "calibrate",
+    "ClusterSpec",
+    "ClusterModel",
+    "ScaleoutPoint",
+    "DESConfig",
+    "DESResult",
+    "simulate_cluster",
+]

@@ -1,0 +1,168 @@
+"""Bottleneck throughput model: Figure 6(a)/6(b) and the summary tables.
+
+The paper's scale-out procedure fixes think time at one second and raises
+the number of users until the response-time limits are barely met; in
+every experiment CPUs were the bottleneck. Under those conditions maximum
+sustainable throughput is capacity-bound:
+
+* web/cache tier: ``N`` machines, each spending (web overhead + local DB
+  work + replication apply work) of CPU per interaction;
+* backend: the remote DB work per interaction plus the log reader's work
+  per replicated command.
+
+WIPS(N) is the smaller of the two tiers' 90 %-utilization throughputs, and
+the backend load at that throughput is what Figure 6(b) plots. Service
+demands come from :mod:`repro.simulation.calibrate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.simulation.calibrate import CalibrationResult
+from repro.tpcw.workload import MIXES, WorkloadMix
+
+
+@dataclass
+class ClusterSpec:
+    """The simulated cluster, defaulting to the paper's hardware shape.
+
+    The paper used 500 MHz machines: dual-CPU backend, single-CPU
+    web/cache machines. ``cpu_capacity`` converts engine work units to
+    seconds (units per CPU-second); ``web_overhead`` is the page-generation
+    work per interaction charged to the web machine (the IIS/ISAPI share);
+    ``logreader_work_per_command`` and ``apply_work_per_command`` convert
+    replication commands to CPU work on the backend and each cache.
+    """
+
+    backend_cpus: int = 2
+    web_cpus: int = 1
+    cpu_capacity: float = 40_000.0  # work units per CPU-second
+    web_overhead: float = 200.0  # work units per interaction
+    utilization_target: float = 0.9  # the paper caps machines at 90 % CPU
+    logreader_work_per_command: float = 35.0
+    apply_work_per_command: float = 25.0
+
+
+@dataclass
+class ScaleoutPoint:
+    """One point on the scale-out curve."""
+
+    servers: int
+    wips: float
+    backend_utilization: float  # fraction of total backend CPU busy
+    web_utilization: float
+    bottleneck: str  # "backend" or "web"
+
+
+class ClusterModel:
+    """Computes WIPS and utilizations from calibrated demands."""
+
+    def __init__(
+        self,
+        calibration: CalibrationResult,
+        spec: Optional[ClusterSpec] = None,
+        replication_enabled: bool = True,
+    ):
+        self.calibration = calibration
+        self.spec = spec or ClusterSpec()
+        self.replication_enabled = replication_enabled
+
+    # -- per-interaction demands in CPU seconds -------------------------------
+
+    def demands(self, mix: WorkloadMix) -> Dict[str, float]:
+        """Expected per-interaction CPU demands (seconds) under a mix."""
+        spec = self.spec
+        cache_work, backend_work, commands = self.calibration.mix_demand(mix)
+        if not self.replication_enabled:
+            commands = 0.0
+        web_seconds = (cache_work + spec.web_overhead) / spec.cpu_capacity
+        apply_seconds = (
+            commands * spec.apply_work_per_command / spec.cpu_capacity
+        )
+        backend_seconds = backend_work / spec.cpu_capacity
+        logreader_seconds = (
+            commands * spec.logreader_work_per_command / spec.cpu_capacity
+        )
+        return {
+            "web": web_seconds,
+            "apply_per_cache": apply_seconds,
+            "backend": backend_seconds,
+            "logreader": logreader_seconds,
+        }
+
+    # -- the scale-out model --------------------------------------------------
+
+    def point(self, mix_name: str, servers: int) -> ScaleoutPoint:
+        """WIPS and utilizations with ``servers`` web/cache machines."""
+        spec = self.spec
+        demands = self.demands(MIXES[mix_name])
+        # Every cache applies every replicated command, so per-machine
+        # demand includes the full apply stream regardless of N.
+        web_demand = demands["web"] + demands["apply_per_cache"]
+        backend_demand = demands["backend"] + demands["logreader"]
+
+        web_capacity = servers * spec.web_cpus * spec.utilization_target
+        backend_capacity = spec.backend_cpus * spec.utilization_target
+
+        web_limit = web_capacity / web_demand if web_demand > 0 else float("inf")
+        backend_limit = (
+            backend_capacity / backend_demand if backend_demand > 0 else float("inf")
+        )
+        wips = min(web_limit, backend_limit)
+        bottleneck = "web" if web_limit <= backend_limit else "backend"
+        backend_util = wips * backend_demand / spec.backend_cpus
+        web_util = wips * web_demand / (servers * spec.web_cpus)
+        return ScaleoutPoint(
+            servers=servers,
+            wips=wips,
+            backend_utilization=backend_util,
+            web_utilization=web_util,
+            bottleneck=bottleneck,
+        )
+
+    def curve(self, mix_name: str, max_servers: int = 5) -> List[ScaleoutPoint]:
+        """Figure 6's x-axis: 1..max_servers web/cache machines."""
+        return [self.point(mix_name, n) for n in range(1, max_servers + 1)]
+
+    def baseline_wips(self, mix_name: str, web_servers: int = 5) -> ScaleoutPoint:
+        """No-cache baseline: all DB work on the backend.
+
+        The web tier still renders pages; with enough web servers the
+        backend is the bottleneck, matching the paper's baseline where the
+        backend ran at ~90 % CPU.
+        """
+        spec = self.spec
+        demands = self.demands(MIXES[mix_name])
+        # In the no-cache calibration, all database work is backend work
+        # and there is no replication.
+        web_demand = demands["web"]
+        backend_demand = demands["backend"]
+        web_capacity = web_servers * spec.web_cpus * spec.utilization_target
+        backend_capacity = spec.backend_cpus * spec.utilization_target
+        web_limit = web_capacity / web_demand if web_demand > 0 else float("inf")
+        backend_limit = (
+            backend_capacity / backend_demand if backend_demand > 0 else float("inf")
+        )
+        wips = min(web_limit, backend_limit)
+        return ScaleoutPoint(
+            servers=web_servers,
+            wips=wips,
+            backend_utilization=wips * backend_demand / spec.backend_cpus,
+            web_utilization=wips * web_demand / (web_servers * spec.web_cpus),
+            bottleneck="web" if web_limit <= backend_limit else "backend",
+        )
+
+    def max_scaleout(self, mix_name: str) -> int:
+        """How many cache servers before the backend saturates (the paper's
+        speculative analysis: Browsing ≈ 50, Shopping ≈ 25)."""
+        spec = self.spec
+        demands = self.demands(MIXES[mix_name])
+        web_demand = demands["web"] + demands["apply_per_cache"]
+        backend_demand = demands["backend"] + demands["logreader"]
+        if backend_demand <= 0:
+            return 10_000
+        per_server_wips = spec.web_cpus * spec.utilization_target / web_demand
+        backend_capacity = spec.backend_cpus * spec.utilization_target
+        return max(1, int(backend_capacity / (per_server_wips * backend_demand)))

@@ -1,0 +1,25 @@
+"""SQL frontend: lexer, parser, AST and SQL text formatter.
+
+The dialect is a T-SQL-flavoured subset sufficient for the TPC-W workload
+and all examples in the MTCache paper: SELECT with joins/grouping/TOP,
+DML, DDL (tables, indexes, views, materialized and cached views, stored
+procedures), ``@parameter`` markers, ``EXEC``, four-part linked-server
+names and the paper's proposed freshness clause.
+"""
+
+from repro.sql.lexer import Lexer, Token, TokenType, tokenize
+from repro.sql.parser import Parser, parse, parse_expression, parse_statements
+from repro.sql.formatter import format_expression, format_statement
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_expression",
+    "parse_statements",
+    "format_expression",
+    "format_statement",
+]

@@ -1,0 +1,537 @@
+"""AST node classes for the T-SQL subset.
+
+Nodes are plain dataclasses. Expression nodes and statement nodes share a
+small base so visitors (binder, evaluator, formatter) can dispatch on type.
+Table names carry up to four dot-separated parts, matching SQL Server's
+``server.database.schema.object`` linked-server naming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.common.types import SqlType
+
+
+class Node:
+    """Base class for every AST node."""
+
+
+class Expression(Node):
+    """Base class for expression nodes."""
+
+
+class Statement(Node):
+    """Base class for statement nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: number, string, or NULL (``value is None``)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A possibly qualified column reference like ``c.name``."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A run-time parameter or local variable marker, ``@name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``alias.*`` in a select list or COUNT(*)."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operation: arithmetic, comparison, AND/OR."""
+
+    op: str  # one of + - * / % = <> < <= > >= AND OR
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """NOT or unary minus."""
+
+    op: str  # "NOT" or "-"
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (value, ...)``."""
+
+    operand: Expression
+    items: Tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    operand: Expression
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expression):
+    """Searched CASE expression."""
+
+    whens: Tuple[Tuple[Expression, Expression], ...]
+    else_result: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class FuncCall(Expression):
+    """A function call: aggregate (COUNT/SUM/AVG/MIN/MAX) or scalar."""
+
+    name: str  # uppercased
+    args: Tuple[Expression, ...]
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in AGGREGATE_FUNCTIONS
+
+
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+@dataclass(frozen=True)
+class Exists(Expression):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    """A parenthesised subquery used as a scalar value."""
+
+    subquery: "Select"
+
+
+# ---------------------------------------------------------------------------
+# Table references
+# ---------------------------------------------------------------------------
+
+
+class TableRef(Node):
+    """Base class for FROM-clause items."""
+
+
+@dataclass(frozen=True)
+class TableName(TableRef):
+    """A (possibly multi-part) table or view name with an optional alias.
+
+    ``parts`` is 1-4 names; four parts means
+    ``linked_server.database.schema.object``.
+    """
+
+    parts: Tuple[str, ...]
+    alias: Optional[str] = None
+
+    @property
+    def object_name(self) -> str:
+        return self.parts[-1]
+
+    @property
+    def server(self) -> Optional[str]:
+        """The linked-server part when the name has four parts."""
+        if len(self.parts) == 4:
+            return self.parts[0]
+        return None
+
+    @property
+    def binding_name(self) -> str:
+        """The name other clauses use to refer to this table."""
+        return self.alias or self.object_name
+
+    def __str__(self) -> str:
+        name = ".".join(self.parts)
+        return f"{name} AS {self.alias}" if self.alias else name
+
+
+@dataclass(frozen=True)
+class DerivedTable(TableRef):
+    """A parenthesised subquery in FROM, with a mandatory alias."""
+
+    select: "Select"
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinRef(TableRef):
+    """An explicit join between two table references."""
+
+    kind: str  # INNER, LEFT, CROSS
+    left: TableRef
+    right: TableRef
+    condition: Optional[Expression] = None  # None only for CROSS
+
+
+# ---------------------------------------------------------------------------
+# SELECT machinery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One select-list entry: an expression, optional alias, optional
+    T-SQL assignment target (``SELECT @x = expr``)."""
+
+    expression: Expression
+    alias: Optional[str] = None
+    target_parameter: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One ORDER BY entry."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class FreshnessSpec(Node):
+    """The paper's proposed freshness clause: result may be this stale."""
+
+    max_staleness_seconds: float
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """A SELECT statement (also used as a subquery body)."""
+
+    items: Tuple[SelectItem, ...]
+    from_clause: Optional[TableRef] = None
+    where: Optional[Expression] = None
+    group_by: Tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    top: Optional[Expression] = None
+    distinct: bool = False
+    freshness: Optional[FreshnessSpec] = None
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN <select>`` — return the optimizer's plan as text rows."""
+
+    statement: "Select"
+    costs: bool = False  # EXPLAIN WITH COSTS
+
+
+@dataclass(frozen=True)
+class UnionAll(Statement):
+    """``select UNION ALL select [UNION ALL ...]`` (bag union).
+
+    Branch select lists must have equal arity; the first branch names the
+    output columns, as in T-SQL.
+    """
+
+    branches: Tuple[Select, ...]
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """INSERT ... VALUES or INSERT ... SELECT."""
+
+    table: TableName
+    columns: Tuple[str, ...] = ()
+    rows: Tuple[Tuple[Expression, ...], ...] = ()
+    select: Optional[Select] = None
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """UPDATE table SET col = expr, ... [WHERE]."""
+
+    table: TableName
+    assignments: Tuple[Tuple[str, Expression], ...]
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    """DELETE FROM table [WHERE]."""
+
+    table: TableName
+    where: Optional[Expression] = None
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef(Node):
+    """A column definition inside CREATE TABLE."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+    primary_key: bool = False
+    default: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class ForeignKeyDef(Node):
+    """A table-level FOREIGN KEY constraint."""
+
+    columns: Tuple[str, ...]
+    ref_table: str
+    ref_columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    """CREATE TABLE with column and table-level constraints."""
+
+    name: str
+    columns: Tuple[ColumnDef, ...]
+    primary_key: Tuple[str, ...] = ()
+    foreign_keys: Tuple[ForeignKeyDef, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    """CREATE [UNIQUE] [CLUSTERED] INDEX name ON table (cols)."""
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    unique: bool = False
+    clustered: bool = False
+
+
+@dataclass(frozen=True)
+class CreateView(Statement):
+    """CREATE [MATERIALIZED|CACHED] VIEW name AS select.
+
+    ``cached`` marks MTCache cached views; creating one on a cache server
+    automatically provisions a replication subscription.
+    """
+
+    name: str
+    select: Select
+    materialized: bool = False
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class ProcedureParam(Node):
+    """A stored-procedure parameter declaration."""
+
+    name: str
+    sql_type: SqlType
+    default: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class CreateProcedure(Statement):
+    """CREATE PROCEDURE name @p type, ... AS BEGIN body END."""
+
+    name: str
+    params: Tuple[ProcedureParam, ...]
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class DropObject(Statement):
+    """DROP TABLE/INDEX/VIEW/PROCEDURE name."""
+
+    kind: str  # TABLE, INDEX, VIEW, PROCEDURE
+    name: str
+
+
+@dataclass(frozen=True)
+class Grant(Statement):
+    """GRANT SELECT ON object TO principal (simplified permission model)."""
+
+    permission: str
+    object_name: str
+    principal: str
+
+
+# ---------------------------------------------------------------------------
+# Procedural statements (T-SQL control flow)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Declare(Statement):
+    """DECLARE @name type [= expr]."""
+
+    name: str
+    sql_type: SqlType
+    initial: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class SetVariable(Statement):
+    """SET @name = expr."""
+
+    name: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class IfStatement(Statement):
+    """IF cond BEGIN ... END [ELSE BEGIN ... END]."""
+
+    condition: Expression
+    then_body: Tuple[Statement, ...]
+    else_body: Tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class WhileStatement(Statement):
+    """WHILE cond BEGIN ... END."""
+
+    condition: Expression
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class ReturnStatement(Statement):
+    """RETURN [expr]."""
+
+    value: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class PrintStatement(Statement):
+    """PRINT expr (diagnostics only)."""
+
+    value: Expression
+
+
+@dataclass(frozen=True)
+class Execute(Statement):
+    """EXEC proc [@p = expr | expr, ...]; proc may be multi-part."""
+
+    procedure: Tuple[str, ...]
+    arguments: Tuple[Tuple[Optional[str], Expression], ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BeginTransaction(Statement):
+    """BEGIN TRANSACTION."""
+
+
+@dataclass(frozen=True)
+class CommitTransaction(Statement):
+    """COMMIT [TRANSACTION]."""
+
+
+@dataclass(frozen=True)
+class RollbackTransaction(Statement):
+    """ROLLBACK [TRANSACTION]."""
+
+
+def walk_expression(expression: Expression):
+    """Yield ``expression`` and every expression nested beneath it."""
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, BinaryOp):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, UnaryOp):
+            stack.append(node.operand)
+        elif isinstance(node, IsNull):
+            stack.append(node.operand)
+        elif isinstance(node, InList):
+            stack.append(node.operand)
+            stack.extend(node.items)
+        elif isinstance(node, InSubquery):
+            stack.append(node.operand)
+        elif isinstance(node, Between):
+            stack.extend((node.operand, node.low, node.high))
+        elif isinstance(node, Like):
+            stack.extend((node.operand, node.pattern))
+        elif isinstance(node, CaseWhen):
+            for condition, result in node.whens:
+                stack.extend((condition, result))
+            if node.else_result is not None:
+                stack.append(node.else_result)
+        elif isinstance(node, FuncCall):
+            stack.extend(node.args)
+
+
+def expression_parameters(expression: Expression) -> List[str]:
+    """Return the names of all ``@parameters`` referenced by an expression."""
+    return [
+        node.name for node in walk_expression(expression) if isinstance(node, Parameter)
+    ]
+
+
+def expression_columns(expression: Expression) -> List[ColumnRef]:
+    """Return all column references in an expression."""
+    return [node for node in walk_expression(expression) if isinstance(node, ColumnRef)]

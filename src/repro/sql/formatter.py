@@ -1,0 +1,249 @@
+"""AST → SQL text formatter.
+
+MTCache ships remote subexpressions to the backend as *textual SQL* (the
+paper notes plans cannot be shipped, only text, forcing re-optimization at
+the backend). This module regenerates parseable SQL from any AST node, so a
+plan fragment rooted at a DataTransfer operator can be converted back to a
+query string and executed on a linked server.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.types import sql_literal
+from repro.sql import ast
+
+
+def format_statement(statement: ast.Statement) -> str:
+    """Render a statement AST back to SQL text."""
+    if isinstance(statement, ast.Select):
+        return _format_select(statement)
+    if isinstance(statement, ast.UnionAll):
+        return " UNION ALL ".join(_format_select(branch) for branch in statement.branches)
+    if isinstance(statement, ast.Insert):
+        return _format_insert(statement)
+    if isinstance(statement, ast.Update):
+        return _format_update(statement)
+    if isinstance(statement, ast.Delete):
+        return _format_delete(statement)
+    if isinstance(statement, ast.Execute):
+        return _format_execute(statement)
+    if isinstance(statement, ast.CreateView):
+        kind = "CACHED VIEW" if statement.cached else (
+            "MATERIALIZED VIEW" if statement.materialized else "VIEW"
+        )
+        return f"CREATE {kind} {statement.name} AS {_format_select(statement.select)}"
+    if isinstance(statement, ast.BeginTransaction):
+        return "BEGIN TRANSACTION"
+    if isinstance(statement, ast.CommitTransaction):
+        return "COMMIT"
+    if isinstance(statement, ast.RollbackTransaction):
+        return "ROLLBACK"
+    raise ValueError(f"cannot format statement of type {type(statement).__name__}")
+
+
+def format_expression(expression: ast.Expression) -> str:
+    """Render an expression AST back to SQL text."""
+    if isinstance(expression, ast.Literal):
+        return sql_literal(expression.value)
+    if isinstance(expression, ast.ColumnRef):
+        return str(expression)
+    if isinstance(expression, ast.Parameter):
+        return f"@{expression.name}"
+    if isinstance(expression, ast.Star):
+        return f"{expression.qualifier}.*" if expression.qualifier else "*"
+    if isinstance(expression, ast.BinaryOp):
+        left = _maybe_paren(expression.left, expression.op)
+        right = _maybe_paren(expression.right, expression.op, right_operand=True)
+        return f"{left} {expression.op} {right}"
+    if isinstance(expression, ast.UnaryOp):
+        operand = format_expression(expression.operand)
+        if expression.op == "NOT":
+            return f"NOT ({operand})"
+        return f"-({operand})"
+    if isinstance(expression, ast.IsNull):
+        middle = "IS NOT NULL" if expression.negated else "IS NULL"
+        return f"{format_expression(expression.operand)} {middle}"
+    if isinstance(expression, ast.InList):
+        items = ", ".join(format_expression(item) for item in expression.items)
+        keyword = "NOT IN" if expression.negated else "IN"
+        return f"{format_expression(expression.operand)} {keyword} ({items})"
+    if isinstance(expression, ast.InSubquery):
+        keyword = "NOT IN" if expression.negated else "IN"
+        return (
+            f"{format_expression(expression.operand)} {keyword} "
+            f"({_format_select(expression.subquery)})"
+        )
+    if isinstance(expression, ast.Between):
+        keyword = "NOT BETWEEN" if expression.negated else "BETWEEN"
+        return (
+            f"{format_expression(expression.operand)} {keyword} "
+            f"{format_expression(expression.low)} AND {format_expression(expression.high)}"
+        )
+    if isinstance(expression, ast.Like):
+        keyword = "NOT LIKE" if expression.negated else "LIKE"
+        return (
+            f"{format_expression(expression.operand)} {keyword} "
+            f"{format_expression(expression.pattern)}"
+        )
+    if isinstance(expression, ast.CaseWhen):
+        parts = ["CASE"]
+        for condition, result in expression.whens:
+            parts.append(f"WHEN {format_expression(condition)} THEN {format_expression(result)}")
+        if expression.else_result is not None:
+            parts.append(f"ELSE {format_expression(expression.else_result)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expression, ast.FuncCall):
+        args = ", ".join(format_expression(arg) for arg in expression.args)
+        distinct = "DISTINCT " if expression.distinct else ""
+        return f"{expression.name}({distinct}{args})"
+    if isinstance(expression, ast.Exists):
+        keyword = "NOT EXISTS" if expression.negated else "EXISTS"
+        return f"{keyword} ({_format_select(expression.subquery)})"
+    if isinstance(expression, ast.ScalarSubquery):
+        return f"({_format_select(expression.subquery)})"
+    raise ValueError(f"cannot format expression of type {type(expression).__name__}")
+
+
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 3,
+    "<>": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "%": 5,
+}
+
+
+_COMPARISONS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+
+
+def _maybe_paren(
+    expression: ast.Expression, parent_op: str, right_operand: bool = False
+) -> str:
+    text = format_expression(expression)
+    # NOT binds looser than comparisons/arithmetic in the grammar, so as an
+    # operand of any binary operator it must be parenthesized.
+    if isinstance(expression, ast.UnaryOp) and expression.op == "NOT":
+        return f"({text})"
+    if isinstance(expression, ast.BinaryOp):
+        if _PRECEDENCE[expression.op] < _PRECEDENCE[parent_op]:
+            return f"({text})"
+        # Comparisons are non-associative (a single grammar level): a
+        # comparison operand of a comparison needs explicit parentheses.
+        if parent_op in _COMPARISONS and expression.op in _COMPARISONS:
+            return f"({text})"
+        # The grammar is left-associative, so a same-precedence expression
+        # in right-operand position needs explicit parentheses — both for
+        # correctness under non-associative operators (-, /, %) and so the
+        # rendered text reparses to the identical tree.
+        if right_operand and _PRECEDENCE[expression.op] == _PRECEDENCE[parent_op]:
+            return f"({text})"
+    return text
+
+
+def _format_select(select: ast.Select) -> str:
+    parts = ["SELECT"]
+    if select.top is not None:
+        parts.append(f"TOP {format_expression(select.top)}")
+    if select.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in select.items:
+        text = format_expression(item.expression)
+        if item.target_parameter:
+            text = f"@{item.target_parameter} = {text}"
+        elif item.alias:
+            text = f"{text} AS {item.alias}"
+        items.append(text)
+    parts.append(", ".join(items))
+    if select.from_clause is not None:
+        parts.append("FROM " + _format_table_ref(select.from_clause))
+    if select.where is not None:
+        parts.append("WHERE " + format_expression(select.where))
+    if select.group_by:
+        parts.append("GROUP BY " + ", ".join(format_expression(e) for e in select.group_by))
+    if select.having is not None:
+        parts.append("HAVING " + format_expression(select.having))
+    if select.order_by:
+        entries = []
+        for entry in select.order_by:
+            text = format_expression(entry.expression)
+            if entry.descending:
+                text += " DESC"
+            entries.append(text)
+        parts.append("ORDER BY " + ", ".join(entries))
+    if select.freshness is not None:
+        seconds = select.freshness.max_staleness_seconds
+        parts.append(f"WITH FRESHNESS {seconds:g} SECONDS")
+    return " ".join(parts)
+
+
+def _format_table_ref(ref: ast.TableRef) -> str:
+    if isinstance(ref, ast.TableName):
+        name = ".".join(ref.parts)
+        return f"{name} AS {ref.alias}" if ref.alias else name
+    if isinstance(ref, ast.DerivedTable):
+        return f"({_format_select(ref.select)}) AS {ref.alias}"
+    if isinstance(ref, ast.JoinRef):
+        left = _format_table_ref(ref.left)
+        right = _format_table_ref(ref.right)
+        if ref.kind == "CROSS":
+            return f"{left} CROSS JOIN {right}"
+        condition = format_expression(ref.condition) if ref.condition else "1 = 1"
+        keyword = "LEFT JOIN" if ref.kind == "LEFT" else "INNER JOIN"
+        return f"{left} {keyword} {right} ON {condition}"
+    raise ValueError(f"cannot format table ref of type {type(ref).__name__}")
+
+
+def _format_insert(statement: ast.Insert) -> str:
+    table = ".".join(statement.table.parts)
+    columns = f" ({', '.join(statement.columns)})" if statement.columns else ""
+    if statement.select is not None:
+        return f"INSERT INTO {table}{columns} {_format_select(statement.select)}"
+    rows = ", ".join(
+        "(" + ", ".join(format_expression(value) for value in row) + ")"
+        for row in statement.rows
+    )
+    return f"INSERT INTO {table}{columns} VALUES {rows}"
+
+
+def _format_update(statement: ast.Update) -> str:
+    table = ".".join(statement.table.parts)
+    assignments = ", ".join(
+        f"{name} = {format_expression(value)}" for name, value in statement.assignments
+    )
+    text = f"UPDATE {table} SET {assignments}"
+    if statement.where is not None:
+        text += f" WHERE {format_expression(statement.where)}"
+    return text
+
+
+def _format_delete(statement: ast.Delete) -> str:
+    table = ".".join(statement.table.parts)
+    text = f"DELETE FROM {table}"
+    if statement.where is not None:
+        text += f" WHERE {format_expression(statement.where)}"
+    return text
+
+
+def _format_execute(statement: ast.Execute) -> str:
+    name = ".".join(statement.procedure)
+    if not statement.arguments:
+        return f"EXEC {name}"
+    rendered = []
+    for arg_name, value in statement.arguments:
+        text = format_expression(value)
+        if arg_name:
+            text = f"@{arg_name} = {text}"
+        rendered.append(text)
+    return f"EXEC {name} {', '.join(rendered)}"

@@ -1,0 +1,234 @@
+"""Hand-written lexer for the T-SQL subset.
+
+Produces a flat list of :class:`Token`. Keywords are recognised
+case-insensitively but identifiers preserve their original spelling.
+``@name`` produces a PARAMETER token (T-SQL parameter/variable marker).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    PARAMETER = "parameter"  # @name
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    SEMICOLON = ";"
+    STAR = "*"
+    EOF = "eof"
+
+
+#: Reserved words recognised as keywords (uppercased).
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER ASC DESC TOP DISTINCT ALL
+    INSERT INTO VALUES UPDATE SET DELETE
+    CREATE TABLE INDEX VIEW MATERIALIZED CACHED UNIQUE CLUSTERED DROP
+    PROCEDURE PROC EXEC EXECUTE AS BEGIN END DECLARE RETURN IF ELSE WHILE
+    PRINT
+    JOIN INNER LEFT RIGHT FULL OUTER CROSS ON
+    AND OR NOT NULL IS IN EXISTS BETWEEN LIKE CASE WHEN THEN
+    UNION EXCEPT INTERSECT
+    PRIMARY KEY FOREIGN REFERENCES NOT DEFAULT CHECK CONSTRAINT
+    INT INTEGER BIGINT FLOAT REAL NUMERIC DECIMAL VARCHAR CHAR DATE DATETIME BIT
+    TRANSACTION TRAN COMMIT ROLLBACK
+    EXPLAIN
+    WITH FRESHNESS SECONDS MINUTES
+    GRANT REVOKE TO
+    COUNT SUM AVG MIN MAX
+    """.split()
+)
+
+_OPERATOR_START = "=<>!+-*/%"
+_TWO_CHAR_OPERATORS = {"<=", ">=", "<>", "!=", "=="}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with position information for error messages."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        """Return True if this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+class Lexer:
+    """Scans SQL text into tokens."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> List[Token]:
+        """Scan the whole input and return the token list (EOF-terminated)."""
+        result: List[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.type is TokenType.EOF:
+                return result
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.text):
+            return self.text[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", self.line, self.column)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        line, column = self.line, self.column
+        if self.pos >= len(self.text):
+            return Token(TokenType.EOF, "", line, column)
+        char = self._peek()
+
+        if char == "'":
+            return self._scan_string(line, column)
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._scan_number(line, column)
+        if char == "@":
+            return self._scan_parameter(line, column)
+        if char.isalpha() or char == "_" or char == "[":
+            return self._scan_identifier(line, column)
+
+        simple = {
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            ",": TokenType.COMMA,
+            ".": TokenType.DOT,
+            ";": TokenType.SEMICOLON,
+        }
+        if char in simple:
+            self._advance()
+            return Token(simple[char], char, line, column)
+        if char == "*":
+            self._advance()
+            return Token(TokenType.STAR, "*", line, column)
+        if char in _OPERATOR_START:
+            two = char + self._peek(1)
+            if two in _TWO_CHAR_OPERATORS:
+                self._advance(2)
+                return Token(TokenType.OPERATOR, "<>" if two == "!=" else two, line, column)
+            self._advance()
+            return Token(TokenType.OPERATOR, char, line, column)
+        raise LexError(f"unexpected character {char!r}", line, column)
+
+    def _scan_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chunks: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise LexError("unterminated string literal", line, column)
+            char = self._peek()
+            if char == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    chunks.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return Token(TokenType.STRING, "".join(chunks), line, column)
+            chunks.append(char)
+            self._advance()
+
+    def _scan_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        seen_dot = False
+        while self.pos < len(self.text):
+            char = self._peek()
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not seen_dot and self._peek(1).isdigit():
+                seen_dot = True
+                self._advance()
+            elif char in "eE" and self._peek(1).isdigit():
+                seen_dot = True  # treat exponent as float
+                self._advance(2)
+            else:
+                break
+        return Token(TokenType.NUMBER, self.text[start : self.pos], line, column)
+
+    def _scan_parameter(self, line: int, column: int) -> Token:
+        self._advance()  # @
+        start = self.pos
+        while self.pos < len(self.text) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        name = self.text[start : self.pos]
+        if not name:
+            raise LexError("'@' must be followed by a parameter name", line, column)
+        return Token(TokenType.PARAMETER, name, line, column)
+
+    def _scan_identifier(self, line: int, column: int) -> Token:
+        if self._peek() == "[":  # bracket-quoted identifier
+            self._advance()
+            start = self.pos
+            while self.pos < len(self.text) and self._peek() != "]":
+                self._advance()
+            if self.pos >= len(self.text):
+                raise LexError("unterminated [identifier]", line, column)
+            name = self.text[start : self.pos]
+            self._advance()
+            return Token(TokenType.IDENT, name, line, column)
+        start = self.pos
+        while self.pos < len(self.text) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        word = self.text[start : self.pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, line, column)
+        return Token(TokenType.IDENT, word, line, column)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text; convenience wrapper around :class:`Lexer`."""
+    return Lexer(text).tokens()

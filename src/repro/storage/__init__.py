@@ -1,0 +1,23 @@
+"""Storage layer: B+-trees, heap tables, secondary indexes, WAL, statistics."""
+
+from repro.storage.btree import BPlusTree, encode_key
+from repro.storage.table import Table, SecondaryIndex
+from repro.storage.wal import (
+    LogRecord,
+    LogRecordType,
+    WriteAheadLog,
+)
+from repro.storage.statistics import ColumnStatistics, Histogram, TableStatistics
+
+__all__ = [
+    "BPlusTree",
+    "encode_key",
+    "Table",
+    "SecondaryIndex",
+    "LogRecord",
+    "LogRecordType",
+    "WriteAheadLog",
+    "ColumnStatistics",
+    "Histogram",
+    "TableStatistics",
+]

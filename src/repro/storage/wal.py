@@ -1,0 +1,135 @@
+"""Write-ahead log used for transactions and replication log sniffing.
+
+SQL Server transactional replication collects changes by *log sniffing*: a
+log reader process scans committed transactions out of the database log.
+This module provides the log that makes that possible: every DML change is
+recorded with its transaction id; COMMIT records carry the commit timestamp
+so the distributor can propagate complete transactions in commit order.
+
+Records carry full row images (old and new) so subscribers can apply
+changes without re-evaluating predicates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class LogRecordType(enum.Enum):
+    BEGIN = "begin"
+    COMMIT = "commit"
+    ABORT = "abort"
+    INSERT = "insert"
+    DELETE = "delete"
+    UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log record. ``lsn`` is assigned by the log on append."""
+
+    lsn: int
+    record_type: LogRecordType
+    transaction_id: int
+    table: Optional[str] = None
+    old_row: Optional[Tuple] = None
+    new_row: Optional[Tuple] = None
+    timestamp: float = 0.0  # virtual commit time (COMMIT records)
+
+    def __repr__(self) -> str:
+        return (
+            f"LogRecord(lsn={self.lsn}, {self.record_type.value}, "
+            f"txn={self.transaction_id}, table={self.table})"
+        )
+
+
+class WriteAheadLog:
+    """An append-only log with LSN-addressed reads for log sniffing."""
+
+    def __init__(self):
+        self._records: List[LogRecord] = []
+        self._next_lsn = 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the most recent record (0 when empty)."""
+        return self._next_lsn - 1
+
+    def append(
+        self,
+        record_type: LogRecordType,
+        transaction_id: int,
+        table: Optional[str] = None,
+        old_row: Optional[Tuple] = None,
+        new_row: Optional[Tuple] = None,
+        timestamp: float = 0.0,
+    ) -> LogRecord:
+        """Append a record; returns it with its assigned LSN."""
+        record = LogRecord(
+            lsn=self._next_lsn,
+            record_type=record_type,
+            transaction_id=transaction_id,
+            table=table,
+            old_row=old_row,
+            new_row=new_row,
+            timestamp=timestamp,
+        )
+        self._records.append(record)
+        self._next_lsn += 1
+        return record
+
+    def read_from(self, after_lsn: int) -> List[LogRecord]:
+        """Return all records with ``lsn > after_lsn`` (the sniffing read)."""
+        if after_lsn >= self.last_lsn or not self._records:
+            return []
+        # Records are dense, so the slice offset is a direct computation
+        # even after truncation shifted the first LSN.
+        first_lsn = self._records[0].lsn
+        offset = max(0, after_lsn - first_lsn + 1)
+        return self._records[offset:]
+
+    def records(self) -> Iterator[LogRecord]:
+        """Iterate every record from the start of the log."""
+        return iter(self._records)
+
+    def truncate_through(self, lsn: int) -> int:
+        """Discard records with ``lsn <= lsn`` after they are distributed.
+
+        Returns the number of records discarded. A real system checkpoints;
+        here truncation only matters for bounding memory in long runs.
+        """
+        kept = [record for record in self._records if record.lsn > lsn]
+        discarded = len(self._records) - len(kept)
+        self._records = kept
+        return discarded
+
+    def committed_transactions(self, after_lsn: int) -> List[Tuple[LogRecord, List[LogRecord]]]:
+        """Group records after ``after_lsn`` into complete committed txns.
+
+        Returns ``[(commit_record, [change_records...]), ...]`` in commit
+        order. Transactions whose COMMIT has not been logged yet are not
+        returned (the log reader will pick them up on a later scan), which
+        gives replication its transactional-consistency guarantee.
+        """
+        pending: dict = {}
+        result: List[Tuple[LogRecord, List[LogRecord]]] = []
+        for record in self.read_from(after_lsn):
+            if record.record_type is LogRecordType.BEGIN:
+                pending[record.transaction_id] = []
+            elif record.record_type in (
+                LogRecordType.INSERT,
+                LogRecordType.DELETE,
+                LogRecordType.UPDATE,
+            ):
+                pending.setdefault(record.transaction_id, []).append(record)
+            elif record.record_type is LogRecordType.COMMIT:
+                changes = pending.pop(record.transaction_id, [])
+                result.append((record, changes))
+            elif record.record_type is LogRecordType.ABORT:
+                pending.pop(record.transaction_id, None)
+        return result

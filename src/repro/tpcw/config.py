@@ -1,0 +1,65 @@
+"""TPC-W scale configuration.
+
+The paper ran 10,000 items and 10,000 emulated browsers (28.8 M customers,
+77.8 M order lines). The reproduction defaults to laptop scale; every
+dimension derives from ``num_items`` and ``num_ebs`` using the benchmark's
+scaling rules (2880 customers per EB in the spec — scaled down here — and
+0.9 orders per customer), so experiments exercise the same relative table
+sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The benchmark's book subject categories.
+SUBJECTS = [
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+    "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+    "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+    "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+    "YOUTH", "TRAVEL",
+]
+
+#: Words sprinkled into titles so title search has hits.
+TITLE_WORDS = [
+    "SHADOW", "RIVER", "STONE", "NIGHT", "GARDEN", "WINTER", "CROWN",
+    "SILENT", "GOLDEN", "LOST", "SECRET", "STORM", "BRIGHT", "HOLLOW",
+]
+
+
+@dataclass
+class TPCWConfig:
+    """Scale knobs for the reproduction."""
+
+    num_items: int = 100
+    num_ebs: int = 20  # emulated browsers at full benchmark scale
+    seed: int = 42
+    think_time: float = 1.0  # paper: fixed one-second user wait time
+    bestseller_window: int = 100  # paper: last 3333 orders, scaled down
+    search_result_limit: int = 20  # paper: TOP 50, scaled down
+
+    # Derived sizes (scaled analogues of the spec's ratios).
+    @property
+    def num_customers(self) -> int:
+        return max(20, self.num_ebs * 15)
+
+    @property
+    def num_addresses(self) -> int:
+        return self.num_customers * 2
+
+    @property
+    def num_orders(self) -> int:
+        return max(10, int(self.num_customers * 0.9))
+
+    @property
+    def num_authors(self) -> int:
+        return max(5, self.num_items // 4)
+
+    @property
+    def num_countries(self) -> int:
+        return 10
+
+    @property
+    def order_lines_per_order(self) -> int:
+        return 3

@@ -1,0 +1,170 @@
+"""TPC-W data generation (deterministic, scaled).
+
+Bulk-loads all tables directly into storage (no WAL traffic — population
+happens before any cache subscribes) and refreshes statistics afterwards,
+which is what the shadow databases later adopt.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import List
+
+from repro.tpcw.config import SUBJECTS, TITLE_WORDS, TPCWConfig
+
+_BASE_DATE = datetime.datetime(2003, 1, 1)
+
+
+def populate(server, database: str, config: TPCWConfig) -> None:
+    """Fill a freshly created TPC-W schema with generated data."""
+    rng = random.Random(config.seed)
+    db = server.database(database)
+
+    db.bulk_load(
+        "country",
+        [
+            (co_id, f"Country{co_id}", "USD", 1.0 + co_id / 10.0)
+            for co_id in range(1, config.num_countries + 1)
+        ],
+    )
+
+    db.bulk_load(
+        "author",
+        [
+            (
+                a_id,
+                f"First{a_id}",
+                f"Last{a_id % max(1, config.num_authors // 2)}",
+                None,
+                f"Bio of author {a_id}",
+            )
+            for a_id in range(1, config.num_authors + 1)
+        ],
+    )
+
+    db.bulk_load(
+        "address",
+        [
+            (
+                addr_id,
+                f"{addr_id} Main St",
+                None,
+                f"City{addr_id % 50}",
+                f"ST{addr_id % 20}",
+                f"{10000 + addr_id}",
+                rng.randint(1, config.num_countries),
+            )
+            for addr_id in range(1, config.num_addresses + 1)
+        ],
+    )
+
+    customers: List[tuple] = []
+    for c_id in range(1, config.num_customers + 1):
+        since = _BASE_DATE - datetime.timedelta(days=rng.randint(1, 700))
+        customers.append(
+            (
+                c_id,
+                f"user{c_id}",
+                f"pw{c_id}",
+                f"Fn{c_id}",
+                f"Ln{c_id % 97}",
+                rng.randint(1, config.num_addresses),
+                f"555-{1000 + c_id}",
+                f"user{c_id}@example.com",
+                since,
+                since + datetime.timedelta(days=1),
+                _BASE_DATE,
+                _BASE_DATE + datetime.timedelta(hours=2),
+                round(rng.uniform(0.0, 0.5), 2),
+                round(rng.uniform(-100.0, 100.0), 2),
+                round(rng.uniform(0.0, 10000.0), 2),
+            )
+        )
+    db.bulk_load("customer", customers)
+
+    items: List[tuple] = []
+    for i_id in range(1, config.num_items + 1):
+        word = TITLE_WORDS[rng.randrange(len(TITLE_WORDS))]
+        related = [
+            (i_id % config.num_items) + 1,
+            ((i_id + 7) % config.num_items) + 1,
+            ((i_id + 13) % config.num_items) + 1,
+            ((i_id + 21) % config.num_items) + 1,
+            ((i_id + 34) % config.num_items) + 1,
+        ]
+        srp = round(rng.uniform(5.0, 120.0), 2)
+        items.append(
+            (
+                i_id,
+                f"The {word} Book {i_id}",
+                rng.randint(1, config.num_authors),
+                _BASE_DATE - datetime.timedelta(days=rng.randint(0, 1500)),
+                f"Publisher{i_id % 10}",
+                SUBJECTS[i_id % len(SUBJECTS)],
+                f"Description of item {i_id}",
+                *related,
+                f"img/thumb{i_id}.gif",
+                f"img/image{i_id}.gif",
+                srp,
+                round(srp * rng.uniform(0.5, 0.9), 2),
+                _BASE_DATE + datetime.timedelta(days=rng.randint(0, 7)),
+                rng.randint(10, 30),
+                f"{1000000000000 + i_id}",
+                rng.randint(20, 9999),
+                "HARDBACK" if i_id % 2 else "PAPERBACK",
+                "8.5 x 11.0 x 1.5",
+            )
+        )
+    db.bulk_load("item", items)
+
+    orders: List[tuple] = []
+    order_lines: List[tuple] = []
+    cc_xacts: List[tuple] = []
+    for o_id in range(1, config.num_orders + 1):
+        c_id = rng.randint(1, config.num_customers)
+        o_date = _BASE_DATE + datetime.timedelta(minutes=o_id)
+        sub_total = 0.0
+        lines = rng.randint(1, config.order_lines_per_order)
+        for ol_id in range(1, lines + 1):
+            i_id = rng.randint(1, config.num_items)
+            qty = rng.randint(1, 5)
+            sub_total += qty * 20.0
+            order_lines.append(
+                (ol_id, o_id, i_id, qty, round(rng.uniform(0.0, 0.3), 2), None)
+            )
+        tax = round(sub_total * 0.0825, 2)
+        total = round(sub_total + tax + 3.0 + lines, 2)
+        orders.append(
+            (
+                o_id,
+                c_id,
+                o_date,
+                round(sub_total, 2),
+                tax,
+                total,
+                rng.choice(["AIR", "UPS", "MAIL"]),
+                o_date + datetime.timedelta(days=rng.randint(1, 7)),
+                rng.randint(1, config.num_addresses),
+                rng.randint(1, config.num_addresses),
+                rng.choice(["PENDING", "PROCESSING", "SHIPPED"]),
+            )
+        )
+        cc_xacts.append(
+            (
+                o_id,
+                rng.choice(["VISA", "AMEX", "DISCOVER"]),
+                f"{4000000000000000 + o_id}",
+                f"Fn{c_id} Ln{c_id % 97}",
+                _BASE_DATE + datetime.timedelta(days=400),
+                f"AUTH{o_id}",
+                total,
+                o_date,
+                rng.randint(1, config.num_countries),
+            )
+        )
+    db.bulk_load("orders", orders)
+    db.bulk_load("order_line", order_lines)
+    db.bulk_load("cc_xacts", cc_xacts)
+
+    db.analyze_all()

@@ -1,0 +1,100 @@
+"""The TPC-W load driver: emulated browsers in virtual time.
+
+Plays the role of the benchmark's remote browser emulators (§6.1): a set
+of user sessions, each cycling through think time (fixed at one second in
+the paper) and a next interaction drawn from the workload mix. Time is
+virtual — the driver advances the deployment clock and ticks replication
+— so runs are deterministic and fast.
+
+This is the functional traffic generator used by tests and examples; the
+*performance* experiments use :mod:`repro.simulation`, which adds CPU
+queueing on simulated machines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.tpcw.application import TPCWApplication
+from repro.tpcw.workload import MIXES, WorkloadMix
+
+
+@dataclass
+class DriverStats:
+    """What a driver run observed."""
+
+    interactions: int = 0
+    db_calls: int = 0
+    errors: int = 0
+    virtual_seconds: float = 0.0
+    by_interaction: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def wips(self) -> float:
+        """Interactions per virtual second (think-time bound, since the
+        functional engine executes in zero virtual time)."""
+        if self.virtual_seconds <= 0:
+            return 0.0
+        return self.interactions / self.virtual_seconds
+
+
+class LoadDriver:
+    """Drives TPC-W traffic against a connection in virtual time."""
+
+    def __init__(
+        self,
+        application: TPCWApplication,
+        mix: WorkloadMix,
+        users: int = 10,
+        think_time: float = 1.0,
+        deployment=None,
+        seed: int = 17,
+    ):
+        self.application = application
+        self.mix = mix
+        self.users = users
+        self.think_time = think_time
+        self.deployment = deployment
+        self.rng = random.Random(seed)
+
+    def run(self, duration: float) -> DriverStats:
+        """Run for ``duration`` virtual seconds; returns statistics."""
+        stats = DriverStats()
+        sessions = [self.application.new_session() for _ in range(self.users)]
+        # (next_fire_time, user_index) — staggered starts over one think time.
+        events = [
+            (self.rng.uniform(0, self.think_time), user)
+            for user in range(self.users)
+        ]
+        heapq.heapify(events)
+        clock = self.deployment.clock if self.deployment is not None else None
+        start = clock.now() if clock is not None else 0.0
+        now = 0.0
+        calls_before = self.application.db_calls
+
+        while events:
+            now, user = heapq.heappop(events)
+            if now > duration:
+                break
+            if clock is not None:
+                clock.advance_to(start + now)
+                self.deployment.tick()
+            interaction = self.mix.sample(self.rng)
+            try:
+                self.application.run(interaction, sessions[user])
+                stats.interactions += 1
+                stats.by_interaction[interaction] = (
+                    stats.by_interaction.get(interaction, 0) + 1
+                )
+            except Exception:
+                stats.errors += 1
+            heapq.heappush(events, (now + self.think_time, user))
+
+        stats.virtual_seconds = min(now, duration)
+        stats.db_calls = self.application.db_calls - calls_before
+        if self.deployment is not None:
+            self.deployment.sync()
+        return stats

@@ -1,0 +1,411 @@
+"""The TPC-W stored procedures.
+
+All database requests in the paper's benchmark implementation are stored
+procedures. The search/browse procedures (bestseller, title/author/subject
+search, new products, book detail) are the ones the paper copied to the
+cache servers — they account for the bulk of the Browse-class load — while
+the five update-dominated procedures stayed backend-only.
+
+Procedure bodies are parameterized by scale (the bestseller window is the
+spec's "last 3333 orders", scaled).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tpcw.config import TPCWConfig
+
+
+def procedure_definitions(config: TPCWConfig) -> Dict[str, str]:
+    """Return ``name -> CREATE PROCEDURE`` SQL for every procedure."""
+    top = config.search_result_limit
+    window = config.bestseller_window
+    return {
+        # ---- browse class ------------------------------------------------
+        "getName": f"""
+            CREATE PROCEDURE getName @c_id INT AS
+            BEGIN
+                SELECT c_fname, c_lname FROM customer WHERE c_id = @c_id
+            END
+        """,
+        "getBook": """
+            CREATE PROCEDURE getBook @i_id INT AS
+            BEGIN
+                SELECT i.i_id, i.i_title, i.i_pub_date, i.i_publisher, i.i_subject,
+                       i.i_desc, i.i_srp, i.i_cost, i.i_avail, i.i_stock,
+                       i.i_isbn, i.i_page, i.i_backing, i.i_dimensions,
+                       a.a_fname, a.a_lname
+                FROM item i JOIN author a ON i.i_a_id = a.a_id
+                WHERE i.i_id = @i_id
+            END
+        """,
+        "getCustomer": """
+            CREATE PROCEDURE getCustomer @uname VARCHAR(20) AS
+            BEGIN
+                SELECT c.c_id, c.c_uname, c.c_passwd, c.c_fname, c.c_lname,
+                       c.c_phone, c.c_email, c.c_discount, c.c_balance,
+                       a.addr_street1, a.addr_city, a.addr_state, a.addr_zip,
+                       co.co_name
+                FROM customer c
+                JOIN address a ON c.c_addr_id = a.addr_id
+                JOIN country co ON a.addr_co_id = co.co_id
+                WHERE c.c_uname = @uname
+            END
+        """,
+        "doSubjectSearch": f"""
+            CREATE PROCEDURE doSubjectSearch @subject VARCHAR(20) AS
+            BEGIN
+                SELECT TOP {top} i.i_id, i.i_title, a.a_fname, a.a_lname, i.i_srp
+                FROM item i JOIN author a ON i.i_a_id = a.a_id
+                WHERE i.i_subject = @subject
+                ORDER BY i.i_title
+            END
+        """,
+        "doTitleSearch": f"""
+            CREATE PROCEDURE doTitleSearch @title VARCHAR(60) AS
+            BEGIN
+                SELECT TOP {top} i.i_id, i.i_title, a.a_fname, a.a_lname, i.i_srp
+                FROM item i JOIN author a ON i.i_a_id = a.a_id
+                WHERE i.i_title LIKE @title
+                ORDER BY i.i_title
+            END
+        """,
+        "doAuthorSearch": f"""
+            CREATE PROCEDURE doAuthorSearch @lname VARCHAR(20) AS
+            BEGIN
+                SELECT TOP {top} i.i_id, i.i_title, a.a_fname, a.a_lname, i.i_srp
+                FROM item i JOIN author a ON i.i_a_id = a.a_id
+                WHERE a.a_lname LIKE @lname
+                ORDER BY i.i_title
+            END
+        """,
+        "getNewProducts": f"""
+            CREATE PROCEDURE getNewProducts @subject VARCHAR(20) AS
+            BEGIN
+                SELECT TOP {top} i.i_id, i.i_title, a.a_fname, a.a_lname
+                FROM item i JOIN author a ON i.i_a_id = a.a_id
+                WHERE i.i_subject = @subject
+                ORDER BY i.i_pub_date DESC, i.i_title
+            END
+        """,
+        "getBestSellers": f"""
+            CREATE PROCEDURE getBestSellers @subject VARCHAR(20) AS
+            BEGIN
+                SELECT TOP {top} i.i_id, i.i_title, a.a_fname, a.a_lname,
+                       SUM(ol.ol_qty) AS orders_sum
+                FROM item i, author a, order_line ol
+                WHERE i.i_id = ol.ol_i_id AND i.i_a_id = a.a_id
+                  AND i.i_subject = @subject
+                  AND ol.ol_o_id IN (SELECT TOP {window} o_id FROM orders
+                                     ORDER BY o_date DESC)
+                GROUP BY i.i_id, i.i_title, a.a_fname, a.a_lname
+                ORDER BY orders_sum DESC
+            END
+        """,
+        "getRelated": """
+            CREATE PROCEDURE getRelated @i_id INT AS
+            BEGIN
+                SELECT j.i_id, j.i_thumbnail
+                FROM item i JOIN item j ON j.i_id = i.i_related1
+                WHERE i.i_id = @i_id
+            END
+        """,
+        "getUserName": """
+            CREATE PROCEDURE getUserName @c_id INT AS
+            BEGIN
+                SELECT c_uname FROM customer WHERE c_id = @c_id
+            END
+        """,
+        "getPassword": """
+            CREATE PROCEDURE getPassword @uname VARCHAR(20) AS
+            BEGIN
+                SELECT c_passwd FROM customer WHERE c_uname = @uname
+            END
+        """,
+        # ---- order class ----------------------------------------------------
+        "getMostRecentOrderId": """
+            CREATE PROCEDURE getMostRecentOrderId @uname VARCHAR(20) AS
+            BEGIN
+                SELECT TOP 1 o.o_id
+                FROM customer c JOIN orders o ON o.o_c_id = c.c_id
+                WHERE c.c_uname = @uname
+                ORDER BY o.o_date DESC, o.o_id DESC
+            END
+        """,
+        "getMostRecentOrderInfo": """
+            CREATE PROCEDURE getMostRecentOrderInfo @o_id INT AS
+            BEGIN
+                SELECT o.o_id, o.o_c_id, o.o_date, o.o_sub_total, o.o_tax,
+                       o.o_total, o.o_ship_type, o.o_ship_date, o.o_status,
+                       c.c_fname, c.c_lname, c.c_phone, c.c_email,
+                       cx.cx_type,
+                       a.addr_street1, a.addr_city, a.addr_state, a.addr_zip,
+                       co.co_name
+                FROM orders o
+                JOIN customer c ON o.o_c_id = c.c_id
+                JOIN cc_xacts cx ON cx.cx_o_id = o.o_id
+                JOIN address a ON o.o_bill_addr_id = a.addr_id
+                JOIN country co ON a.addr_co_id = co.co_id
+                WHERE o.o_id = @o_id
+            END
+        """,
+        "getMostRecentOrderLines": """
+            CREATE PROCEDURE getMostRecentOrderLines @o_id INT AS
+            BEGIN
+                SELECT ol.ol_i_id, i.i_title, i.i_publisher, i.i_cost,
+                       ol.ol_qty, ol.ol_discount, ol.ol_comments
+                FROM order_line ol JOIN item i ON ol.ol_i_id = i.i_id
+                WHERE ol.ol_o_id = @o_id
+            END
+        """,
+        "createEmptyCart": """
+            CREATE PROCEDURE createEmptyCart @now DATETIME AS
+            BEGIN
+                DECLARE @next INT
+                SELECT @next = MAX(sc_id) FROM shopping_cart
+                IF @next IS NULL
+                    SET @next = 0
+                SET @next = @next + 1
+                INSERT INTO shopping_cart (sc_id, sc_time, sc_total)
+                    VALUES (@next, @now, 0.0)
+                SELECT @next AS sc_id
+            END
+        """,
+        "addItem": """
+            CREATE PROCEDURE addItem @sc_id INT, @i_id INT, @qty INT AS
+            BEGIN
+                DECLARE @current INT
+                SELECT @current = scl_qty FROM shopping_cart_line
+                    WHERE scl_sc_id = @sc_id AND scl_i_id = @i_id
+                IF @current IS NULL
+                    INSERT INTO shopping_cart_line (scl_sc_id, scl_i_id, scl_qty)
+                        VALUES (@sc_id, @i_id, @qty)
+                ELSE
+                    UPDATE shopping_cart_line SET scl_qty = @current + @qty
+                        WHERE scl_sc_id = @sc_id AND scl_i_id = @i_id
+            END
+        """,
+        "refreshCartTime": """
+            CREATE PROCEDURE refreshCartTime @sc_id INT, @now DATETIME AS
+            BEGIN
+                UPDATE shopping_cart SET sc_time = @now WHERE sc_id = @sc_id
+            END
+        """,
+        "getCart": """
+            CREATE PROCEDURE getCart @sc_id INT AS
+            BEGIN
+                SELECT scl.scl_i_id, i.i_title, i.i_cost, i.i_srp, i.i_backing,
+                       scl.scl_qty
+                FROM shopping_cart_line scl JOIN item i ON scl.scl_i_id = i.i_id
+                WHERE scl.scl_sc_id = @sc_id
+            END
+        """,
+        "getCDiscount": """
+            CREATE PROCEDURE getCDiscount @c_id INT AS
+            BEGIN
+                SELECT c_discount FROM customer WHERE c_id = @c_id
+            END
+        """,
+        "getCAddr": """
+            CREATE PROCEDURE getCAddr @c_id INT AS
+            BEGIN
+                SELECT c_addr_id FROM customer WHERE c_id = @c_id
+            END
+        """,
+        "enterAddress": """
+            CREATE PROCEDURE enterAddress @street1 VARCHAR(40), @city VARCHAR(30),
+                                          @state VARCHAR(20), @zip VARCHAR(10),
+                                          @co_id INT AS
+            BEGIN
+                DECLARE @addr INT
+                SELECT @addr = addr_id FROM address
+                    WHERE addr_street1 = @street1 AND addr_city = @city
+                      AND addr_state = @state AND addr_zip = @zip
+                      AND addr_co_id = @co_id
+                IF @addr IS NULL
+                BEGIN
+                    SELECT @addr = MAX(addr_id) FROM address
+                    IF @addr IS NULL
+                        SET @addr = 0
+                    SET @addr = @addr + 1
+                    INSERT INTO address (addr_id, addr_street1, addr_street2,
+                                         addr_city, addr_state, addr_zip, addr_co_id)
+                        VALUES (@addr, @street1, NULL, @city, @state, @zip, @co_id)
+                END
+                SELECT @addr AS addr_id
+            END
+        """,
+        "enterOrder": """
+            CREATE PROCEDURE enterOrder @c_id INT, @sc_id INT, @ship_type VARCHAR(10),
+                                        @bill_addr INT, @ship_addr INT,
+                                        @now DATETIME AS
+            BEGIN
+                DECLARE @o_id INT
+                DECLARE @sub FLOAT
+                DECLARE @discount FLOAT
+                SELECT @o_id = MAX(o_id) FROM orders
+                IF @o_id IS NULL
+                    SET @o_id = 0
+                SET @o_id = @o_id + 1
+                SELECT @discount = c_discount FROM customer WHERE c_id = @c_id
+                SELECT @sub = SUM(i.i_cost * scl.scl_qty)
+                FROM shopping_cart_line scl JOIN item i ON scl.scl_i_id = i.i_id
+                WHERE scl.scl_sc_id = @sc_id
+                IF @sub IS NULL
+                    SET @sub = 0.0
+                SET @sub = @sub * (1.0 - @discount)
+                INSERT INTO orders (o_id, o_c_id, o_date, o_sub_total, o_tax,
+                                    o_total, o_ship_type, o_ship_date,
+                                    o_bill_addr_id, o_ship_addr_id, o_status)
+                    VALUES (@o_id, @c_id, @now, @sub, @sub * 0.0825,
+                            @sub * 1.0825 + 3.0, @ship_type, @now,
+                            @bill_addr, @ship_addr, 'PENDING')
+                SELECT @o_id AS o_id
+            END
+        """,
+        "addOrderLine": """
+            CREATE PROCEDURE addOrderLine @ol_id INT, @o_id INT, @i_id INT,
+                                          @qty INT, @discount FLOAT AS
+            BEGIN
+                INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty,
+                                        ol_discount, ol_comments)
+                    VALUES (@ol_id, @o_id, @i_id, @qty, @discount, NULL)
+                UPDATE item SET i_stock = i_stock - @qty WHERE i_id = @i_id
+            END
+        """,
+        "enterCCXact": """
+            CREATE PROCEDURE enterCCXact @o_id INT, @cx_type VARCHAR(10),
+                                         @cx_num VARCHAR(20), @cx_name VARCHAR(30),
+                                         @amount FLOAT, @co_id INT,
+                                         @now DATETIME AS
+            BEGIN
+                INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name,
+                                      cx_expire, cx_auth_id, cx_xact_amt,
+                                      cx_xact_date, cx_co_id)
+                    VALUES (@o_id, @cx_type, @cx_num, @cx_name, @now,
+                            'AUTHOK', @amount, @now, @co_id)
+            END
+        """,
+        "clearCart": """
+            CREATE PROCEDURE clearCart @sc_id INT AS
+            BEGIN
+                DELETE FROM shopping_cart_line WHERE scl_sc_id = @sc_id
+                UPDATE shopping_cart SET sc_total = 0.0 WHERE sc_id = @sc_id
+            END
+        """,
+        "refreshSession": """
+            CREATE PROCEDURE refreshSession @c_id INT, @now DATETIME AS
+            BEGIN
+                UPDATE customer SET c_login = @now, c_last_login = @now
+                    WHERE c_id = @c_id
+            END
+        """,
+        "createNewCustomer": """
+            CREATE PROCEDURE createNewCustomer @uname VARCHAR(20), @passwd VARCHAR(20),
+                                               @fname VARCHAR(17), @lname VARCHAR(17),
+                                               @addr_id INT, @now DATETIME AS
+            BEGIN
+                DECLARE @c_id INT
+                SELECT @c_id = MAX(c_id) FROM customer
+                IF @c_id IS NULL
+                    SET @c_id = 0
+                SET @c_id = @c_id + 1
+                INSERT INTO customer (c_id, c_uname, c_passwd, c_fname, c_lname,
+                                      c_addr_id, c_phone, c_email, c_since,
+                                      c_last_login, c_login, c_expiration,
+                                      c_discount, c_balance, c_ytd_pmt)
+                    VALUES (@c_id, @uname, @passwd, @fname, @lname, @addr_id,
+                            '555-0000', 'new@example.com', @now, @now, @now,
+                            @now, 0.1, 0.0, 0.0)
+                SELECT @c_id AS c_id
+            END
+        """,
+        # ---- admin class -----------------------------------------------------
+        "adminUpdate": """
+            CREATE PROCEDURE adminUpdate @i_id INT, @cost FLOAT,
+                                         @image VARCHAR(40), @thumbnail VARCHAR(40),
+                                         @now DATETIME AS
+            BEGIN
+                UPDATE item SET i_cost = @cost, i_image = @image,
+                                i_thumbnail = @thumbnail, i_pub_date = @now
+                    WHERE i_id = @i_id
+            END
+        """,
+        "updateRelatedItems": f"""
+            CREATE PROCEDURE updateRelatedItems @i_id INT AS
+            BEGIN
+                -- TPC-W's admin-confirm recomputation: the items most
+                -- often co-purchased with @i_id become its related items.
+                SELECT TOP 5 ol2.ol_i_id AS related, SUM(ol2.ol_qty) AS qty
+                FROM order_line ol1 JOIN order_line ol2
+                    ON ol1.ol_o_id = ol2.ol_o_id
+                WHERE ol1.ol_i_id = @i_id AND ol2.ol_i_id <> @i_id
+                GROUP BY ol2.ol_i_id
+                ORDER BY qty DESC, ol2.ol_i_id
+            END
+        """,
+        "getStock": """
+            CREATE PROCEDURE getStock @i_id INT AS
+            BEGIN
+                SELECT i_stock FROM item WHERE i_id = @i_id
+            END
+        """,
+        "verifyDBConsistency": """
+            CREATE PROCEDURE verifyDBConsistency AS
+            BEGIN
+                SELECT COUNT(*) AS items FROM item
+                SELECT COUNT(*) AS customers FROM customer
+                SELECT COUNT(*) AS orders FROM orders
+            END
+        """,
+    }
+
+
+#: Procedures the paper copied to the cache servers (24 of 29; here the
+#: read-dominated set). These can run entirely on cached views of item,
+#: author, orders and order_line, plus backend fetches for the rest.
+CACHE_PROCEDURES: List[str] = [
+    "getName",
+    "getBook",
+    "getCustomer",
+    "doSubjectSearch",
+    "doTitleSearch",
+    "doAuthorSearch",
+    "getNewProducts",
+    "getBestSellers",
+    "getRelated",
+    "getUserName",
+    "getPassword",
+    "getMostRecentOrderId",
+    "getMostRecentOrderInfo",
+    "getMostRecentOrderLines",
+    "getCart",
+    "getCDiscount",
+    "getCAddr",
+    "getStock",
+    "verifyDBConsistency",
+]
+
+#: The update-dominated procedures the paper did NOT copy to the mid tier:
+#: they "would not have benefited significantly from running on the middle
+#: tier" (§6.1.2). Calls forward transparently to the backend.
+UPDATE_DOMINATED_PROCEDURES: List[str] = [
+    "createEmptyCart",
+    "addItem",
+    "refreshCartTime",
+    "enterAddress",
+    "enterOrder",
+    "addOrderLine",
+    "enterCCXact",
+    "clearCart",
+    "refreshSession",
+    "createNewCustomer",
+    "adminUpdate",
+]
+
+
+def install_procedures(server, database: str, config: TPCWConfig) -> None:
+    """Create every procedure on a server (normally the backend)."""
+    for sql in procedure_definitions(config).values():
+        server.execute(sql, database=database)

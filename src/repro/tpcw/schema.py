@@ -1,0 +1,142 @@
+"""The TPC-W schema: eight benchmark tables plus shopping carts.
+
+Matches the benchmark's logical design (trimmed to the columns the
+fourteen interactions actually touch). Shopping carts are stored in the
+database, as the paper notes is typical (session state must persist).
+Indexes mirror a sensible production setup; the paper kept cache-server
+indexes identical to the backend's.
+"""
+
+from __future__ import annotations
+
+SCHEMA_SQL = """
+CREATE TABLE country (
+    co_id INT PRIMARY KEY,
+    co_name VARCHAR(50) NOT NULL,
+    co_currency VARCHAR(18),
+    co_exchange FLOAT
+);
+
+CREATE TABLE author (
+    a_id INT PRIMARY KEY,
+    a_fname VARCHAR(20) NOT NULL,
+    a_lname VARCHAR(20) NOT NULL,
+    a_mname VARCHAR(20),
+    a_bio VARCHAR(100)
+);
+
+CREATE TABLE address (
+    addr_id INT PRIMARY KEY,
+    addr_street1 VARCHAR(40),
+    addr_street2 VARCHAR(40),
+    addr_city VARCHAR(30),
+    addr_state VARCHAR(20),
+    addr_zip VARCHAR(10),
+    addr_co_id INT NOT NULL
+);
+
+CREATE TABLE customer (
+    c_id INT PRIMARY KEY,
+    c_uname VARCHAR(20) NOT NULL,
+    c_passwd VARCHAR(20) NOT NULL,
+    c_fname VARCHAR(17) NOT NULL,
+    c_lname VARCHAR(17) NOT NULL,
+    c_addr_id INT NOT NULL,
+    c_phone VARCHAR(18),
+    c_email VARCHAR(50),
+    c_since DATETIME,
+    c_last_login DATETIME,
+    c_login DATETIME,
+    c_expiration DATETIME,
+    c_discount FLOAT,
+    c_balance FLOAT,
+    c_ytd_pmt FLOAT
+);
+
+CREATE TABLE item (
+    i_id INT PRIMARY KEY,
+    i_title VARCHAR(60) NOT NULL,
+    i_a_id INT NOT NULL,
+    i_pub_date DATETIME,
+    i_publisher VARCHAR(60),
+    i_subject VARCHAR(20),
+    i_desc VARCHAR(100),
+    i_related1 INT,
+    i_related2 INT,
+    i_related3 INT,
+    i_related4 INT,
+    i_related5 INT,
+    i_thumbnail VARCHAR(40),
+    i_image VARCHAR(40),
+    i_srp FLOAT,
+    i_cost FLOAT,
+    i_avail DATETIME,
+    i_stock INT,
+    i_isbn VARCHAR(13),
+    i_page INT,
+    i_backing VARCHAR(15),
+    i_dimensions VARCHAR(25)
+);
+
+CREATE TABLE orders (
+    o_id INT PRIMARY KEY,
+    o_c_id INT NOT NULL,
+    o_date DATETIME NOT NULL,
+    o_sub_total FLOAT,
+    o_tax FLOAT,
+    o_total FLOAT,
+    o_ship_type VARCHAR(10),
+    o_ship_date DATETIME,
+    o_bill_addr_id INT,
+    o_ship_addr_id INT,
+    o_status VARCHAR(15)
+);
+
+CREATE TABLE order_line (
+    ol_id INT NOT NULL,
+    ol_o_id INT NOT NULL,
+    ol_i_id INT NOT NULL,
+    ol_qty INT,
+    ol_discount FLOAT,
+    ol_comments VARCHAR(100),
+    PRIMARY KEY (ol_o_id, ol_id)
+);
+
+CREATE TABLE cc_xacts (
+    cx_o_id INT PRIMARY KEY,
+    cx_type VARCHAR(10),
+    cx_num VARCHAR(20),
+    cx_name VARCHAR(30),
+    cx_expire DATETIME,
+    cx_auth_id VARCHAR(15),
+    cx_xact_amt FLOAT,
+    cx_xact_date DATETIME,
+    cx_co_id INT
+);
+
+CREATE TABLE shopping_cart (
+    sc_id INT PRIMARY KEY,
+    sc_time DATETIME,
+    sc_total FLOAT
+);
+
+CREATE TABLE shopping_cart_line (
+    scl_sc_id INT NOT NULL,
+    scl_i_id INT NOT NULL,
+    scl_qty INT,
+    PRIMARY KEY (scl_sc_id, scl_i_id)
+);
+
+CREATE INDEX ix_customer_uname ON customer (c_uname);
+CREATE INDEX ix_item_subject ON item (i_subject);
+CREATE INDEX ix_item_author ON item (i_a_id);
+CREATE INDEX ix_orders_customer ON orders (o_c_id);
+CREATE INDEX ix_orders_date ON orders (o_date);
+CREATE INDEX ix_order_line_item ON order_line (ol_i_id);
+CREATE INDEX ix_address_country ON address (addr_co_id);
+"""
+
+
+def create_schema(server, database: str) -> None:
+    """Run the schema script on a server."""
+    server.execute(SCHEMA_SQL, database=database)

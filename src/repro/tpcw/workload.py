@@ -1,0 +1,146 @@
+"""The fourteen web interactions and the three benchmark mixes.
+
+The paper divides the interactions into two activity classes and gives
+the class frequencies per mix (§6.1.1):
+
+=========  ======  =====
+Workload   Browse  Order
+=========  ======  =====
+Browsing     95 %    5 %
+Shopping     80 %   20 %
+Ordering     50 %   50 %
+=========  ======  =====
+
+The per-interaction probabilities below follow the TPC-W specification's
+mix tables (WIPSb / WIPS / WIPSo), which realize exactly those splits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Browse-class interactions (read-dominated).
+BROWSE_INTERACTIONS = [
+    "home",
+    "new_products",
+    "best_sellers",
+    "product_detail",
+    "search_request",
+    "search_results",
+]
+
+#: Order-class interactions (update-dominated).
+ORDER_INTERACTIONS = [
+    "shopping_cart",
+    "customer_registration",
+    "buy_request",
+    "buy_confirm",
+    "order_inquiry",
+    "order_display",
+    "admin_request",
+    "admin_confirm",
+]
+
+INTERACTIONS = BROWSE_INTERACTIONS + ORDER_INTERACTIONS
+
+
+@dataclass
+class WorkloadMix:
+    """A named interaction mix."""
+
+    name: str
+    weights: Dict[str, float]
+
+    def __post_init__(self):
+        total = sum(self.weights.values())
+        self.weights = {key: value / total for key, value in self.weights.items()}
+        self._names = list(self.weights)
+        self._cumulative: List[float] = []
+        running = 0.0
+        for name in self._names:
+            running += self.weights[name]
+            self._cumulative.append(running)
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one interaction according to the mix."""
+        point = rng.random()
+        for name, bound in zip(self._names, self._cumulative):
+            if point <= bound:
+                return name
+        return self._names[-1]
+
+    def browse_fraction(self) -> float:
+        return sum(self.weights[name] for name in BROWSE_INTERACTIONS)
+
+    def order_fraction(self) -> float:
+        return sum(self.weights[name] for name in ORDER_INTERACTIONS)
+
+
+#: TPC-W specification mix tables (percent).
+MIXES: Dict[str, WorkloadMix] = {
+    "Browsing": WorkloadMix(
+        "Browsing",
+        {
+            "home": 29.00,
+            "new_products": 11.00,
+            "best_sellers": 11.00,
+            "product_detail": 21.00,
+            "search_request": 12.00,
+            "search_results": 11.00,
+            "shopping_cart": 2.00,
+            "customer_registration": 0.82,
+            "buy_request": 0.75,
+            "buy_confirm": 0.69,
+            "order_inquiry": 0.30,
+            "order_display": 0.25,
+            "admin_request": 0.10,
+            "admin_confirm": 0.09,
+        },
+    ),
+    "Shopping": WorkloadMix(
+        "Shopping",
+        {
+            "home": 16.00,
+            "new_products": 5.00,
+            "best_sellers": 5.00,
+            "product_detail": 17.00,
+            "search_request": 20.00,
+            "search_results": 17.00,
+            "shopping_cart": 11.60,
+            "customer_registration": 3.00,
+            "buy_request": 2.60,
+            "buy_confirm": 1.20,
+            "order_inquiry": 0.75,
+            "order_display": 0.66,
+            "admin_request": 0.10,
+            "admin_confirm": 0.09,
+        },
+    ),
+    "Ordering": WorkloadMix(
+        "Ordering",
+        {
+            "home": 9.12,
+            "new_products": 0.46,
+            "best_sellers": 0.46,
+            "product_detail": 12.35,
+            "search_request": 14.53,
+            "search_results": 13.08,
+            "shopping_cart": 13.53,
+            "customer_registration": 12.86,
+            "buy_request": 12.73,
+            "buy_confirm": 10.18,
+            "order_inquiry": 0.25,
+            "order_display": 0.22,
+            "admin_request": 0.12,
+            "admin_confirm": 0.11,
+        },
+    ),
+}
+
+
+def browse_order_split(mix_name: str) -> Tuple[float, float]:
+    """Return the (browse, order) class fractions of a mix."""
+    mix = MIXES[mix_name]
+    return mix.browse_fraction(), mix.order_fraction()

@@ -1,0 +1,124 @@
+"""Catalog registry unit tests."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.catalog.objects import IndexDef, ProcedureDef, TableDef, ViewDef
+from repro.common.schema import Column, Schema
+from repro.common.types import INT
+from repro.errors import CatalogError
+from repro.sql import parse
+
+
+def table(name="t"):
+    return TableDef(name, Schema([Column("id", INT)]), primary_key=("id",))
+
+
+def view(name="v", cached=False, materialized=True):
+    statement = parse(f"CREATE VIEW {name} AS SELECT id FROM t")
+    return ViewDef(
+        name, statement.select, Schema([Column("id", INT)]),
+        materialized=materialized, cached=cached,
+    )
+
+
+class TestTables:
+    def test_add_get_case_insensitive(self):
+        catalog = Catalog()
+        catalog.add_table(table("Customers"))
+        assert catalog.get_table("CUSTOMERS").name == "Customers"
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(table())
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.add_table(table())
+
+    def test_name_collision_with_view_rejected(self):
+        catalog = Catalog()
+        catalog.add_view(view("x"))
+        with pytest.raises(CatalogError):
+            catalog.add_table(table("x"))
+
+    def test_drop_removes_dependent_indexes(self):
+        catalog = Catalog()
+        catalog.add_table(table())
+        catalog.add_index(IndexDef("ix", "t", ("id",)))
+        catalog.drop_table("t")
+        assert catalog.indexes == {}
+
+    def test_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().get_table("nope")
+
+
+class TestViews:
+    def test_materialized_and_cached_filters(self):
+        catalog = Catalog()
+        catalog.add_view(view("plain", materialized=False))
+        catalog.add_view(view("mat"))
+        catalog.add_view(view("cache", cached=True))
+        assert {v.name for v in catalog.materialized_views()} == {"mat", "cache"}
+        assert {v.name for v in catalog.cached_views()} == {"cache"}
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.add_view(view())
+        catalog.drop_view("V")
+        assert catalog.maybe_view("v") is None
+
+
+class TestIndexesAndProcedures:
+    def test_indexes_on(self):
+        catalog = Catalog()
+        catalog.add_table(table("a"))
+        catalog.add_table(table("b"))
+        catalog.add_index(IndexDef("ix_a", "a", ("id",)))
+        catalog.add_index(IndexDef("ix_b", "b", ("id",)))
+        assert [index.name for index in catalog.indexes_on("A")] == ["ix_a"]
+
+    def test_procedure_lifecycle(self):
+        catalog = Catalog()
+        statement = parse("CREATE PROCEDURE p AS BEGIN SELECT 1 END")
+        catalog.add_procedure(ProcedureDef("p", statement.params, statement.body))
+        assert catalog.get_procedure("P").name == "p"
+        catalog.drop_procedure("p")
+        assert catalog.maybe_procedure("p") is None
+
+    def test_duplicate_procedure_rejected(self):
+        catalog = Catalog()
+        statement = parse("CREATE PROCEDURE p AS BEGIN SELECT 1 END")
+        catalog.add_procedure(ProcedureDef("p", statement.params, statement.body))
+        with pytest.raises(CatalogError):
+            catalog.add_procedure(ProcedureDef("P", statement.params, statement.body))
+
+
+class TestShadowClone:
+    def make_full(self):
+        catalog = Catalog()
+        catalog.add_table(table())
+        catalog.add_view(view("mat"))
+        catalog.add_view(view("cv", cached=True))
+        catalog.add_index(IndexDef("ix", "t", ("id",)))
+        statement = parse("CREATE PROCEDURE p AS BEGIN SELECT 1 END")
+        catalog.add_procedure(ProcedureDef("p", statement.params, statement.body))
+        catalog.permissions.grant("SELECT", "t", "alice")
+        return catalog
+
+    def test_clone_excludes_cached_views(self):
+        shadow = self.make_full().clone_for_shadow()
+        assert shadow.maybe_view("cv") is None
+        assert shadow.maybe_view("mat") is not None
+
+    def test_clone_excludes_procedures_by_default(self):
+        shadow = self.make_full().clone_for_shadow()
+        assert shadow.maybe_procedure("p") is None
+        with_procs = self.make_full().clone_for_shadow(include_procedures=True)
+        assert with_procs.maybe_procedure("p") is not None
+
+    def test_clone_copies_permissions_detached(self):
+        original = self.make_full()
+        shadow = original.clone_for_shadow()
+        shadow.permissions.grant("SELECT", "t", "bob")
+        assert not original.permissions.holds("SELECT", "t", "bob")
+        assert shadow.permissions.holds("SELECT", "t", "alice")

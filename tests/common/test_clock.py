@@ -1,0 +1,29 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+
+
+def test_starts_at_zero():
+    assert SimulatedClock().now() == 0.0
+
+
+def test_advance_accumulates():
+    clock = SimulatedClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now() == 2.0
+
+
+def test_negative_advance_rejected():
+    with pytest.raises(ValueError):
+        SimulatedClock().advance(-1)
+
+
+def test_advance_to_never_goes_backwards():
+    clock = SimulatedClock(start=10.0)
+    clock.advance_to(5.0)
+    assert clock.now() == 10.0
+    clock.advance_to(12.0)
+    assert clock.now() == 12.0

@@ -1,0 +1,75 @@
+"""Unit tests for Schema name resolution."""
+
+import pytest
+
+from repro.common.schema import Column, Schema
+from repro.common.types import FLOAT, INT, VARCHAR
+from repro.errors import BindError
+
+
+def make_schema():
+    return Schema(
+        [
+            Column("id", INT, qualifier="c"),
+            Column("name", VARCHAR(20), qualifier="c"),
+            Column("id", INT, qualifier="o"),
+            Column("total", FLOAT, qualifier="o"),
+        ]
+    )
+
+
+class TestResolution:
+    def test_qualified_lookup(self):
+        schema = make_schema()
+        assert schema.resolve("id", "c") == 0
+        assert schema.resolve("id", "o") == 2
+
+    def test_unqualified_unique(self):
+        schema = make_schema()
+        assert schema.resolve("total") == 3
+
+    def test_unqualified_ambiguous_raises(self):
+        with pytest.raises(BindError, match="ambiguous"):
+            make_schema().resolve("id")
+
+    def test_unknown_raises(self):
+        with pytest.raises(BindError, match="unknown"):
+            make_schema().resolve("nope")
+
+    def test_case_insensitive(self):
+        schema = make_schema()
+        assert schema.resolve("NAME", "C") == 1
+
+    def test_maybe_resolve_returns_none_for_unknown(self):
+        assert make_schema().maybe_resolve("nope") is None
+
+    def test_maybe_resolve_still_raises_on_ambiguity(self):
+        with pytest.raises(BindError):
+            make_schema().maybe_resolve("id")
+
+
+class TestComposition:
+    def test_concat(self):
+        left = Schema([Column("a", INT)])
+        right = Schema([Column("b", INT)])
+        merged = left.concat(right)
+        assert merged.names == ["a", "b"]
+
+    def test_with_qualifier(self):
+        schema = Schema([Column("a", INT)]).with_qualifier("t")
+        assert schema.resolve("a", "t") == 0
+
+    def test_project(self):
+        schema = make_schema().project([3, 0])
+        assert schema.names == ["total", "id"]
+
+    def test_row_width_positive(self):
+        assert make_schema().row_width > 0
+
+    def test_equality(self):
+        assert make_schema() == make_schema()
+
+    def test_len_and_iter(self):
+        schema = make_schema()
+        assert len(schema) == 4
+        assert [column.name for column in schema] == ["id", "name", "id", "total"]

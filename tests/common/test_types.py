@@ -1,0 +1,138 @@
+"""Unit tests for the SQL type system."""
+
+import datetime
+
+import pytest
+
+from repro.common.types import (
+    BIGINT,
+    BOOLEAN,
+    CHAR,
+    DATE,
+    DATETIME,
+    FLOAT,
+    INT,
+    NUMERIC,
+    VARCHAR,
+    coerce_value,
+    common_type,
+    is_numeric,
+    sql_literal,
+    TypeKind,
+)
+from repro.errors import TypeCheckError
+
+
+class TestCoercion:
+    def test_null_passes_any_type(self):
+        for sql_type in (INT, FLOAT, VARCHAR(10), DATE, DATETIME, BOOLEAN):
+            assert coerce_value(None, sql_type) is None
+
+    def test_int_from_int(self):
+        assert coerce_value(42, INT) == 42
+
+    def test_int_from_integral_float(self):
+        assert coerce_value(42.0, INT) == 42
+
+    def test_int_from_string(self):
+        assert coerce_value("17", BIGINT) == 17
+
+    def test_int_rejects_garbage_string(self):
+        with pytest.raises(TypeCheckError):
+            coerce_value("abc", INT)
+
+    def test_float_from_int(self):
+        assert coerce_value(3, FLOAT) == 3.0
+        assert isinstance(coerce_value(3, FLOAT), float)
+
+    def test_numeric_from_string(self):
+        assert coerce_value("2.5", NUMERIC) == 2.5
+
+    def test_varchar_truncates_to_declared_length(self):
+        assert coerce_value("abcdef", VARCHAR(3)) == "abc"
+
+    def test_varchar_unbounded_keeps_value(self):
+        assert coerce_value("abcdef", VARCHAR(None)) == "abcdef"
+
+    def test_date_from_iso_string(self):
+        assert coerce_value("2003-06-09", DATE) == datetime.date(2003, 6, 9)
+
+    def test_date_from_datetime(self):
+        value = datetime.datetime(2003, 6, 9, 12, 30)
+        assert coerce_value(value, DATE) == datetime.date(2003, 6, 9)
+
+    def test_datetime_from_date(self):
+        value = datetime.date(2003, 6, 9)
+        assert coerce_value(value, DATETIME) == datetime.datetime(2003, 6, 9)
+
+    def test_datetime_from_iso_string(self):
+        assert coerce_value("2003-06-09 10:00:00", DATETIME) == datetime.datetime(
+            2003, 6, 9, 10
+        )
+
+    def test_boolean_from_int(self):
+        assert coerce_value(1, BOOLEAN) is True
+        assert coerce_value(0, BOOLEAN) is False
+
+    def test_bool_to_int(self):
+        assert coerce_value(True, INT) == 1
+
+
+class TestCommonType:
+    def test_same_kind(self):
+        assert common_type(INT, INT).kind is TypeKind.INT
+
+    def test_numeric_widening(self):
+        assert common_type(INT, FLOAT).kind is TypeKind.FLOAT
+        assert common_type(INT, BIGINT).kind is TypeKind.BIGINT
+
+    def test_string_widening_takes_max_length(self):
+        merged = common_type(VARCHAR(5), VARCHAR(9))
+        assert merged.length == 9
+
+    def test_temporal_widens_to_datetime(self):
+        assert common_type(DATE, DATETIME).kind is TypeKind.DATETIME
+
+    def test_incompatible_raises(self):
+        with pytest.raises(TypeCheckError):
+            common_type(INT, VARCHAR(5))
+
+
+class TestLiterals:
+    def test_null(self):
+        assert sql_literal(None) == "NULL"
+
+    def test_string_escaping(self):
+        assert sql_literal("O'Brien") == "'O''Brien'"
+
+    def test_numbers(self):
+        assert sql_literal(42) == "42"
+        assert sql_literal(2.5) == "2.5"
+
+    def test_boolean_renders_as_bit(self):
+        assert sql_literal(True) == "1"
+        assert sql_literal(False) == "0"
+
+    def test_date(self):
+        assert sql_literal(datetime.date(2003, 6, 9)) == "'2003-06-09'"
+
+    def test_datetime_space_separator(self):
+        text = sql_literal(datetime.datetime(2003, 6, 9, 12, 0, 1))
+        assert text == "'2003-06-09 12:00:01'"
+
+
+class TestWidths:
+    def test_fixed_widths(self):
+        assert INT.width == 4
+        assert BIGINT.width == 8
+
+    def test_varchar_width_assumes_half_full(self):
+        assert VARCHAR(40).width == 22
+
+    def test_char_width_is_declared(self):
+        assert CHAR(10).width == 10
+
+    def test_is_numeric(self):
+        assert is_numeric(INT)
+        assert is_numeric(FLOAT)
+        assert not is_numeric(VARCHAR(5))

@@ -1,0 +1,79 @@
+"""Shared fixtures: a small shop database and an MTCache deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MTCacheDeployment, Server
+
+
+def make_shop_backend(customers: int = 200, orders: int = 400) -> Server:
+    """A small backend with customer/orders tables and statistics."""
+    server = Server("backend")
+    server.create_database("shop")
+    server.execute(
+        """
+        CREATE TABLE customer (
+            cid INT PRIMARY KEY,
+            cname VARCHAR(40) NOT NULL,
+            caddress VARCHAR(60),
+            segment VARCHAR(10)
+        );
+        CREATE TABLE orders (
+            oid INT PRIMARY KEY,
+            o_cid INT NOT NULL,
+            total FLOAT,
+            status VARCHAR(10)
+        );
+        CREATE INDEX ix_orders_cid ON orders (o_cid);
+        CREATE INDEX ix_customer_segment ON customer (segment);
+        """
+    )
+    database = server.database("shop")
+    database.bulk_load(
+        "customer",
+        [
+            (
+                i,
+                f"cust{i}",
+                f"addr{i}",
+                "gold" if i % 3 == 0 else "base",
+            )
+            for i in range(1, customers + 1)
+        ],
+    )
+    database.bulk_load(
+        "orders",
+        [
+            (
+                i,
+                (i % customers) + 1,
+                round(i * 1.5, 2),
+                "OPEN" if i % 4 else "SHIPPED",
+            )
+            for i in range(1, orders + 1)
+        ],
+    )
+    database.analyze_all()
+    return server
+
+
+@pytest.fixture
+def backend() -> Server:
+    return make_shop_backend()
+
+
+@pytest.fixture
+def deployment(backend):
+    return MTCacheDeployment(backend, "shop")
+
+
+@pytest.fixture
+def cache(deployment):
+    """A cache server with the paper's running-example cached view."""
+    cache_server = deployment.add_cache_server("cache1")
+    cache_server.create_cached_view(
+        "CREATE CACHED VIEW Cust1000 AS "
+        "SELECT cid, cname, caddress FROM customer WHERE cid <= 100"
+    )
+    return cache_server

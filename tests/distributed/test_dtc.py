@@ -1,0 +1,79 @@
+"""Two-phase commit coordinator tests."""
+
+import pytest
+
+from repro import Server
+from repro.distributed.dtc import DistributedTransactionCoordinator
+from repro.errors import DistributedError
+
+
+def make_server(name):
+    server = Server(name)
+    server.create_database("db")
+    server.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    return server
+
+
+def test_commit_applies_on_all_participants():
+    a, b = make_server("a"), make_server("b")
+    dtc = DistributedTransactionCoordinator()
+    txn_a = dtc.begin_on(a.database("db"))
+    txn_b = dtc.begin_on(b.database("db"))
+    a.database("db").transactions.logged_insert(txn_a, a.database("db").storage_table("t"), (1, 10))
+    b.database("db").transactions.logged_insert(txn_b, b.database("db").storage_table("t"), (2, 20))
+    dtc.commit()
+    assert a.execute("SELECT COUNT(*) FROM t").scalar == 1
+    assert b.execute("SELECT COUNT(*) FROM t").scalar == 1
+
+
+def test_rollback_undoes_on_all_participants():
+    a, b = make_server("a"), make_server("b")
+    dtc = DistributedTransactionCoordinator()
+    txn_a = dtc.begin_on(a.database("db"))
+    txn_b = dtc.begin_on(b.database("db"))
+    a.database("db").transactions.logged_insert(txn_a, a.database("db").storage_table("t"), (1, 10))
+    b.database("db").transactions.logged_insert(txn_b, b.database("db").storage_table("t"), (2, 20))
+    dtc.rollback()
+    assert a.execute("SELECT COUNT(*) FROM t").scalar == 0
+    assert b.execute("SELECT COUNT(*) FROM t").scalar == 0
+
+
+def test_prepare_failure_rolls_back_everyone():
+    a, b = make_server("a"), make_server("b")
+    dtc = DistributedTransactionCoordinator()
+    txn_a = dtc.begin_on(a.database("db"))
+    txn_b = dtc.begin_on(b.database("db"))
+    a.database("db").transactions.logged_insert(txn_a, a.database("db").storage_table("t"), (1, 10))
+    # One participant aborts out-of-band: prepare must fail and roll back b.
+    a.database("db").transactions.rollback(txn_a)
+    with pytest.raises(DistributedError):
+        dtc.commit()
+    assert b.execute("SELECT COUNT(*) FROM t").scalar == 0
+
+
+def test_double_commit_rejected():
+    a = make_server("a")
+    dtc = DistributedTransactionCoordinator()
+    dtc.begin_on(a.database("db"))
+    dtc.commit()
+    with pytest.raises(DistributedError):
+        dtc.commit()
+
+
+def test_rollback_after_commit_is_noop():
+    a = make_server("a")
+    dtc = DistributedTransactionCoordinator()
+    txn = dtc.begin_on(a.database("db"))
+    a.database("db").transactions.logged_insert(txn, a.database("db").storage_table("t"), (1, 1))
+    dtc.commit()
+    dtc.rollback()
+    assert a.execute("SELECT COUNT(*) FROM t").scalar == 1
+
+
+def test_participant_count():
+    a, b = make_server("a"), make_server("b")
+    dtc = DistributedTransactionCoordinator()
+    dtc.begin_on(a.database("db"))
+    dtc.begin_on(b.database("db"))
+    assert dtc.participant_count == 2
+    dtc.rollback()

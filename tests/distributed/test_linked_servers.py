@@ -1,0 +1,91 @@
+"""Linked servers and distributed queries (paper §2.1)."""
+
+import pytest
+
+from repro import Server
+from repro.errors import DistributedError
+
+from tests.conftest import make_shop_backend
+
+
+@pytest.fixture
+def pair():
+    """A local server with a linked 'PartServer', as in the paper's example."""
+    local = Server("local")
+    local.create_database("localdb")
+    local.execute("CREATE TABLE orderline (id INT PRIMARY KEY, qty INT)")
+    for i in range(1, 21):
+        local.execute(f"INSERT INTO orderline VALUES ({i}, {i * 100})")
+
+    part_server = Server("PartServer")
+    part_server.create_database("catdb")
+    part_server.execute(
+        "CREATE TABLE part (id INT PRIMARY KEY, name VARCHAR(30), type VARCHAR(10))"
+    )
+    for i in range(1, 21):
+        part_type = "Tire" if i % 2 == 0 else "Bolt"
+        part_server.execute(f"INSERT INTO part VALUES ({i}, 'part{i}', '{part_type}')")
+    part_server.database("catdb").analyze_all()
+    local.database("localdb").analyze_all()
+    local.linked_servers.register("PartServer", part_server, "catdb")
+    return local, part_server
+
+
+class TestRemoteQueries:
+    def test_papers_distributed_join(self, pair):
+        """The paper's §2.1 example: local orderline joined with remote part."""
+        local, _ = pair
+        result = local.execute(
+            "SELECT ol.id, ps.name, ol.qty "
+            "FROM orderline ol, PartServer.catdb.dbo.part ps "
+            "WHERE ol.id = ps.id AND ol.qty > 500 AND ps.type = 'Tire'"
+        )
+        ids = sorted(row[0] for row in result.rows)
+        assert ids == [6, 8, 10, 12, 14, 16, 18, 20]
+
+    def test_remote_query_is_reoptimized_as_text(self, pair):
+        local, part_server = pair
+        before = part_server.statements_executed
+        local.execute(
+            "SELECT ps.name FROM PartServer.catdb.dbo.part ps WHERE ps.id = 3"
+        )
+        assert part_server.statements_executed > before
+
+    def test_remote_dml_four_part_name(self, pair):
+        local, part_server = pair
+        local.execute(
+            "UPDATE PartServer.catdb.dbo.part SET name = 'renamed' WHERE id = 3"
+        )
+        assert (
+            part_server.execute("SELECT name FROM part WHERE id = 3").scalar
+            == "renamed"
+        )
+
+    def test_remote_insert_and_delete(self, pair):
+        local, part_server = pair
+        local.execute(
+            "INSERT INTO PartServer.catdb.dbo.part VALUES (99, 'new', 'Tire')"
+        )
+        assert part_server.execute("SELECT COUNT(*) FROM part").scalar == 21
+        local.execute("DELETE FROM PartServer.catdb.dbo.part WHERE id = 99")
+        assert part_server.execute("SELECT COUNT(*) FROM part").scalar == 20
+
+    def test_remote_procedure_call(self, pair):
+        local, part_server = pair
+        part_server.execute(
+            "CREATE PROCEDURE countParts AS BEGIN SELECT COUNT(*) AS n FROM part END"
+        )
+        result = local.execute("EXEC PartServer.catdb.dbo.countParts")
+        assert result.scalar == 20
+
+    def test_unknown_linked_server(self, pair):
+        local, _ = pair
+        with pytest.raises(DistributedError):
+            local.execute("SELECT * FROM nowhere.db.dbo.t")
+
+    def test_traffic_counters(self, pair):
+        local, _ = pair
+        link = local.linked_servers.get("PartServer")
+        before = link.queries_shipped
+        local.execute("SELECT ps.id FROM PartServer.catdb.dbo.part ps WHERE ps.id = 1")
+        assert link.queries_shipped == before + 1

@@ -1,0 +1,153 @@
+"""DML execution and transaction semantics."""
+
+import pytest
+
+from repro import Server, Session
+from repro.errors import CatalogError, ConstraintError, TransactionError
+from repro.storage.wal import LogRecordType
+
+
+@pytest.fixture
+def server():
+    s = Server("s")
+    s.create_database("db")
+    s.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20) NOT NULL, score FLOAT)"
+    )
+    return s
+
+
+class TestInsert:
+    def test_insert_values(self, server):
+        result = server.execute("INSERT INTO t VALUES (1, 'a', 1.5), (2, 'b', NULL)")
+        assert result.rowcount == 2
+        assert server.execute("SELECT COUNT(*) FROM t").scalar == 2
+
+    def test_insert_named_columns_defaults_null(self, server):
+        server.execute("INSERT INTO t (id, name) VALUES (1, 'a')")
+        assert server.execute("SELECT score FROM t WHERE id = 1").scalar is None
+
+    def test_insert_select(self, server):
+        server.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        server.execute("INSERT INTO t (id, name, score) SELECT id + 100, name, score FROM t")
+        assert server.execute("SELECT COUNT(*) FROM t").scalar == 2
+
+    def test_insert_pk_conflict(self, server):
+        server.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        with pytest.raises(ConstraintError):
+            server.execute("INSERT INTO t VALUES (1, 'dup', 1.0)")
+
+    def test_insert_with_params(self, server):
+        server.execute("INSERT INTO t VALUES (@i, @n, @s)", params={"i": 9, "n": "p", "s": 2.0})
+        assert server.execute("SELECT name FROM t WHERE id = 9").scalar == "p"
+
+    def test_insert_expression_values(self, server):
+        server.execute("INSERT INTO t VALUES (1 + 1, UPPER('ab'), 2 * 1.5)")
+        assert server.execute("SELECT name, score FROM t WHERE id = 2").rows == [("AB", 3.0)]
+
+
+class TestUpdateDelete:
+    def seed(self, server, n=20):
+        for i in range(1, n + 1):
+            server.execute(f"INSERT INTO t VALUES ({i}, 'n{i}', {float(i)})")
+
+    def test_update_with_predicate(self, server):
+        self.seed(server)
+        result = server.execute("UPDATE t SET score = score + 100 WHERE id <= 5")
+        assert result.rowcount == 5
+        assert server.execute("SELECT score FROM t WHERE id = 3").scalar == 103.0
+
+    def test_update_references_old_row_values(self, server):
+        self.seed(server, 2)
+        server.execute("UPDATE t SET score = id * 10")
+        assert server.execute("SELECT score FROM t WHERE id = 2").scalar == 20.0
+
+    def test_update_via_pk_index(self, server):
+        self.seed(server)
+        result = server.execute("UPDATE t SET name = 'x' WHERE id = 7")
+        assert result.rowcount == 1
+
+    def test_delete_with_predicate(self, server):
+        self.seed(server)
+        result = server.execute("DELETE FROM t WHERE id > 15")
+        assert result.rowcount == 5
+        assert server.execute("SELECT COUNT(*) FROM t").scalar == 15
+
+    def test_delete_all(self, server):
+        self.seed(server, 3)
+        assert server.execute("DELETE FROM t").rowcount == 3
+
+    def test_update_unknown_table(self, server):
+        with pytest.raises(CatalogError):
+            server.execute("UPDATE missing SET a = 1")
+
+
+class TestTransactions:
+    def test_commit_persists(self, server):
+        session = Session()
+        server.execute("BEGIN TRANSACTION", session=session)
+        server.execute("INSERT INTO t VALUES (1, 'a', 1.0)", session=session)
+        server.execute("COMMIT", session=session)
+        assert server.execute("SELECT COUNT(*) FROM t").scalar == 1
+
+    def test_rollback_undoes_everything(self, server):
+        session = Session()
+        server.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        server.execute("BEGIN TRANSACTION", session=session)
+        server.execute("INSERT INTO t VALUES (2, 'b', 2.0)", session=session)
+        server.execute("UPDATE t SET name = 'changed' WHERE id = 1", session=session)
+        server.execute("DELETE FROM t WHERE id = 1", session=session)
+        server.execute("ROLLBACK", session=session)
+        assert server.execute("SELECT COUNT(*) FROM t").scalar == 1
+        assert server.execute("SELECT name FROM t WHERE id = 1").scalar == "a"
+
+    def test_double_begin_rejected(self, server):
+        session = Session()
+        server.execute("BEGIN TRANSACTION", session=session)
+        with pytest.raises(TransactionError):
+            server.execute("BEGIN TRANSACTION", session=session)
+
+    def test_commit_without_begin_rejected(self, server):
+        with pytest.raises(TransactionError):
+            server.execute("COMMIT")
+
+    def test_autocommit_failure_rolls_back(self, server):
+        server.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        with pytest.raises(ConstraintError):
+            server.execute("INSERT INTO t VALUES (2, 'ok', 1.0), (1, 'dup', 1.0)")
+        # The whole statement must have rolled back, including row 2.
+        assert server.execute("SELECT COUNT(*) FROM t").scalar == 1
+
+    def test_wal_records_commits_with_timestamps(self, server):
+        server.clock.advance(7.5)
+        server.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        wal = server.database("db").wal
+        commits = [r for r in wal.records() if r.record_type is LogRecordType.COMMIT]
+        assert commits and commits[-1].timestamp == 7.5
+
+    def test_wal_contains_full_row_images(self, server):
+        server.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        server.execute("UPDATE t SET score = 9.0 WHERE id = 1")
+        wal = server.database("db").wal
+        updates = [r for r in wal.records() if r.record_type is LogRecordType.UPDATE]
+        assert updates[0].old_row == (1, "a", 1.0)
+        assert updates[0].new_row == (1, "a", 9.0)
+
+
+class TestSessionVariables:
+    def test_declare_set_select(self, server):
+        session = Session()
+        server.execute("DECLARE @x INT = 5", session=session)
+        server.execute("SET @x = @x + 1", session=session)
+        result = server.execute("SELECT @x + 10 AS v", session=session)
+        assert result.scalar == 16
+
+    def test_variables_usable_in_dml(self, server):
+        session = Session()
+        server.execute("DECLARE @i INT = 3", session=session)
+        server.execute("INSERT INTO t VALUES (@i, 'v', NULL)", session=session)
+        assert server.execute("SELECT COUNT(*) FROM t WHERE id = 3").scalar == 1
+
+    def test_print_collects_messages(self, server):
+        result = server.execute("PRINT 'hello'")
+        assert result.messages == ["hello"]

@@ -1,0 +1,62 @@
+"""EXPLAIN statement tests."""
+
+import pytest
+
+from repro import MTCacheDeployment
+from repro.errors import ParseError
+
+from tests.conftest import make_shop_backend
+
+
+@pytest.fixture(scope="module")
+def env():
+    backend = make_shop_backend(customers=60, orders=60)
+    deployment = MTCacheDeployment(backend, "shop")
+    cache = deployment.add_cache_server("explain_cache")
+    cache.create_cached_view(
+        "CREATE CACHED VIEW ec AS SELECT cid, cname FROM customer WHERE cid <= 30"
+    )
+    return backend, cache
+
+
+def test_explain_returns_plan_rows(env):
+    backend, _ = env
+    result = backend.execute("EXPLAIN SELECT cname FROM customer WHERE cid = 3", database="shop")
+    text = "\n".join(row[0] for row in result.rows)
+    assert "IndexSeek" in text
+    assert result.schema.names == ["plan"]
+
+
+def test_explain_costs_annotates(env):
+    backend, _ = env
+    result = backend.execute(
+        "EXPLAIN COSTS SELECT cname FROM customer WHERE cid <= 10", database="shop"
+    )
+    text = "\n".join(row[0] for row in result.rows)
+    assert "cost=" in text
+
+
+def test_explain_shows_dynamic_plans_on_cache(env):
+    _, cache = env
+    result = cache.execute("EXPLAIN SELECT cid, cname FROM customer WHERE cid <= @c")
+    text = "\n".join(row[0] for row in result.rows)
+    assert "ChoosePlan" in text
+    assert "RemoteQuery" in text
+
+
+def test_explain_does_not_execute(env):
+    backend, _ = env
+    before = backend.execute("SELECT COUNT(*) FROM customer", database="shop").scalar
+    backend.execute(
+        "EXPLAIN SELECT COUNT(*) FROM customer WHERE cid < 5", database="shop"
+    )
+    assert (
+        backend.execute("SELECT COUNT(*) FROM customer", database="shop").scalar
+        == before
+    )
+
+
+def test_explain_non_select_rejected(env):
+    backend, _ = env
+    with pytest.raises(ParseError):
+        backend.execute("EXPLAIN UPDATE customer SET cname = 'x'", database="shop")

@@ -1,0 +1,65 @@
+"""Permission checking at the engine level."""
+
+import pytest
+
+from repro import Server, Session
+from repro.errors import PermissionError_
+
+
+@pytest.fixture
+def server():
+    s = Server("s")
+    s.create_database("db")
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    s.execute("INSERT INTO t VALUES (1)")
+    s.execute("CREATE PROCEDURE p AS BEGIN SELECT COUNT(*) FROM t END")
+    return s
+
+
+def test_dbo_can_do_everything(server):
+    session = Session(principal="dbo")
+    assert server.execute("SELECT * FROM t", session=session).rows == [(1,)]
+
+
+def test_select_denied_without_grant(server):
+    session = Session(principal="alice")
+    with pytest.raises(PermissionError_):
+        server.execute("SELECT * FROM t", session=session)
+
+
+def test_select_allowed_after_grant(server):
+    server.execute("GRANT SELECT ON t TO alice")
+    session = Session(principal="alice")
+    assert server.execute("SELECT * FROM t", session=session).rows == [(1,)]
+
+
+def test_dml_permissions_separate_from_select(server):
+    server.execute("GRANT SELECT ON t TO alice")
+    session = Session(principal="alice")
+    with pytest.raises(PermissionError_):
+        server.execute("INSERT INTO t VALUES (2)", session=session)
+    server.execute("GRANT INSERT ON t TO alice")
+    server.execute("INSERT INTO t VALUES (2)", session=session)
+
+
+def test_execute_permission(server):
+    session = Session(principal="bob")
+    with pytest.raises(PermissionError_):
+        server.execute("EXEC p", session=session)
+    server.execute("GRANT EXEC ON p TO bob")
+    assert server.execute("EXEC p", session=session).scalar == 1
+
+
+def test_revoke(server):
+    server.execute("GRANT SELECT ON t TO alice")
+    database = server.database("db")
+    database.catalog.permissions.revoke("SELECT", "t", "alice")
+    with pytest.raises(PermissionError_):
+        server.execute("SELECT * FROM t", session=Session(principal="alice"))
+
+
+def test_permissions_cloned_into_shadow(server):
+    server.execute("GRANT SELECT ON t TO alice")
+    shadow = server.database("db").catalog.clone_for_shadow()
+    assert shadow.permissions.holds("SELECT", "t", "alice")
+    assert not shadow.permissions.holds("INSERT", "t", "alice")

@@ -1,0 +1,87 @@
+"""WAL redo recovery tests."""
+
+import pytest
+
+from repro import Server, Session
+from repro.engine.recovery import replay_wal
+
+DDL = "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20), score FLOAT)"
+
+
+def make_server():
+    server = Server("origin")
+    server.create_database("db")
+    server.execute(DDL)
+    return server
+
+
+def recover_into_fresh(server):
+    """Simulate a crash: new instance, re-run DDL, redo the old WAL."""
+    fresh = Server("recovered")
+    fresh.create_database("db")
+    fresh.execute(DDL)
+    replay_wal(fresh.database("db"), server.database("db").wal)
+    return fresh
+
+
+def state(server):
+    return server.execute("SELECT id, name, score FROM t ORDER BY id").rows
+
+
+def test_committed_inserts_survive():
+    server = make_server()
+    server.execute("INSERT INTO t VALUES (1, 'a', 1.0), (2, 'b', 2.0)")
+    recovered = recover_into_fresh(server)
+    assert state(recovered) == state(server)
+
+
+def test_updates_and_deletes_replay_in_order():
+    server = make_server()
+    server.execute("INSERT INTO t VALUES (1, 'a', 1.0), (2, 'b', 2.0), (3, 'c', 3.0)")
+    server.execute("UPDATE t SET score = score * 10 WHERE id <= 2")
+    server.execute("DELETE FROM t WHERE id = 3")
+    server.execute("UPDATE t SET name = 'final' WHERE id = 1")
+    recovered = recover_into_fresh(server)
+    assert state(recovered) == [(1, "final", 10.0), (2, "b", 20.0)]
+    assert state(recovered) == state(server)
+
+
+def test_uncommitted_transaction_excluded():
+    server = make_server()
+    server.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+    session = Session()
+    server.execute("BEGIN TRANSACTION", session=session)
+    server.execute("INSERT INTO t VALUES (2, 'pending', 2.0)", session=session)
+    # Crash before COMMIT.
+    recovered = recover_into_fresh(server)
+    assert state(recovered) == [(1, "a", 1.0)]
+
+
+def test_aborted_transaction_excluded():
+    server = make_server()
+    session = Session()
+    server.execute("BEGIN TRANSACTION", session=session)
+    server.execute("INSERT INTO t VALUES (9, 'ghost', 0.0)", session=session)
+    server.execute("ROLLBACK", session=session)
+    server.execute("INSERT INTO t VALUES (1, 'real', 1.0)")
+    recovered = recover_into_fresh(server)
+    assert state(recovered) == [(1, "real", 1.0)]
+
+
+def test_key_reuse_across_transactions():
+    server = make_server()
+    server.execute("INSERT INTO t VALUES (1, 'first', 1.0)")
+    server.execute("DELETE FROM t WHERE id = 1")
+    server.execute("INSERT INTO t VALUES (1, 'second', 2.0)")
+    recovered = recover_into_fresh(server)
+    assert state(recovered) == [(1, "second", 2.0)]
+
+
+def test_replay_returns_change_count():
+    server = make_server()
+    server.execute("INSERT INTO t VALUES (1, 'a', 1.0), (2, 'b', 2.0)")
+    server.execute("DELETE FROM t WHERE id = 2")
+    fresh = Server("r2")
+    fresh.create_database("db")
+    fresh.execute(DDL)
+    assert replay_wal(fresh.database("db"), server.database("db").wal) == 3

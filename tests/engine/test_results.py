@@ -1,0 +1,43 @@
+"""Result object helper tests."""
+
+import pytest
+
+from repro import Server
+
+
+@pytest.fixture
+def server():
+    s = Server("s")
+    s.create_database("db")
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(10))")
+    s.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    return s
+
+
+def test_scalar_first_cell(server):
+    assert server.execute("SELECT id, name FROM t ORDER BY id").scalar == 1
+
+
+def test_scalar_empty_is_none(server):
+    assert server.execute("SELECT id FROM t WHERE id = 99").scalar is None
+
+
+def test_column_extraction(server):
+    result = server.execute("SELECT id, name FROM t ORDER BY id")
+    assert result.column("name") == ["a", "b"]
+    assert result.column("ID") == [1, 2]
+
+
+def test_column_without_schema_raises():
+    from repro.engine.results import Result
+
+    with pytest.raises(ValueError):
+        Result().column("x")
+
+
+def test_len_counts_rows(server):
+    assert len(server.execute("SELECT id FROM t")) == 2
+
+
+def test_rowcount_for_dml(server):
+    assert server.execute("UPDATE t SET name = 'z'").rowcount == 2

@@ -1,0 +1,197 @@
+"""Broad SQL behavioural coverage: one test per distinct feature."""
+
+import datetime
+
+import pytest
+
+from repro import Server
+
+
+@pytest.fixture(scope="module")
+def server():
+    s = Server("features")
+    s.create_database("db")
+    s.execute(
+        """
+        CREATE TABLE emp (
+            eid INT PRIMARY KEY,
+            name VARCHAR(30) NOT NULL,
+            dept VARCHAR(10),
+            salary FLOAT,
+            hired DATETIME
+        )
+        """
+    )
+    rows = [
+        (1, "Alice", "eng", 120.0, "2001-03-01"),
+        (2, "Bob", "eng", 100.0, "2002-07-15"),
+        (3, "Carol", "sales", 90.0, "2000-01-20"),
+        (4, "Dan", "sales", None, "2003-02-02"),
+        (5, "Eve", None, 150.0, "1999-12-31"),
+    ]
+    for row in rows:
+        s.execute(
+            "INSERT INTO emp VALUES (@a, @b, @c, @d, @e)",
+            params=dict(zip("abcde", row)),
+        )
+    s.database("db").analyze_all()
+    return s
+
+
+class TestNullSemantics:
+    def test_where_null_comparison_selects_nothing(self, server):
+        assert server.execute("SELECT eid FROM emp WHERE dept = NULL").rows == []
+
+    def test_is_null(self, server):
+        assert server.execute("SELECT eid FROM emp WHERE dept IS NULL").rows == [(5,)]
+
+    def test_aggregates_skip_nulls(self, server):
+        result = server.execute("SELECT COUNT(salary), AVG(salary) FROM emp")
+        assert result.rows[0][0] == 4
+        assert result.rows[0][1] == pytest.approx(115.0)
+
+    def test_nulls_sort_first_ascending(self, server):
+        rows = server.execute("SELECT eid FROM emp ORDER BY salary").rows
+        assert rows[0] == (4,)
+
+    def test_nulls_sort_last_descending(self, server):
+        rows = server.execute("SELECT eid FROM emp ORDER BY salary DESC").rows
+        assert rows[-1] == (4,)
+
+    def test_not_in_with_null_in_list(self, server):
+        # dept NOT IN ('eng', NULL) is never TRUE.
+        rows = server.execute(
+            "SELECT eid FROM emp WHERE dept NOT IN ('eng', NULL)"
+        ).rows
+        assert rows == []
+
+
+class TestStringsAndDates:
+    def test_like_case_insensitive(self, server):
+        rows = server.execute("SELECT name FROM emp WHERE name LIKE 'a%'").rows
+        assert rows == [("Alice",)]
+
+    def test_string_functions_in_projection(self, server):
+        result = server.execute(
+            "SELECT UPPER(name), LEN(name), SUBSTRING(name, 1, 3) FROM emp WHERE eid = 1"
+        )
+        assert result.rows == [("ALICE", 5, "Ali")]
+
+    def test_string_concat_in_projection(self, server):
+        result = server.execute(
+            "SELECT name + ' (' + dept + ')' FROM emp WHERE eid = 2"
+        )
+        assert result.rows == [("Bob (eng)",)]
+
+    def test_date_range_predicate(self, server):
+        rows = server.execute(
+            "SELECT eid FROM emp WHERE hired >= '2002-01-01' ORDER BY eid"
+        ).rows
+        assert rows == [(2,), (4,)]
+
+    def test_year_extraction(self, server):
+        result = server.execute("SELECT YEAR(hired) FROM emp WHERE eid = 5")
+        assert result.rows == [(1999,)]
+
+    def test_date_ordering(self, server):
+        rows = server.execute("SELECT eid FROM emp ORDER BY hired").rows
+        assert rows[0] == (5,) and rows[-1] == (4,)
+
+
+class TestExpressions:
+    def test_case_in_where(self, server):
+        rows = server.execute(
+            "SELECT eid FROM emp WHERE CASE WHEN dept = 'eng' THEN 1 ELSE 0 END = 1 "
+            "ORDER BY eid"
+        ).rows
+        assert rows == [(1,), (2,)]
+
+    def test_case_in_order_by(self, server):
+        rows = server.execute(
+            "SELECT eid FROM emp ORDER BY CASE WHEN dept = 'sales' THEN 0 ELSE 1 END, eid"
+        ).rows
+        assert rows[:2] == [(3,), (4,)]
+
+    def test_arithmetic_in_predicate(self, server):
+        rows = server.execute(
+            "SELECT eid FROM emp WHERE salary * 2 > 220 ORDER BY eid"
+        ).rows
+        assert rows == [(1,), (5,)]
+
+    def test_coalesce_in_projection(self, server):
+        rows = server.execute(
+            "SELECT COALESCE(dept, 'unknown') FROM emp WHERE eid = 5"
+        ).rows
+        assert rows == [("unknown",)]
+
+    def test_between_inclusive(self, server):
+        rows = server.execute(
+            "SELECT eid FROM emp WHERE salary BETWEEN 90 AND 120 ORDER BY eid"
+        ).rows
+        assert rows == [(1,), (2,), (3,)]
+
+
+class TestGroupingShapes:
+    def test_group_by_expression(self, server):
+        rows = server.execute(
+            "SELECT COALESCE(dept, 'none') AS d, COUNT(*) AS n FROM emp "
+            "GROUP BY COALESCE(dept, 'none') ORDER BY d"
+        ).rows
+        assert rows == [("eng", 2), ("none", 1), ("sales", 2)]
+
+    def test_group_by_null_group(self, server):
+        rows = server.execute(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept"
+        ).rows
+        assert (None, 1) in rows
+
+    def test_having_on_aggregate_not_selected(self, server):
+        rows = server.execute(
+            "SELECT dept FROM emp WHERE dept IS NOT NULL GROUP BY dept "
+            "HAVING MAX(salary) > 110 ORDER BY dept"
+        ).rows
+        assert rows == [("eng",)]
+
+    def test_multiple_aggregates_one_pass(self, server):
+        result = server.execute(
+            "SELECT COUNT(*), COUNT(dept), MIN(salary), MAX(salary), SUM(salary) FROM emp"
+        )
+        assert result.rows == [(5, 4, 90.0, 150.0, 460.0)]
+
+    def test_top_with_ties_is_deterministic(self, server):
+        first = server.execute("SELECT TOP 2 eid FROM emp ORDER BY dept, eid").rows
+        second = server.execute("SELECT TOP 2 eid FROM emp ORDER BY dept, eid").rows
+        assert first == second
+
+    def test_distinct_on_expression(self, server):
+        rows = server.execute(
+            "SELECT DISTINCT COALESCE(dept, 'x') FROM emp"
+        ).rows
+        assert sorted(rows) == [("eng",), ("sales",), ("x",)]
+
+
+class TestParameterEdges:
+    def test_parameter_in_top(self, server):
+        rows = server.execute(
+            "SELECT TOP (@n) eid FROM emp ORDER BY eid", params={"n": 2}
+        ).rows
+        assert rows == [(1,), (2,)]
+
+    def test_parameter_in_like(self, server):
+        rows = server.execute(
+            "SELECT name FROM emp WHERE name LIKE @p", params={"p": "%o%"}
+        ).rows
+        assert sorted(rows) == [("Bob",), ("Carol",)]
+
+    def test_parameter_arithmetic(self, server):
+        rows = server.execute(
+            "SELECT eid FROM emp WHERE salary > @base + 10",
+            params={"base": 110},
+        ).rows
+        assert rows == [(5,)]
+
+    def test_string_parameter_coercion(self, server):
+        rows = server.execute(
+            "SELECT eid FROM emp WHERE dept = @d", params={"d": "eng"}
+        ).rows
+        assert len(rows) == 2

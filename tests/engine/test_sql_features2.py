@@ -1,0 +1,148 @@
+"""Second behavioural batch: composition edge cases."""
+
+import pytest
+
+from repro import Server
+
+
+@pytest.fixture
+def server():
+    s = Server("edge")
+    s.create_database("db")
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, grp VARCHAR(5), v FLOAT)")
+    for i in range(1, 13):
+        s.execute(
+            "INSERT INTO t VALUES (@i, @g, @v)",
+            params={"i": i, "g": f"g{i % 3}", "v": float(i)},
+        )
+    s.database("db").analyze_all()
+    return s
+
+
+class TestInsertShapes:
+    def test_insert_select_with_column_subset(self, server):
+        server.execute("CREATE TABLE copy1 (id INT PRIMARY KEY, v FLOAT)")
+        server.execute("INSERT INTO copy1 (id, v) SELECT id + 100, v FROM t WHERE id <= 3")
+        assert server.execute("SELECT COUNT(*) FROM copy1").scalar == 3
+
+    def test_insert_select_reordered_columns(self, server):
+        server.execute("CREATE TABLE copy2 (a FLOAT, b INT)")
+        server.execute("INSERT INTO copy2 (b, a) SELECT id, v FROM t WHERE id = 1")
+        assert server.execute("SELECT a, b FROM copy2").rows == [(1.0, 1)]
+
+    def test_insert_select_from_aggregate(self, server):
+        server.execute("CREATE TABLE summary (grp VARCHAR(5), total FLOAT)")
+        server.execute(
+            "INSERT INTO summary SELECT grp, SUM(v) FROM t GROUP BY grp"
+        )
+        assert server.execute("SELECT COUNT(*) FROM summary").scalar == 3
+
+
+class TestViewComposition:
+    def test_view_on_view(self, server):
+        server.execute("CREATE VIEW small AS SELECT id, v FROM t WHERE id <= 6")
+        server.execute("CREATE VIEW tiny AS SELECT id FROM small WHERE id <= 3")
+        assert server.execute("SELECT COUNT(*) FROM tiny").scalar == 3
+
+    def test_view_with_aggregate_queried_further(self, server):
+        server.execute(
+            "CREATE VIEW per_grp AS SELECT grp, COUNT(*) AS n FROM t GROUP BY grp"
+        )
+        result = server.execute("SELECT MAX(n) FROM per_grp")
+        assert result.scalar == 4
+
+    def test_join_view_with_base_table(self, server):
+        server.execute("CREATE VIEW ids AS SELECT id AS vid FROM t WHERE id <= 2")
+        result = server.execute(
+            "SELECT t.v FROM ids JOIN t ON ids.vid = t.id ORDER BY t.v"
+        )
+        assert result.rows == [(1.0,), (2.0,)]
+
+    def test_materialized_view_is_snapshot(self, server):
+        server.execute(
+            "CREATE MATERIALIZED VIEW snap AS SELECT id, v FROM t WHERE id <= 3"
+        )
+        server.execute("UPDATE t SET v = 999 WHERE id = 1")
+        # Materialized views are not auto-maintained on a plain server.
+        assert server.execute("SELECT v FROM snap WHERE id = 1").scalar == 1.0
+
+
+class TestOrderingEdges:
+    def test_mixed_directions(self, server):
+        rows = server.execute(
+            "SELECT grp, id FROM t ORDER BY grp ASC, id DESC"
+        ).rows
+        assert rows[0] == ("g0", 12)
+        assert rows[-1] == ("g2", 2)
+
+    def test_order_by_expression(self, server):
+        rows = server.execute("SELECT id FROM t ORDER BY id % 3, id").rows
+        assert rows[0] == (3,)
+
+    def test_top_larger_than_result(self, server):
+        rows = server.execute("SELECT TOP 100 id FROM t").rows
+        assert len(rows) == 12
+
+    def test_distinct_then_order(self, server):
+        rows = server.execute("SELECT DISTINCT grp FROM t ORDER BY grp DESC").rows
+        assert rows == [("g2",), ("g1",), ("g0",)]
+
+
+class TestExecArgumentShapes:
+    def test_mixed_positional_and_named(self, server):
+        server.execute(
+            "CREATE PROCEDURE mixed @a INT, @b INT = 10, @c INT = 100 AS "
+            "BEGIN SELECT @a + @b + @c AS s END"
+        )
+        assert server.execute("EXEC mixed 1, @c = 5").scalar == 16
+
+    def test_expression_arguments(self, server):
+        server.execute(
+            "CREATE PROCEDURE echo @x INT AS BEGIN SELECT @x AS x END"
+        )
+        assert server.execute("EXEC echo 2 + 3 * 4").scalar == 14
+
+    def test_session_variable_as_argument(self, server):
+        from repro import Session
+
+        session = Session()
+        server.execute("CREATE PROCEDURE echo2 @x INT AS BEGIN SELECT @x AS x END")
+        server.execute("DECLARE @mine INT = 42", session=session)
+        assert server.execute("EXEC echo2 @x = @mine", session=session).scalar == 42
+
+
+class TestSubqueryShapes:
+    def test_in_subquery_with_aggregate(self, server):
+        result = server.execute(
+            "SELECT COUNT(*) FROM t WHERE v > (SELECT AVG(v) FROM t)"
+        )
+        assert result.scalar == 6
+
+    def test_not_in_subquery(self, server):
+        result = server.execute(
+            "SELECT COUNT(*) FROM t WHERE id NOT IN (SELECT id FROM t WHERE id <= 10)"
+        )
+        assert result.scalar == 2
+
+    def test_exists_nonempty(self, server):
+        assert server.execute(
+            "SELECT COUNT(*) FROM t WHERE EXISTS (SELECT 1 FROM t WHERE id = 1)"
+        ).scalar == 12
+
+    def test_not_exists_empty(self, server):
+        assert server.execute(
+            "SELECT COUNT(*) FROM t WHERE NOT EXISTS (SELECT 1 FROM t WHERE id = 999)"
+        ).scalar == 12
+
+    def test_scalar_subquery_in_projection(self, server):
+        result = server.execute(
+            "SELECT id, (SELECT MIN(v) FROM t) AS lo FROM t WHERE id = 5"
+        )
+        assert result.rows == [(5, 1.0)]
+
+    def test_derived_table_with_aggregate_joined(self, server):
+        result = server.execute(
+            "SELECT t.id FROM t JOIN (SELECT grp, MAX(v) AS mx FROM t GROUP BY grp) AS m "
+            "ON t.grp = m.grp AND t.v = m.mx ORDER BY t.id"
+        )
+        assert [row[0] for row in result.rows] == [10, 11, 12]

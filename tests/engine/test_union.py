@@ -1,0 +1,66 @@
+"""UNION ALL statement tests."""
+
+import pytest
+
+from repro import Server
+from repro.errors import ExecutionError
+from repro.sql import parse, parse_statements
+from repro.sql.formatter import format_statement
+
+
+@pytest.fixture
+def server():
+    s = Server("s")
+    s.create_database("db")
+    s.execute("CREATE TABLE a (id INT PRIMARY KEY, v VARCHAR(10))")
+    s.execute("CREATE TABLE b (id INT PRIMARY KEY, v VARCHAR(10))")
+    s.execute("INSERT INTO a VALUES (1, 'a1'), (2, 'a2')")
+    s.execute("INSERT INTO b VALUES (1, 'b1')")
+    return s
+
+
+def test_parse_and_format_roundtrip():
+    statement = parse("SELECT id FROM a UNION ALL SELECT id FROM b UNION ALL SELECT 1")
+    text = format_statement(statement)
+    assert text.count("UNION ALL") == 2
+    assert format_statement(parse(text)) == text
+
+
+def test_union_all_concatenates(server):
+    result = server.execute("SELECT v FROM a UNION ALL SELECT v FROM b")
+    assert sorted(row[0] for row in result.rows) == ["a1", "a2", "b1"]
+
+
+def test_union_all_keeps_duplicates(server):
+    result = server.execute("SELECT v FROM a UNION ALL SELECT v FROM a")
+    assert len(result.rows) == 4
+
+
+def test_union_all_with_params(server):
+    result = server.execute(
+        "SELECT v FROM a WHERE id = @x UNION ALL SELECT v FROM b WHERE id = @x",
+        params={"x": 1},
+    )
+    assert sorted(row[0] for row in result.rows) == ["a1", "b1"]
+
+
+def test_union_arity_mismatch_rejected(server):
+    with pytest.raises(ExecutionError, match="same number of columns"):
+        server.execute("SELECT id, v FROM a UNION ALL SELECT id FROM b")
+
+
+def test_union_routes_branches_independently():
+    from repro import MTCacheDeployment
+    from tests.conftest import make_shop_backend
+
+    backend = make_shop_backend(customers=50, orders=50)
+    deployment = MTCacheDeployment(backend, "shop")
+    cache = deployment.add_cache_server("u_cache")
+    cache.create_cached_view(
+        "CREATE CACHED VIEW uc AS SELECT cid, cname FROM customer WHERE cid <= 25"
+    )
+    result = cache.execute(
+        "SELECT cname FROM customer WHERE cid = 3 "
+        "UNION ALL SELECT cname FROM customer WHERE cid = 40"
+    )
+    assert sorted(row[0] for row in result.rows) == ["cust3", "cust40"]

@@ -1,0 +1,106 @@
+"""Property-based replication convergence.
+
+The core replication invariant: after draining the pipeline, every cached
+view equals the select-project of its base table — no matter what sequence
+of inserts, updates and deletes (including article-boundary crossings and
+multi-statement transactions) the backend committed in between.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MTCacheDeployment, Server
+from repro.engine import Session
+
+
+def build_env():
+    backend = Server("backend")
+    backend.create_database("shop")
+    backend.execute(
+        "CREATE TABLE items (k INT PRIMARY KEY, grp INT NOT NULL, v VARCHAR(20))"
+    )
+    database = backend.database("shop")
+    database.bulk_load("items", [(i, i % 5, f"v{i}") for i in range(1, 41)])
+    database.analyze_all()
+    deployment = MTCacheDeployment(backend, "shop")
+    cache = deployment.add_cache_server("conv")
+    cache.create_cached_view(
+        "CREATE CACHED VIEW part AS SELECT k, grp, v FROM items WHERE k <= 60"
+    )
+    return backend, deployment, cache
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update_v", "update_k", "delete", "txn"]),
+        st.integers(1, 120),
+        st.integers(1, 120),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+@given(ops=operations)
+def test_property_view_converges_to_base_projection(ops):
+    backend, deployment, cache = build_env()
+    next_key = [1000]
+
+    for kind, a, b in ops:
+        if kind == "insert":
+            key = next_key[0]
+            next_key[0] += 1
+            backend.execute(
+                f"INSERT INTO items VALUES ({key}, {a % 5}, 'n{key}')",
+                database="shop",
+            )
+        elif kind == "update_v":
+            backend.execute(
+                f"UPDATE items SET v = 'u{a}' WHERE k = {a}", database="shop"
+            )
+        elif kind == "update_k":
+            # Key moves can cross the article boundary (k <= 60) in either
+            # direction; skip when the destination is occupied.
+            exists = backend.execute(
+                f"SELECT COUNT(*) FROM items WHERE k = {b}", database="shop"
+            ).scalar
+            source = backend.execute(
+                f"SELECT COUNT(*) FROM items WHERE k = {a}", database="shop"
+            ).scalar
+            if exists == 0 and source == 1 and a != b:
+                backend.execute(
+                    f"UPDATE items SET k = {b} WHERE k = {a}", database="shop"
+                )
+        elif kind == "delete":
+            backend.execute(f"DELETE FROM items WHERE k = {a}", database="shop")
+        else:  # a multi-statement transaction
+            session = Session()
+            backend.execute("BEGIN TRANSACTION", session=session, database="shop")
+            backend.execute(
+                f"UPDATE items SET grp = {a % 5} WHERE k = {a}",
+                session=session,
+                database="shop",
+            )
+            backend.execute(
+                f"UPDATE items SET grp = {b % 5} WHERE k = {b}",
+                session=session,
+                database="shop",
+            )
+            backend.execute("COMMIT", session=session, database="shop")
+        deployment.clock.advance(0.1)
+        deployment.tick()
+
+    deployment.clock.advance(1.0)
+    deployment.sync()
+
+    expected = backend.execute(
+        "SELECT k, grp, v FROM items WHERE k <= 60 ORDER BY k", database="shop"
+    ).rows
+    actual = cache.execute("SELECT k, grp, v FROM part ORDER BY k").rows
+    assert actual == expected

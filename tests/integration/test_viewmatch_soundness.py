@@ -1,0 +1,97 @@
+"""End-to-end soundness of view matching + dynamic plans.
+
+Hypothesis generates a random cached-view range, a random query predicate
+and random parameter values; the cache's answers must always equal the
+backend's. This exercises the whole pipeline — containment checking, guard
+derivation, ChoosePlan construction, startup-predicate evaluation — as one
+black box under adversarial ranges and boundary values.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MTCacheDeployment, Server
+
+
+def build_env(view_bound):
+    backend = Server("backend")
+    backend.create_database("shop")
+    backend.execute(
+        "CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(20) NOT NULL)"
+    )
+    database = backend.database("shop")
+    database.bulk_load("t", [(i, f"v{i}") for i in range(1, 101)])
+    database.analyze_all()
+    deployment = MTCacheDeployment(backend, "shop")
+    cache = deployment.add_cache_server("cache")
+    cache.create_cached_view(
+        f"CREATE CACHED VIEW part AS SELECT k, v FROM t WHERE k <= {view_bound}"
+    )
+    return backend, cache
+
+
+# A handful of environments with different view bounds, reused across
+# examples (building servers is the expensive part).
+_ENVS = {}
+
+
+def env_for(view_bound):
+    if view_bound not in _ENVS:
+        _ENVS[view_bound] = build_env(view_bound)
+    return _ENVS[view_bound]
+
+
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    view_bound=st.sampled_from([1, 37, 50, 99, 100]),
+    op=st.sampled_from(["<", "<=", "=", ">", ">="]),
+    value=st.one_of(st.none(), st.integers(-5, 120)),
+)
+def test_property_parameterized_queries_always_agree(view_bound, op, value):
+    backend, cache = env_for(view_bound)
+    sql = f"SELECT k, v FROM t WHERE k {op} @p ORDER BY k"
+    expected = backend.execute(sql, params={"p": value}, database="shop").rows
+    actual = cache.execute(sql, params={"p": value}).rows
+    assert actual == expected
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    view_bound=st.sampled_from([37, 50, 100]),
+    low=st.integers(-5, 120),
+    width=st.integers(0, 60),
+)
+def test_property_constant_ranges_always_agree(view_bound, low, width):
+    backend, cache = env_for(view_bound)
+    sql = f"SELECT k FROM t WHERE k BETWEEN {low} AND {low + width} ORDER BY k"
+    expected = backend.execute(sql, database="shop").rows
+    actual = cache.execute(sql).rows
+    assert actual == expected
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    view_bound=st.sampled_from([37, 100]),
+    a=st.one_of(st.none(), st.integers(-5, 120)),
+    b=st.one_of(st.none(), st.integers(-5, 120)),
+)
+def test_property_two_parameter_conjunction(view_bound, a, b):
+    backend, cache = env_for(view_bound)
+    sql = "SELECT k FROM t WHERE k >= @a AND k <= @b ORDER BY k"
+    params = {"a": a, "b": b}
+    expected = backend.execute(sql, params=params, database="shop").rows
+    actual = cache.execute(sql, params=params).rows
+    assert actual == expected

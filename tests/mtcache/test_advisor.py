@@ -1,0 +1,160 @@
+"""Cache design advisor tests (paper §7 future work)."""
+
+import pytest
+
+from repro import MTCacheDeployment
+from repro.mtcache.advisor import CacheAdvisor, WorkloadStatement
+
+from tests.conftest import make_shop_backend
+
+
+@pytest.fixture
+def backend():
+    server = make_shop_backend()
+    server.execute(
+        """
+        CREATE PROCEDURE readCustomer @id INT AS
+        BEGIN
+            SELECT cname, segment FROM customer WHERE cid = @id
+        END
+        """,
+        database="shop",
+    )
+    server.execute(
+        """
+        CREATE PROCEDURE touchOrder @id INT AS
+        BEGIN
+            UPDATE orders SET status = 'TOUCHED' WHERE oid = @id
+            SELECT status FROM orders WHERE oid = @id
+        END
+        """,
+        database="shop",
+    )
+    return server
+
+
+class TestViewRecommendations:
+    def test_read_dominated_table_gets_view(self, backend):
+        advisor = CacheAdvisor(backend, "shop")
+        report = advisor.recommend(
+            [
+                WorkloadStatement("SELECT cname FROM customer WHERE cid = 5", 10),
+                WorkloadStatement("UPDATE customer SET segment = 'x' WHERE cid = 5", 1),
+            ]
+        )
+        tables = {view.table.lower() for view in report.views}
+        assert "customer" in tables
+        view = next(v for v in report.views if v.table.lower() == "customer")
+        # Referenced column + the primary key for change application.
+        assert "cname" in view.columns and "cid" in view.columns
+
+    def test_write_dominated_table_excluded(self, backend):
+        advisor = CacheAdvisor(backend, "shop")
+        report = advisor.recommend(
+            [
+                WorkloadStatement("SELECT total FROM orders WHERE oid = 1", 1),
+                WorkloadStatement("UPDATE orders SET total = 0 WHERE oid = 1", 10),
+            ]
+        )
+        assert not any(view.table.lower() == "orders" for view in report.views)
+
+    def test_horizontal_restriction_detected(self, backend):
+        advisor = CacheAdvisor(backend, "shop")
+        report = advisor.recommend(
+            [
+                WorkloadStatement("SELECT cname FROM customer WHERE cid <= 100", 5),
+                WorkloadStatement("SELECT segment FROM customer WHERE cid <= 50", 5),
+            ]
+        )
+        view = next(v for v in report.views if v.table.lower() == "customer")
+        assert view.predicate == "cid <= 100"
+
+    def test_no_restriction_when_some_reads_unconstrained(self, backend):
+        advisor = CacheAdvisor(backend, "shop")
+        report = advisor.recommend(
+            [
+                WorkloadStatement("SELECT cname FROM customer WHERE cid <= 100", 5),
+                WorkloadStatement("SELECT COUNT(*) FROM customer", 5),
+            ]
+        )
+        view = next(v for v in report.views if v.table.lower() == "customer")
+        assert view.predicate is None
+
+    def test_join_reads_attribute_to_both_tables(self, backend):
+        advisor = CacheAdvisor(backend, "shop")
+        report = advisor.recommend(
+            [
+                WorkloadStatement(
+                    "SELECT c.cname, o.total FROM customer c "
+                    "JOIN orders o ON o.o_cid = c.cid",
+                    4,
+                )
+            ]
+        )
+        tables = {view.table.lower() for view in report.views}
+        assert tables == {"customer", "orders"}
+
+    def test_subquery_tables_counted(self, backend):
+        advisor = CacheAdvisor(backend, "shop")
+        report = advisor.recommend(
+            [
+                WorkloadStatement(
+                    "SELECT cname FROM customer WHERE cid IN "
+                    "(SELECT o_cid FROM orders WHERE total > 10)",
+                    3,
+                )
+            ]
+        )
+        tables = {view.table.lower() for view in report.views}
+        assert "orders" in tables
+
+
+class TestProcedureRecommendations:
+    def test_read_only_procedure_recommended(self, backend):
+        advisor = CacheAdvisor(backend, "shop")
+        report = advisor.recommend(
+            [WorkloadStatement("EXEC readCustomer @id = 1", 5)]
+        )
+        assert "readCustomer" in report.procedures_to_copy
+
+    def test_update_dominated_procedure_not_recommended(self, backend):
+        advisor = CacheAdvisor(backend, "shop")
+        report = advisor.recommend([WorkloadStatement("EXEC touchOrder @id = 1", 5)])
+        assert "touchOrder" not in report.procedures_to_copy
+
+    def test_procedure_body_reads_counted_for_views(self, backend):
+        advisor = CacheAdvisor(backend, "shop")
+        report = advisor.recommend(
+            [WorkloadStatement("EXEC readCustomer @id = 1", 5)]
+        )
+        assert any(view.table.lower() == "customer" for view in report.views)
+
+
+class TestApply:
+    def test_report_applies_to_cache_server(self, backend):
+        deployment = MTCacheDeployment(backend, "shop")
+        cache = deployment.add_cache_server("advised")
+        advisor = CacheAdvisor(backend, "shop")
+        report = advisor.recommend(
+            [
+                WorkloadStatement("SELECT cname, segment FROM customer WHERE cid <= 150", 10),
+                WorkloadStatement("EXEC readCustomer @id = 1", 10),
+            ]
+        )
+        report.apply(cache)
+        # The advised view answers the workload locally.
+        planned = cache.plan("SELECT cname FROM customer WHERE cid = 7")
+        assert not planned.uses_remote
+        assert cache.database.catalog.maybe_procedure("readCustomer") is not None
+        # And the advised procedure runs on the cache against cached data.
+        backend.reset_work()
+        assert cache.execute("EXEC readCustomer @id = 7").rows
+        assert backend.total_work.rows_returned == 0
+
+    def test_summary_renders(self, backend):
+        advisor = CacheAdvisor(backend, "shop")
+        report = advisor.recommend(
+            [WorkloadStatement("SELECT cname FROM customer WHERE cid <= 10", 2)]
+        )
+        text = report.summary()
+        assert "CREATE CACHED VIEW" in text

@@ -1,0 +1,81 @@
+"""Operational maintenance: WAL checkpointing and periodic stats refresh."""
+
+import pytest
+
+from repro import MTCacheDeployment
+
+from tests.conftest import make_shop_backend
+
+
+class TestWalCheckpoint:
+    def test_checkpoint_truncates_distributed_prefix(self):
+        backend = make_shop_backend(customers=30, orders=30)
+        deployment = MTCacheDeployment(backend, "shop")
+        cache = deployment.add_cache_server("c1")
+        cache.create_cached_view(
+            "CREATE CACHED VIEW v AS SELECT cid, cname FROM customer"
+        )
+        for cid in range(1, 11):
+            backend.execute(
+                f"UPDATE customer SET cname = 'x{cid}' WHERE cid = {cid}",
+                database="shop",
+            )
+        deployment.sync()
+        wal = backend.database("shop").wal
+        before = len(wal)
+        discarded = deployment.checkpoint_wal()
+        assert discarded > 0
+        assert len(wal) < before
+
+    def test_replication_continues_after_checkpoint(self):
+        backend = make_shop_backend(customers=30, orders=30)
+        deployment = MTCacheDeployment(backend, "shop")
+        cache = deployment.add_cache_server("c1")
+        cache.create_cached_view(
+            "CREATE CACHED VIEW v AS SELECT cid, cname FROM customer"
+        )
+        backend.execute("UPDATE customer SET cname = 'a' WHERE cid = 1", database="shop")
+        deployment.sync()
+        deployment.checkpoint_wal()
+        backend.execute("UPDATE customer SET cname = 'b' WHERE cid = 2", database="shop")
+        deployment.sync()
+        assert cache.execute("SELECT cname FROM v WHERE cid = 2").scalar == "b"
+
+    def test_checkpoint_never_discards_undistributed(self):
+        backend = make_shop_backend(customers=30, orders=30)
+        deployment = MTCacheDeployment(backend, "shop")
+        cache = deployment.add_cache_server("c1")
+        cache.create_cached_view(
+            "CREATE CACHED VIEW v AS SELECT cid, cname FROM customer"
+        )
+        deployment.sync()
+        # Change committed but the log reader has NOT polled yet.
+        backend.execute("UPDATE customer SET cname = 'kept' WHERE cid = 3", database="shop")
+        deployment.checkpoint_wal()
+        deployment.sync()  # must still see the change
+        assert cache.execute("SELECT cname FROM v WHERE cid = 3").scalar == "kept"
+
+
+class TestStatsAutoRefresh:
+    def test_periodic_refresh_during_tick(self):
+        backend = make_shop_backend(customers=100, orders=100)
+        deployment = MTCacheDeployment(
+            backend, "shop", stats_refresh_interval=5.0
+        )
+        cache = deployment.add_cache_server("c1")
+        assert cache.database.stats_for("customer").row_count == 100
+
+        backend.execute("DELETE FROM customer WHERE cid > 40", database="shop")
+        deployment.tick(1.0)
+        # Interval not elapsed yet: stats unchanged.
+        assert cache.database.stats_for("customer").row_count == 100
+        deployment.tick(6.0)
+        assert cache.database.stats_for("customer").row_count == 40
+
+    def test_no_refresh_when_disabled(self):
+        backend = make_shop_backend(customers=100, orders=100)
+        deployment = MTCacheDeployment(backend, "shop")
+        cache = deployment.add_cache_server("c1")
+        backend.execute("DELETE FROM customer WHERE cid > 40", database="shop")
+        deployment.tick(100.0)
+        assert cache.database.stats_for("customer").row_count == 100

@@ -1,0 +1,137 @@
+"""Cost-based routing: local vs remote vs hybrid (paper §5)."""
+
+import pytest
+
+from repro import MTCacheDeployment
+from repro.exec.operators import RemoteQueryOp
+
+from tests.conftest import make_shop_backend
+
+
+@pytest.fixture
+def env():
+    backend = make_shop_backend()
+    deployment = MTCacheDeployment(backend, "shop")
+    cache = deployment.add_cache_server("cache1")
+    cache.create_cached_view(
+        "CREATE CACHED VIEW vcust AS SELECT cid, cname, segment FROM customer"
+    )
+    return backend, deployment, cache
+
+
+def is_fully_local(planned):
+    return not any(isinstance(n, RemoteQueryOp) for n in planned.root.walk())
+
+
+def is_fully_remote(planned):
+    return isinstance(planned.root, RemoteQueryOp)
+
+
+class TestRouting:
+    def test_covered_query_runs_locally(self, env):
+        _, _, cache = env
+        planned = cache.plan("SELECT cname FROM customer WHERE cid = 7")
+        assert is_fully_local(planned)
+        assert planned.uses_cached_view
+
+    def test_uncovered_column_goes_remote(self, env):
+        _, _, cache = env
+        # caddress is not in the cached view.
+        planned = cache.plan("SELECT caddress FROM customer WHERE cid = 7")
+        assert planned.uses_remote
+
+    def test_uncached_table_goes_remote(self, env):
+        _, _, cache = env
+        planned = cache.plan("SELECT total FROM orders WHERE oid = 5")
+        assert planned.uses_remote
+
+    def test_hybrid_plan_mixes_local_and_remote(self, env):
+        _, _, cache = env
+        planned = cache.plan(
+            "SELECT c.cname, o.total FROM customer c "
+            "JOIN orders o ON o.o_cid = c.cid WHERE c.segment = 'gold'"
+        )
+        # Whichever shape wins must produce correct results; in the hybrid
+        # case there is a remote op below a local join.
+        result = cache.execute(
+            "SELECT c.cname, o.total FROM customer c "
+            "JOIN orders o ON o.o_cid = c.cid WHERE c.segment = 'gold'"
+        )
+        assert len(result.rows) == 132  # 66 gold customers x 2 orders each
+
+    def test_routing_is_cost_based_not_heuristic(self, env):
+        """DBCache contrast: a matching view must NOT be used when the
+        backend can answer dramatically cheaper. We simulate this by
+        making the remote path nearly free and the local view scan huge."""
+        backend, deployment, _ = env
+        from repro.optimizer.cost import CostModel
+
+        # A cost model where transfers are free and remote execution is
+        # discounted: the backend index seek should win over a local scan.
+        cheap_remote = CostModel(
+            remote_penalty=1.0, transfer_startup=0.0, transfer_per_byte=0.0
+        )
+        cache2 = deployment.add_cache_server("cache2", cost_model=cheap_remote)
+        cache2.create_cached_view(
+            "CREATE CACHED VIEW unindexed AS SELECT cname, caddress FROM customer"
+        )
+        # Query on cname: the view has NO index on cname (backend pk/index
+        # none either, but remote is discounted), local scan vs remote scan
+        # tie goes to whichever is cheaper; with zero transfer cost remote
+        # wins because the view scan pays local filter costs.
+        planned = cache2.plan("SELECT caddress FROM customer WHERE cname = 'cust5'")
+        assert planned.uses_remote
+
+    def test_force_local_views_ablation(self, env):
+        """The DBCache-style always-local policy (ablation knob)."""
+        backend, deployment, _ = env
+        cache3 = deployment.add_cache_server(
+            "cache3", optimizer_options={"force_local_views": True}
+        )
+        cache3.create_cached_view(
+            "CREATE CACHED VIEW vc3 AS SELECT cid, cname, segment FROM customer"
+        )
+        planned = cache3.plan("SELECT cname FROM customer WHERE cid = 1")
+        assert is_fully_local(planned)
+
+    def test_remote_subexpression_ships_as_text(self, env):
+        _, _, cache = env
+        planned = cache.plan("SELECT total FROM orders WHERE oid = 5")
+        remotes = [n for n in planned.root.walk() if isinstance(n, RemoteQueryOp)]
+        assert remotes
+        assert "SELECT" in remotes[0].sql_text
+        assert "orders" in remotes[0].sql_text
+
+    def test_work_is_actually_offloaded(self, env):
+        backend, _, cache = env
+        backend.reset_work()
+        cache.server.reset_work()
+        for cid in range(1, 30):
+            cache.execute("SELECT cname FROM customer WHERE cid = @cid", params={"cid": cid})
+        assert backend.total_work.rows_processed == 0
+        assert cache.server.total_work.rows_processed > 0
+
+    def test_updates_always_go_to_backend(self, env):
+        backend, deployment, cache = env
+        result = cache.execute("UPDATE customer SET segment = 'vip' WHERE cid = 2")
+        assert result.rowcount == 1
+        assert (
+            backend.execute("SELECT segment FROM customer WHERE cid = 2", database="shop").scalar
+            == "vip"
+        )
+        # Cached view still shows old value until replication syncs.
+        deployment.sync()
+        assert cache.execute("SELECT segment FROM vcust WHERE cid = 2").scalar == "vip"
+
+    def test_inserts_and_deletes_forwarded(self, env):
+        backend, deployment, cache = env
+        cache.execute("INSERT INTO customer VALUES (900, 'new', 'a', 'base')")
+        assert (
+            backend.execute("SELECT cname FROM customer WHERE cid = 900", database="shop").scalar
+            == "new"
+        )
+        cache.execute("DELETE FROM customer WHERE cid = 900")
+        assert (
+            backend.execute("SELECT COUNT(*) FROM customer WHERE cid = 900", database="shop").scalar
+            == 0
+        )

@@ -1,0 +1,112 @@
+"""Binder unit tests: namespaces, qualification, substitution."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.optimizer.binder import (
+    Namespace,
+    collect_aggregates,
+    contains_aggregate,
+    qualify_expression,
+    substitute,
+)
+from repro.sql import ast, parse_expression
+
+
+@pytest.fixture
+def namespace():
+    ns = Namespace()
+    ns.add("c", ["cid", "cname"])
+    ns.add("o", ["oid", "cid", "total"])
+    return ns
+
+
+class TestNamespace:
+    def test_duplicate_alias_rejected(self, namespace):
+        with pytest.raises(BindError, match="duplicate"):
+            namespace.add("c", ["x"])
+
+    def test_resolve_qualified(self, namespace):
+        assert namespace.resolve_column("cid", "o") == "o"
+
+    def test_resolve_unqualified_unique(self, namespace):
+        assert namespace.resolve_column("total", None) == "o"
+
+    def test_resolve_unqualified_ambiguous(self, namespace):
+        with pytest.raises(BindError, match="ambiguous"):
+            namespace.resolve_column("cid", None)
+
+    def test_unknown_alias(self, namespace):
+        with pytest.raises(BindError, match="unknown table alias"):
+            namespace.resolve_column("cid", "zzz")
+
+    def test_unknown_column(self, namespace):
+        with pytest.raises(BindError, match="unknown column"):
+            namespace.resolve_column("nope", None)
+
+    def test_column_not_in_named_alias(self, namespace):
+        with pytest.raises(BindError, match="no column"):
+            namespace.resolve_column("total", "c")
+
+    def test_case_insensitive(self, namespace):
+        assert namespace.resolve_column("CNAME", "C") == "c"
+
+
+class TestQualification:
+    def test_unqualified_gets_owner(self, namespace):
+        expression = qualify_expression(parse_expression("cname = 'x'"), namespace)
+        assert expression.left.qualifier == "c"
+
+    def test_already_qualified_kept(self, namespace):
+        # Original spelling is preserved; resolution is case-insensitive.
+        expression = qualify_expression(parse_expression("O.total > 1"), namespace)
+        assert expression.left.qualifier.lower() == "o"
+
+    def test_qualifies_deep_expressions(self, namespace):
+        expression = qualify_expression(
+            parse_expression("CASE WHEN cname LIKE 'a%' THEN total ELSE 0 END"),
+            namespace,
+        )
+        columns = ast.expression_columns(expression)
+        assert {column.qualifier for column in columns} == {"c", "o"}
+
+    def test_qualifies_in_list_and_between(self, namespace):
+        expression = qualify_expression(
+            parse_expression("oid IN (1, 2) AND total BETWEEN 1 AND 2"), namespace
+        )
+        columns = ast.expression_columns(expression)
+        assert all(column.qualifier == "o" for column in columns)
+
+    def test_parameters_untouched(self, namespace):
+        expression = qualify_expression(parse_expression("cname = @p"), namespace)
+        assert isinstance(expression.right, ast.Parameter)
+
+
+class TestSubstitution:
+    def test_whole_node_replaced(self):
+        target = parse_expression("SUM(x)")
+        mapping = {target: ast.ColumnRef("_a0")}
+        result = substitute(parse_expression("SUM(x) + 1"), mapping)
+        assert isinstance(result.left, ast.ColumnRef)
+        assert result.left.name == "_a0"
+
+    def test_root_replacement(self):
+        target = parse_expression("SUM(x)")
+        mapping = {target: ast.ColumnRef("_a0")}
+        result = substitute(parse_expression("SUM(x)"), mapping)
+        assert result == ast.ColumnRef("_a0")
+
+    def test_unmatched_stays(self):
+        mapping = {parse_expression("SUM(y)"): ast.ColumnRef("_a0")}
+        result = substitute(parse_expression("SUM(x)"), mapping)
+        assert isinstance(result, ast.FuncCall)
+
+
+class TestAggregateDetection:
+    def test_contains_aggregate(self):
+        assert contains_aggregate(parse_expression("1 + SUM(x)"))
+        assert not contains_aggregate(parse_expression("UPPER(x)"))
+
+    def test_collect_nested(self):
+        calls = collect_aggregates(parse_expression("SUM(a) + COUNT(*) * MAX(b)"))
+        assert sorted(call.name for call in calls) == ["COUNT", "MAX", "SUM"]

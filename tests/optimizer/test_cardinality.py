@@ -1,0 +1,113 @@
+"""Cardinality estimation and guard-frequency modes."""
+
+import pytest
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.sql import parse_expression
+from repro.storage.statistics import TableStatistics
+
+
+def make_stats(values, column="cid"):
+    rows = [(value,) for value in values]
+    return TableStatistics.build("t", [column], rows)
+
+
+class TestSelectivity:
+    def test_equality_uses_ndv(self):
+        estimator = CardinalityEstimator(make_stats(range(100)))
+        sel = estimator.conjunct_selectivity(parse_expression("cid = 5"))
+        assert sel == pytest.approx(0.01)
+
+    def test_range_uses_histogram(self):
+        estimator = CardinalityEstimator(make_stats(range(100)))
+        sel = estimator.conjunct_selectivity(parse_expression("cid <= 24"))
+        assert sel == pytest.approx(0.25, abs=0.06)
+
+    def test_parameterized_range_default(self):
+        estimator = CardinalityEstimator(make_stats(range(100)))
+        sel = estimator.conjunct_selectivity(parse_expression("cid <= @p"))
+        assert sel == pytest.approx(1.0 / 3.0)
+
+    def test_like_default(self):
+        estimator = CardinalityEstimator(make_stats(range(100)))
+        assert estimator.conjunct_selectivity(parse_expression("cid LIKE 'x%'")) == 0.1
+
+    def test_combined_selectivity_independence(self):
+        estimator = CardinalityEstimator(make_stats(range(100)))
+        combined = estimator.selectivity(
+            [parse_expression("cid = 5"), parse_expression("cid = 6")]
+        )
+        assert combined == pytest.approx(0.0001)
+
+    def test_no_stats_defaults(self):
+        estimator = CardinalityEstimator(None)
+        assert 0 < estimator.conjunct_selectivity(parse_expression("cid = 1")) <= 1
+
+    def test_in_list_scales_with_length(self):
+        estimator = CardinalityEstimator(None)
+        short = estimator.conjunct_selectivity(parse_expression("cid IN (1)"))
+        long = estimator.conjunct_selectivity(parse_expression("cid IN (1,2,3,4)"))
+        assert long > short
+
+
+class TestGuardFrequency:
+    def guard(self, text):
+        return parse_expression(text)
+
+    def test_uniform_mode_linear(self):
+        estimator = CardinalityEstimator(make_stats(range(0, 101)))
+        frequency = estimator.guard_frequency_for_column(self.guard("@p <= 50"), "cid")
+        assert frequency == pytest.approx(0.5, abs=0.02)
+
+    def test_uniform_mode_extremes(self):
+        estimator = CardinalityEstimator(make_stats(range(0, 101)))
+        assert estimator.guard_frequency_for_column(self.guard("@p <= -10"), "cid") == 0.0
+        assert estimator.guard_frequency_for_column(self.guard("@p <= 500"), "cid") == 1.0
+
+    def test_column_mode_tracks_skew(self):
+        # 90% of values at 1, tail spread to 100: for @p <= 10 the uniform
+        # assumption says ~10%, the column distribution says ~90%.
+        values = [1] * 90 + list(range(11, 101, 9))
+        uniform = CardinalityEstimator(make_stats(values))
+        column = CardinalityEstimator(make_stats(values), parameter_distribution="column")
+        guard = self.guard("@p <= 10")
+        uniform_f = uniform.guard_frequency_for_column(guard, "cid")
+        column_f = column.guard_frequency_for_column(guard, "cid")
+        assert uniform_f < 0.2
+        assert column_f > 0.7
+
+    def test_and_guards_multiply(self):
+        estimator = CardinalityEstimator(make_stats(range(0, 101)))
+        frequency = estimator.guard_frequency_for_column(
+            self.guard("@p <= 50 AND @q <= 50"), "cid"
+        )
+        assert frequency == pytest.approx(0.25, abs=0.03)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CardinalityEstimator(None, parameter_distribution="weird")
+
+    def test_unknown_shape_defaults_half(self):
+        estimator = CardinalityEstimator(None)
+        assert estimator.guard_frequency(self.guard("@p LIKE 'x'")) == 0.5
+
+
+class TestPlannerIntegration:
+    def test_mode_flows_through_optimizer(self):
+        from repro import MTCacheDeployment
+        from tests.conftest import make_shop_backend
+
+        backend = make_shop_backend()
+        deployment = MTCacheDeployment(backend, "shop")
+        cache = deployment.add_cache_server(
+            "colmode", optimizer_options={"parameter_distribution": "column"}
+        )
+        cache.create_cached_view(
+            "CREATE CACHED VIEW cm AS SELECT cid, cname FROM customer WHERE cid <= 100"
+        )
+        planned = cache.plan("SELECT cid, cname FROM customer WHERE cid <= @c")
+        assert planned.is_dynamic
+        result = cache.execute(
+            "SELECT cid, cname FROM customer WHERE cid <= @c", params={"c": 10}
+        )
+        assert len(result.rows) == 10

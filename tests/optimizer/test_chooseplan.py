@@ -1,0 +1,249 @@
+"""Dynamic plans: ChoosePlan construction, execution, pull-up, mixed results.
+
+Covers the paper's Figures 2-4: the UnionAll + startup-predicate encoding,
+run-time branch selection by parameter value, cost as a guard-frequency-
+weighted average, pull-up above joins, and the mixed-result alternative
+that is legal for regular materialized views but banned for cached views.
+"""
+
+import pytest
+
+from repro import MTCacheDeployment
+from repro.exec.operators import FilterOp, RemoteQueryOp, UnionAllOp
+from repro.sql import parse
+
+from tests.conftest import make_shop_backend
+
+
+@pytest.fixture(scope="module")
+def env():
+    backend = make_shop_backend()
+    deployment = MTCacheDeployment(backend, "shop")
+    cache = deployment.add_cache_server("cache1")
+    cache.create_cached_view(
+        "CREATE CACHED VIEW Cust1000 AS "
+        "SELECT cid, cname, caddress FROM customer WHERE cid <= 100"
+    )
+    # Orders cached in full so join branches can run locally (Figure 4's
+    # setting: the guard-true branch joins the view with local orders).
+    cache.create_cached_view(
+        "CREATE CACHED VIEW OrdersAll AS SELECT oid, o_cid, total FROM orders"
+    )
+    return backend, deployment, cache
+
+
+PARAM_QUERY = "SELECT cid, cname, caddress FROM customer WHERE cid <= @cid"
+
+
+def choose_plans(planned):
+    return [
+        node
+        for node in planned.root.walk()
+        if isinstance(node, UnionAllOp) and node.choose_plan
+    ]
+
+
+class TestDynamicPlanShape:
+    def test_parameterized_query_gets_chooseplan(self, env):
+        _, _, cache = env
+        planned = cache.plan(PARAM_QUERY)
+        assert planned.is_dynamic
+        plans = choose_plans(planned)
+        assert len(plans) == 1
+
+    def test_branches_have_opposite_startup_guards(self, env):
+        _, _, cache = env
+        planned = cache.plan(PARAM_QUERY)
+        (cp,) = choose_plans(planned)
+        assert len(cp.children) == 2
+        assert all(
+            isinstance(child, FilterOp) and child.startup_predicate is not None
+            for child in cp.children
+        )
+
+    def test_one_branch_is_remote(self, env):
+        _, _, cache = env
+        planned = cache.plan(PARAM_QUERY)
+        (cp,) = choose_plans(planned)
+        remote_branches = [
+            child
+            for child in cp.children
+            if any(isinstance(n, RemoteQueryOp) for n in child.walk())
+        ]
+        assert len(remote_branches) == 1
+
+    def test_cost_is_weighted_average(self, env):
+        _, _, cache = env
+        planned = cache.plan(PARAM_QUERY)
+        (cp,) = choose_plans(planned)
+        local_cost = cp.children[0].children[0].estimated_cost
+        remote_cost = cp.children[1].children[0].estimated_cost
+        assert min(local_cost, remote_cost) <= planned.estimated_cost <= max(
+            local_cost, remote_cost
+        )
+
+
+class TestDynamicPlanExecution:
+    def test_local_branch_when_inside_view(self, env):
+        backend, _, cache = env
+        backend.reset_work()
+        result = cache.execute(PARAM_QUERY, params={"cid": 50})
+        assert len(result.rows) == 50
+        # The backend saw no remote query: the cached view answered it.
+        assert backend.total_work.rows_returned == 0
+
+    def test_remote_branch_when_outside_view(self, env):
+        backend, _, cache = env
+        backend.reset_work()
+        result = cache.execute(PARAM_QUERY, params={"cid": 150})
+        assert len(result.rows) == 150
+        assert backend.total_work.rows_returned > 0
+
+    def test_boundary_value_uses_view(self, env):
+        backend, _, cache = env
+        backend.reset_work()
+        result = cache.execute(PARAM_QUERY, params={"cid": 100})
+        assert len(result.rows) == 100
+        assert backend.total_work.rows_returned == 0
+
+    def test_both_branches_return_identical_schema(self, env):
+        _, _, cache = env
+        low = cache.execute(PARAM_QUERY, params={"cid": 10})
+        high = cache.execute(PARAM_QUERY, params={"cid": 110})
+        assert low.schema.names == high.schema.names
+
+    def test_null_parameter_falls_to_remote_branch_empty(self, env):
+        """A NULL parameter makes both guards UNKNOWN: no rows, no crash
+        (matches WHERE cid <= NULL semantics, which selects nothing)."""
+        _, _, cache = env
+        result = cache.execute(PARAM_QUERY, params={"cid": None})
+        assert result.rows == []
+
+    def test_plan_reused_across_calls(self, env):
+        """The same (cached) plan must serve different parameters — that is
+        the whole point of dynamic plans: no per-value re-optimization."""
+        _, _, cache = env
+        plan1 = cache.plan(PARAM_QUERY)
+        plan2 = cache.plan(PARAM_QUERY)
+        assert plan1 is plan2
+
+
+class TestPullUp:
+    JOIN_QUERY = (
+        "SELECT c.cname, o.total FROM customer c JOIN orders o ON o.o_cid = c.cid "
+        "WHERE c.cid <= @cid"
+    )
+
+    def test_chooseplan_pulled_above_join(self, env):
+        _, _, cache = env
+        planned = cache.plan(self.JOIN_QUERY)
+        assert planned.is_dynamic
+        (cp,) = choose_plans(planned)
+        # Pull-up means the ChoosePlan is the plan root.
+        assert planned.root is cp
+
+    def test_pullup_branches_execute_equivalently(self, env):
+        _, _, cache = env
+        low = cache.execute(self.JOIN_QUERY, params={"cid": 20})
+        high = cache.execute(self.JOIN_QUERY, params={"cid": 120})
+        assert len(low.rows) == 40  # 2 orders per customer
+        assert len(high.rows) == 240
+
+    def test_no_pullup_keeps_chooseplan_at_leaf(self, env):
+        backend, deployment, _ = env
+        cache2 = deployment.add_cache_server(
+            "cache_nopullup", optimizer_options={"pullup_chooseplan": False}
+        )
+        cache2.create_cached_view(
+            "CREATE CACHED VIEW Cust1000b AS "
+            "SELECT cid, cname, caddress FROM customer WHERE cid <= 100"
+        )
+        cache2.create_cached_view(
+            "CREATE CACHED VIEW OrdersAllb AS SELECT oid, o_cid, total FROM orders"
+        )
+        planned = cache2.plan(self.JOIN_QUERY)
+        (cp,) = choose_plans(planned)
+        assert planned.root is not cp  # embedded under the join
+        result = cache2.execute(self.JOIN_QUERY, params={"cid": 20})
+        assert len(result.rows) == 40
+
+    def test_dynamic_plans_disabled(self, env):
+        backend, deployment, _ = env
+        cache3 = deployment.add_cache_server(
+            "cache_nodyn", optimizer_options={"enable_dynamic_plans": False}
+        )
+        cache3.create_cached_view(
+            "CREATE CACHED VIEW Cust1000c AS "
+            "SELECT cid, cname, caddress FROM customer WHERE cid <= 100"
+        )
+        planned = cache3.plan(PARAM_QUERY)
+        assert not planned.is_dynamic
+        result = cache3.execute(PARAM_QUERY, params={"cid": 50})
+        assert len(result.rows) == 50
+
+
+class TestMixedResults:
+    """Figure 3: plans producing mixed results."""
+
+    def test_cached_views_never_produce_mixed_results(self, env):
+        _, _, cache = env
+        planned = cache.plan(PARAM_QUERY)
+        # A mixed plan would be a UnionAll WITHOUT the choose_plan marker
+        # whose first branch is unguarded; for cached views we must see a
+        # proper ChoosePlan instead.
+        assert choose_plans(planned)
+
+    def test_regular_matview_may_mix(self):
+        """On a server where the matching view is a *regular* materialized
+        view over a remote table, the optimizer may produce a mixed-result
+        plan: view rows plus a guarded remote fetch of the remainder."""
+        backend = make_shop_backend()
+        deployment = MTCacheDeployment(backend, "shop")
+        cache = deployment.add_cache_server("cache_mix")
+        # Manufacture a *non-cached* materialized view on the cache server
+        # whose contents mirror customer cid <= 100 (populated via the
+        # backend link by hand).
+        shadow = cache.database
+        from repro.catalog.objects import ViewDef
+        from repro.sql import parse as parse_sql
+
+        create = parse_sql(
+            "CREATE MATERIALIZED VIEW LocalCust AS "
+            "SELECT cid, cname, caddress FROM customer WHERE cid <= 100"
+        )
+        rows = backend.execute(
+            "SELECT cid, cname, caddress FROM customer WHERE cid <= 100",
+            database="shop",
+        ).rows
+        from repro.common.schema import Column, Schema
+        from repro.common.types import INT, VARCHAR
+
+        schema = Schema(
+            [
+                Column("cid", INT, nullable=False),
+                Column("cname", VARCHAR(40)),
+                Column("caddress", VARCHAR(60)),
+            ]
+        )
+        shadow.catalog.add_view(
+            ViewDef("LocalCust", create.select, schema, materialized=True, cached=False)
+        )
+        shadow.create_view_storage("LocalCust", schema, primary_key=("cid",))
+        for row in rows:
+            shadow.storage_table("LocalCust").insert(row)
+        shadow.analyze("LocalCust")
+        shadow.bump_version()
+
+        planned = cache.plan(PARAM_QUERY)
+        mixed = [
+            node
+            for node in planned.root.walk()
+            if isinstance(node, UnionAllOp) and not node.choose_plan
+        ]
+        if mixed:  # the mixed plan won on cost
+            result_low = cache.execute(PARAM_QUERY, params={"cid": 50})
+            result_high = cache.execute(PARAM_QUERY, params={"cid": 150})
+            assert len(result_low.rows) == 50
+            assert len(result_high.rows) == 150
+        else:  # cost chose the dynamic plan; still must be correct
+            assert choose_plans(planned)

@@ -1,0 +1,85 @@
+"""Two guarded leaves: nested ChoosePlan pull-up (four-way plans)."""
+
+import pytest
+
+from repro import MTCacheDeployment
+from repro.exec.operators import UnionAllOp
+
+from tests.conftest import make_shop_backend
+
+
+@pytest.fixture(scope="module")
+def env():
+    backend = make_shop_backend(customers=400, orders=800)
+    deployment = MTCacheDeployment(backend, "shop")
+    cache = deployment.add_cache_server("nested")
+    cache.create_cached_view(
+        "CREATE CACHED VIEW nc AS "
+        "SELECT cid, cname, caddress FROM customer WHERE cid <= 200"
+    )
+    cache.create_cached_view(
+        "CREATE CACHED VIEW no AS "
+        "SELECT oid, o_cid, total FROM orders WHERE oid <= 400"
+    )
+    return backend, cache
+
+
+QUERY = (
+    "SELECT c.cname, o.total FROM customer c JOIN orders o ON o.o_cid = c.cid "
+    "WHERE c.cid <= @c AND o.oid <= @o"
+)
+
+
+def choose_plans(planned):
+    return [
+        node
+        for node in planned.root.walk()
+        if isinstance(node, UnionAllOp) and node.choose_plan
+    ]
+
+
+def test_two_guarded_leaves_nest(env):
+    _, cache = env
+    planned = cache.plan(QUERY)
+    assert planned.is_dynamic
+    # Nested pull-up: an outer ChoosePlan whose branches contain inner ones
+    # (up to 2^2 = 4 fully-specialized join plans).
+    plans = choose_plans(planned)
+    assert len(plans) >= 2
+
+
+@pytest.mark.parametrize(
+    "c,o,expected",
+    [
+        (50, 100, None),  # both guards true: fully local
+        (50, 600, None),  # orders guard false
+        (300, 100, None),  # customer guard false
+        (300, 600, None),  # both false: backend
+    ],
+)
+def test_all_four_branch_combinations_correct(env, c, o, expected):
+    backend, cache = env
+    params = {"c": c, "o": o}
+    reference = backend.execute(
+        "SELECT c.cname, o.total FROM customer c JOIN orders o ON o.o_cid = c.cid "
+        f"WHERE c.cid <= {c} AND o.oid <= {o} ORDER BY o.total, c.cname",
+        database="shop",
+    ).rows
+    actual = sorted(cache.execute(QUERY, params=params).rows, key=lambda r: (r[1], r[0]))
+    assert actual == reference
+    assert len(actual) > 0
+
+
+def test_fully_local_combination_touches_no_backend(env):
+    backend, cache = env
+    cache.execute(QUERY, params={"c": 50, "o": 100})  # warm plan
+    backend.reset_work()
+    cache.execute(QUERY, params={"c": 50, "o": 100})
+    assert backend.total_work.rows_returned == 0
+
+
+def test_guard_false_combination_uses_backend(env):
+    backend, cache = env
+    backend.reset_work()
+    cache.execute(QUERY, params={"c": 300, "o": 600})
+    assert backend.total_work.rows_returned > 0

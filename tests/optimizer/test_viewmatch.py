@@ -1,0 +1,166 @@
+"""View matching: select-project containment with parameter guards."""
+
+import pytest
+
+from repro.catalog.objects import ViewDef
+from repro.common.schema import Column, Schema
+from repro.common.types import INT, VARCHAR
+from repro.optimizer.viewmatch import describe_view, match_view
+from repro.sql import ast, parse, parse_expression
+from repro.optimizer.predicates import split_conjuncts
+
+BASE_COLUMNS = ["cid", "cname", "caddress", "segment"]
+
+
+def make_view(sql):
+    statement = parse(sql)
+    schema = Schema([Column("x", INT)])  # schema content is irrelevant here
+    return ViewDef(
+        name=statement.name,
+        select=statement.select,
+        schema=schema,
+        materialized=True,
+        cached=statement.cached,
+    )
+
+
+def describe(sql):
+    return describe_view(make_view(sql), BASE_COLUMNS)
+
+
+class TestDescribeView:
+    def test_select_project(self):
+        description = describe(
+            "CREATE CACHED VIEW v AS SELECT cid, cname FROM customer WHERE cid <= 1000"
+        )
+        assert description.base_table == "customer"
+        assert set(description.column_mapping) == {"cid", "cname"}
+        assert len(description.conjuncts) == 1
+
+    def test_star_expands(self):
+        description = describe("CREATE CACHED VIEW v AS SELECT * FROM customer")
+        assert set(description.column_mapping) == set(BASE_COLUMNS)
+
+    def test_aliased_output(self):
+        description = describe(
+            "CREATE CACHED VIEW v AS SELECT cid AS id FROM customer"
+        )
+        assert description.column_mapping["cid"] == "id"
+
+    def test_join_views_rejected(self):
+        description = describe(
+            "CREATE CACHED VIEW v AS SELECT c.cid FROM customer c JOIN orders o ON c.cid = o.cid"
+        )
+        assert description is None
+
+    def test_aggregate_views_rejected(self):
+        description = describe(
+            "CREATE CACHED VIEW v AS SELECT COUNT(*) AS n FROM customer"
+        )
+        assert description is None
+
+    def test_computed_columns_rejected(self):
+        description = describe(
+            "CREATE CACHED VIEW v AS SELECT cid + 1 AS c2 FROM customer"
+        )
+        assert description is None
+
+    def test_like_predicate_marks_opaque(self):
+        description = describe(
+            "CREATE CACHED VIEW v AS SELECT cid FROM customer WHERE cname LIKE 'a%'"
+        )
+        assert description.opaque_predicate
+
+
+def try_match(view_sql, table="customer", required=("cid",), where=None):
+    description = describe(view_sql)
+    conjuncts = split_conjuncts(parse_expression(where)) if where else []
+    return match_view(description, table, set(required), conjuncts)
+
+
+class TestMatching:
+    def test_unconditional_full_view(self):
+        match = try_match("CREATE CACHED VIEW v AS SELECT cid, cname FROM customer")
+        assert match is not None and match.unconditional
+
+    def test_wrong_table(self):
+        assert try_match(
+            "CREATE CACHED VIEW v AS SELECT cid FROM customer", table="orders"
+        ) is None
+
+    def test_missing_column(self):
+        assert try_match(
+            "CREATE CACHED VIEW v AS SELECT cid FROM customer",
+            required=("cid", "segment"),
+        ) is None
+
+    def test_constant_containment(self):
+        match = try_match(
+            "CREATE CACHED VIEW v AS SELECT cid FROM customer WHERE cid <= 1000",
+            where="cid <= 500",
+        )
+        assert match is not None and match.unconditional
+
+    def test_constant_non_containment(self):
+        assert try_match(
+            "CREATE CACHED VIEW v AS SELECT cid FROM customer WHERE cid <= 1000",
+            where="cid <= 5000",
+        ) is None
+
+    def test_unconstrained_query_cannot_use_restricted_view(self):
+        assert try_match(
+            "CREATE CACHED VIEW v AS SELECT cid FROM customer WHERE cid <= 1000"
+        ) is None
+
+    def test_parameter_guard(self):
+        match = try_match(
+            "CREATE CACHED VIEW v AS SELECT cid FROM customer WHERE cid <= 1000",
+            where="cid <= @cid",
+        )
+        assert match is not None and not match.unconditional
+        guard = match.guard_expression()
+        assert isinstance(guard, ast.BinaryOp)
+
+    def test_multiple_view_conjuncts_all_must_hold(self):
+        match = try_match(
+            "CREATE CACHED VIEW v AS SELECT cid, segment FROM customer "
+            "WHERE cid <= 1000 AND segment = 'gold'",
+            required=("cid", "segment"),
+            where="cid <= 10 AND segment = 'gold'",
+        )
+        assert match is not None and match.unconditional
+
+    def test_multiple_view_conjuncts_partial_fails(self):
+        assert try_match(
+            "CREATE CACHED VIEW v AS SELECT cid, segment FROM customer "
+            "WHERE cid <= 1000 AND segment = 'gold'",
+            required=("cid",),
+            where="cid <= 10",
+        ) is None
+
+    def test_remainder_for_single_conjunct_view(self):
+        match = try_match(
+            "CREATE CACHED VIEW v AS SELECT cid FROM customer WHERE cid <= 1000",
+            where="cid <= @cid",
+        )
+        assert match.remainder is not None
+        # remainder = NOT(view pred) AND query conjuncts
+        conjuncts = split_conjuncts(match.remainder)
+        ops = sorted(c.op for c in conjuncts if isinstance(c, ast.BinaryOp))
+        assert ">" in ops  # cid > 1000 piece
+
+    def test_remainder_absent_for_multi_conjunct_view(self):
+        match = try_match(
+            "CREATE CACHED VIEW v AS SELECT cid, segment FROM customer "
+            "WHERE cid <= 1000 AND segment = 'gold'",
+            required=("cid", "segment"),
+            where="cid <= 5 AND segment = 'gold'",
+        )
+        assert match.remainder is None
+
+    def test_column_mapping_translation(self):
+        match = try_match(
+            "CREATE CACHED VIEW v AS SELECT cid AS id, cname AS nm FROM customer",
+            required=("cid", "cname"),
+        )
+        assert match.map_column("cname") == "nm"

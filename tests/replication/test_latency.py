@@ -1,0 +1,95 @@
+"""Replication latency in virtual time (Experiment 3 mechanics)."""
+
+import pytest
+
+from repro import MTCacheDeployment
+
+from tests.conftest import make_shop_backend
+
+
+@pytest.fixture
+def env():
+    backend = make_shop_backend(customers=50, orders=100)
+    deployment = MTCacheDeployment(
+        backend, "shop", logreader_interval=0.25, agent_interval=0.25
+    )
+    cache = deployment.add_cache_server("cache1")
+    cache.create_cached_view(
+        "CREATE CACHED VIEW vcust AS SELECT cid, cname FROM customer WHERE cid <= 30"
+    )
+    return backend, deployment, cache
+
+
+def test_latency_bounded_by_polling_intervals(env):
+    backend, deployment, cache = env
+    for step in range(20):
+        deployment.clock.advance(0.1)
+        if step % 4 == 0:
+            cid = (step % 20) + 1
+            backend.execute(
+                f"UPDATE customer SET cname = 'u{step}' WHERE cid = {cid}",
+                database="shop",
+            )
+        deployment.tick()
+    latency = deployment.average_replication_latency()
+    assert latency is not None
+    # Commit -> reader poll -> agent poll: at most ~2 poll intervals + slack.
+    assert 0.0 <= latency <= 0.75
+
+
+def test_slower_agents_mean_higher_latency(env):
+    backend, deployment, cache = env
+    fast = _measure(deployment, backend, agent_interval=0.25)
+    deployment.reset_replication_measurements()
+    slow = _measure(deployment, backend, agent_interval=2.0)
+    assert slow > fast
+
+
+def _measure(deployment, backend, agent_interval):
+    for agent in deployment.distributor.agents:
+        agent.poll_interval = agent_interval
+    deployment.reset_replication_measurements()
+    for step in range(40):
+        deployment.clock.advance(0.1)
+        if step % 5 == 0:
+            cid = (step % 25) + 1
+            backend.execute(
+                f"UPDATE customer SET cname = 'v{step}' WHERE cid = {cid}",
+                database="shop",
+            )
+        deployment.tick()
+    deployment.clock.advance(3.0)
+    deployment.tick()
+    return deployment.average_replication_latency() or 0.0
+
+
+def test_staleness_tracks_sync(env):
+    backend, deployment, cache = env
+    deployment.clock.advance(1.0)
+    deployment.sync()
+    assert cache.staleness() <= 1.0
+    backend.execute("UPDATE customer SET cname = 'x' WHERE cid = 1", database="shop")
+    deployment.clock.advance(5.0)
+    # Without a sync, the cache has no idea about the last 5 seconds.
+    assert cache.staleness() >= 4.0
+    deployment.sync()
+    assert cache.staleness() < 1.0
+
+
+def test_freshness_clause_routes_to_backend_when_stale(env):
+    backend, deployment, cache = env
+    deployment.sync()
+    backend.execute("UPDATE customer SET cname = 'fresh' WHERE cid = 1", database="shop")
+    deployment.clock.advance(100.0)  # now very stale, no sync
+
+    stale_ok = cache.execute(
+        "SELECT cname FROM customer WHERE cid <= 5 WITH FRESHNESS 1000 SECONDS"
+    )
+    # Freshness bound satisfied by the stale cache: local (old) data allowed.
+    assert ("cust1",) in stale_ok.rows
+
+    must_be_fresh = cache.execute(
+        "SELECT cname FROM customer WHERE cid <= 5 WITH FRESHNESS 10 SECONDS"
+    )
+    # Bound violated: the query must fall through to the backend.
+    assert ("fresh",) in must_be_fresh.rows

@@ -1,0 +1,100 @@
+"""Unit tests for the analytic cluster model (no calibration needed)."""
+
+import pytest
+
+from repro.simulation.analytic import ClusterModel, ClusterSpec
+from repro.simulation.calibrate import CalibrationResult, InteractionProfile
+from repro.tpcw import TPCWConfig
+from repro.tpcw.workload import INTERACTIONS, MIXES
+
+
+def synthetic_calibration(cache_work=100.0, backend_work=50.0, commands=0.5):
+    """A calibration where every interaction has identical demands."""
+    profiles = {
+        name: InteractionProfile(
+            name=name,
+            cache_work=cache_work,
+            backend_work=backend_work,
+            db_calls=1.0,
+            replication_commands=commands,
+        )
+        for name in INTERACTIONS
+    }
+    return CalibrationResult(mode="cached", profiles=profiles, config=TPCWConfig())
+
+
+class TestDemands:
+    def test_mix_demand_is_weighted_average(self):
+        calibration = synthetic_calibration(cache_work=100.0, backend_work=50.0)
+        cache, backend, commands = calibration.mix_demand(MIXES["Shopping"])
+        assert cache == pytest.approx(100.0)
+        assert backend == pytest.approx(50.0)
+        assert commands == pytest.approx(0.5)
+
+    def test_demand_unit_conversion(self):
+        spec = ClusterSpec(cpu_capacity=1000.0, web_overhead=100.0)
+        model = ClusterModel(synthetic_calibration(100.0, 50.0, 0.0), spec)
+        demands = model.demands(MIXES["Shopping"])
+        assert demands["web"] == pytest.approx(0.2)  # (100 + 100) / 1000
+        assert demands["backend"] == pytest.approx(0.05)
+
+    def test_replication_toggle_zeroes_commands(self):
+        spec = ClusterSpec(cpu_capacity=1000.0)
+        with_repl = ClusterModel(synthetic_calibration(commands=2.0), spec)
+        without = ClusterModel(
+            synthetic_calibration(commands=2.0), spec, replication_enabled=False
+        )
+        assert with_repl.demands(MIXES["Shopping"])["logreader"] > 0
+        assert without.demands(MIXES["Shopping"])["logreader"] == 0
+
+
+class TestPoints:
+    def spec(self):
+        return ClusterSpec(
+            backend_cpus=2,
+            web_cpus=1,
+            cpu_capacity=1000.0,
+            web_overhead=0.0,
+            utilization_target=0.9,
+            logreader_work_per_command=0.0,
+            apply_work_per_command=0.0,
+        )
+
+    def test_web_bound_point(self):
+        # web demand 0.1 s, backend demand 0.001 s: web tier binds.
+        model = ClusterModel(synthetic_calibration(100.0, 1.0, 0.0), self.spec())
+        point = model.point("Shopping", 2)
+        assert point.bottleneck == "web"
+        assert point.wips == pytest.approx(2 * 0.9 / 0.1)
+        assert point.web_utilization == pytest.approx(0.9)
+
+    def test_backend_bound_point(self):
+        model = ClusterModel(synthetic_calibration(1.0, 400.0, 0.0), self.spec())
+        point = model.point("Shopping", 5)
+        assert point.bottleneck == "backend"
+        assert point.backend_utilization == pytest.approx(0.9)
+
+    def test_backend_utilization_scales_with_wips(self):
+        model = ClusterModel(synthetic_calibration(100.0, 10.0, 0.0), self.spec())
+        one = model.point("Shopping", 1)
+        two = model.point("Shopping", 2)
+        assert two.backend_utilization == pytest.approx(2 * one.backend_utilization)
+
+    def test_max_scaleout_matches_crossover(self):
+        model = ClusterModel(synthetic_calibration(100.0, 10.0, 0.0), self.spec())
+        limit = model.max_scaleout("Shopping")
+        # At the limit the backend is not past 90 %; one more server tips it.
+        at_limit = model.point("Shopping", limit)
+        beyond = model.point("Shopping", limit + 2)
+        assert at_limit.backend_utilization <= 0.9 + 1e-9
+        assert beyond.bottleneck == "backend" or beyond.backend_utilization >= at_limit.backend_utilization
+
+    def test_apply_work_charged_per_cache(self):
+        spec = self.spec()
+        spec.apply_work_per_command = 100.0
+        model = ClusterModel(synthetic_calibration(100.0, 1.0, 1.0), spec)
+        plain = ClusterModel(synthetic_calibration(100.0, 1.0, 0.0), spec)
+        # Apply work raises per-machine demand, lowering per-server WIPS
+        # identically at every N (it does not amortize across caches).
+        for n in (1, 3):
+            assert model.point("Shopping", n).wips < plain.point("Shopping", n).wips

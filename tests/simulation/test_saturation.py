@@ -1,0 +1,56 @@
+"""The paper's user-ramp procedure and DES scale-out linearity."""
+
+import pytest
+
+from repro.simulation import DESConfig, calibrate, simulate_cluster
+from repro.simulation.des import saturating_users
+from repro.tpcw import TPCWConfig
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate(
+        "cached", TPCWConfig(num_items=60, num_ebs=10, bestseller_window=60), repetitions=3
+    )
+
+
+def test_saturating_users_respects_latency_limit(calibration):
+    base = DESConfig(users=8, mix_name="Shopping", servers=1, duration=40, warmup=8)
+    users, result = saturating_users(
+        calibration, base, latency_limit=3.0, max_users=3000
+    )
+    assert users >= 8
+    assert result.p90_latency <= 3.0
+    # At the chosen point the web tier is working hard.
+    assert result.web_utilization > 0.5
+
+
+def test_saturating_users_scales_with_servers(calibration):
+    base1 = DESConfig(users=8, mix_name="Shopping", servers=1, duration=40, warmup=8)
+    base3 = DESConfig(users=8, mix_name="Shopping", servers=3, duration=40, warmup=8)
+    users1, result1 = saturating_users(calibration, base1, max_users=3000)
+    users3, result3 = saturating_users(calibration, base3, max_users=3000)
+    # Three servers sustain substantially more users and throughput.
+    assert users3 > users1
+    assert result3.wips > result1.wips * 1.8
+
+
+def test_des_scaleout_roughly_linear(calibration):
+    """Figure 6(a) via the DES: with plentiful users, Shopping WIPS scales
+    near-linearly in the number of web/cache servers."""
+    wips = []
+    for servers in (1, 2, 4):
+        result = simulate_cluster(
+            calibration,
+            DESConfig(
+                users=400 * servers,
+                mix_name="Shopping",
+                servers=servers,
+                duration=50,
+                warmup=10,
+            ),
+        )
+        assert result.web_utilization > 0.9
+        wips.append(result.wips)
+    assert wips[1] / wips[0] == pytest.approx(2.0, rel=0.15)
+    assert wips[2] / wips[0] == pytest.approx(4.0, rel=0.15)

@@ -1,0 +1,158 @@
+"""Cluster simulation tests: calibration, analytic model, DES."""
+
+import pytest
+
+from repro.simulation import (
+    ClusterModel,
+    ClusterSpec,
+    DESConfig,
+    calibrate,
+    simulate_cluster,
+)
+from repro.tpcw import TPCWConfig
+from repro.tpcw.workload import MIXES
+
+
+@pytest.fixture(scope="module")
+def calibrations():
+    config = TPCWConfig(num_items=60, num_ebs=10, bestseller_window=60)
+    cached = calibrate("cached", config, repetitions=4)
+    nocache = calibrate("nocache", config, repetitions=4)
+    return cached, nocache
+
+
+class TestCalibration:
+    def test_profiles_cover_all_interactions(self, calibrations):
+        cached, nocache = calibrations
+        from repro.tpcw.workload import INTERACTIONS
+
+        assert set(cached.profiles) == set(INTERACTIONS)
+        assert set(nocache.profiles) == set(INTERACTIONS)
+
+    def test_nocache_has_no_cache_work(self, calibrations):
+        _, nocache = calibrations
+        assert all(p.cache_work == 0 for p in nocache.profiles.values())
+
+    def test_caching_offloads_browse_interactions(self, calibrations):
+        cached, nocache = calibrations
+        for name in ("best_sellers", "new_products", "product_detail"):
+            assert cached.profiles[name].backend_work < nocache.profiles[name].backend_work
+            assert cached.profiles[name].cache_work > 0
+
+    def test_updates_stay_on_backend(self, calibrations):
+        cached, _ = calibrations
+        assert cached.profiles["buy_confirm"].backend_work > 0
+
+    def test_replication_commands_only_from_updates(self, calibrations):
+        cached, _ = calibrations
+        assert cached.profiles["buy_confirm"].replication_commands > 0
+        assert cached.profiles["best_sellers"].replication_commands == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate("bogus", TPCWConfig(num_items=20, num_ebs=4), repetitions=1)
+
+
+class TestAnalyticModel:
+    def test_linear_scaling_until_backend_saturates(self, calibrations):
+        cached, _ = calibrations
+        model = ClusterModel(cached)
+        curve = model.curve("Browsing", 5)
+        wips = [point.wips for point in curve]
+        # Browsing offloads nearly everything: WIPS ~ proportional to N.
+        for n in range(1, 5):
+            assert wips[n] / wips[0] == pytest.approx(n + 1, rel=0.05)
+
+    def test_backend_utilization_grows_with_servers(self, calibrations):
+        cached, _ = calibrations
+        model = ClusterModel(cached)
+        curve = model.curve("Ordering", 5)
+        utils = [point.backend_utilization for point in curve]
+        assert all(a <= b + 1e-9 for a, b in zip(utils, utils[1:]))
+        assert utils[-1] <= 0.9 + 1e-9
+
+    def test_ordering_least_scalable(self, calibrations):
+        cached, _ = calibrations
+        model = ClusterModel(cached)
+        assert model.max_scaleout("Ordering") < model.max_scaleout("Shopping")
+        assert model.max_scaleout("Shopping") < model.max_scaleout("Browsing")
+
+    def test_baseline_backend_bound(self, calibrations):
+        """With enough web servers the backend is the baseline bottleneck
+        (the paper ran 5 web servers against the dual-CPU backend; at the
+        tiny unit-test scale a few more are needed for the update-light
+        demands)."""
+        _, nocache = calibrations
+        model = ClusterModel(nocache, replication_enabled=False)
+        for mix in MIXES:
+            point = model.baseline_wips(mix, web_servers=12)
+            assert point.bottleneck == "backend"
+            assert point.backend_utilization == pytest.approx(0.9)
+
+    def test_replication_toggle_reduces_demand(self, calibrations):
+        cached, _ = calibrations
+        with_repl = ClusterModel(cached, replication_enabled=True)
+        without = ClusterModel(cached, replication_enabled=False)
+        assert (
+            without.point("Ordering", 5).wips >= with_repl.point("Ordering", 5).wips
+        )
+
+
+class TestDES:
+    def test_low_load_low_latency(self, calibrations):
+        cached, _ = calibrations
+        result = simulate_cluster(
+            cached, DESConfig(users=10, mix_name="Shopping", servers=2, duration=60)
+        )
+        assert result.completed > 100
+        assert result.p90_latency < 0.5
+        assert result.backend_utilization < 0.5
+
+    def test_throughput_tracks_users_below_saturation(self, calibrations):
+        cached, _ = calibrations
+        small = simulate_cluster(
+            cached, DESConfig(users=10, mix_name="Shopping", servers=2, duration=60)
+        )
+        large = simulate_cluster(
+            cached, DESConfig(users=30, mix_name="Shopping", servers=2, duration=60)
+        )
+        assert large.wips > small.wips * 2
+
+    def test_saturation_raises_latency(self, calibrations):
+        cached, _ = calibrations
+        light = simulate_cluster(
+            cached, DESConfig(users=10, mix_name="Ordering", servers=1, duration=60)
+        )
+        heavy = simulate_cluster(
+            cached, DESConfig(users=800, mix_name="Ordering", servers=1, duration=60)
+        )
+        assert heavy.p90_latency > light.p90_latency
+        assert heavy.web_utilization > 0.8
+
+    def test_replication_latency_measured(self, calibrations):
+        cached, _ = calibrations
+        result = simulate_cluster(
+            cached, DESConfig(users=30, mix_name="Ordering", servers=2, duration=60)
+        )
+        assert result.replication_samples > 0
+        assert result.replication_latency is not None
+        assert result.replication_latency > 0
+
+    def test_replication_latency_grows_under_saturation(self, calibrations):
+        cached, _ = calibrations
+        light = simulate_cluster(
+            cached, DESConfig(users=20, mix_name="Ordering", servers=2, duration=60)
+        )
+        heavy = simulate_cluster(
+            cached,
+            DESConfig(users=1500, mix_name="Ordering", servers=2, duration=60),
+        )
+        assert heavy.replication_latency > light.replication_latency
+
+    def test_deterministic_given_seed(self, calibrations):
+        cached, _ = calibrations
+        cfg = DESConfig(users=15, mix_name="Shopping", servers=1, duration=30, seed=5)
+        first = simulate_cluster(cached, cfg)
+        second = simulate_cluster(cached, cfg)
+        assert first.wips == second.wips
+        assert first.p90_latency == second.p90_latency

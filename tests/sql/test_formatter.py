@@ -1,0 +1,84 @@
+"""Formatter tests: SQL text regeneration and round-tripping.
+
+Round-trip stability matters because MTCache ships remote subexpressions
+as text: format(parse(format(x))) must equal format(x).
+"""
+
+import pytest
+
+from repro.sql import parse, parse_expression
+from repro.sql.formatter import format_expression, format_statement
+
+ROUND_TRIP_STATEMENTS = [
+    "SELECT a, b FROM t",
+    "SELECT TOP 5 DISTINCT a AS x FROM t AS q WHERE a > 1 ORDER BY x DESC",
+    "SELECT COUNT(*) AS n, SUM(a) AS s FROM t GROUP BY b HAVING COUNT(*) > 2",
+    "SELECT * FROM a AS x INNER JOIN b AS y ON x.id = y.id",
+    "SELECT * FROM a CROSS JOIN b",
+    "SELECT * FROM a AS x LEFT JOIN b AS y ON x.id = y.id",
+    "SELECT a FROM (SELECT a FROM t) AS d",
+    "SELECT a FROM srv.db.dbo.t AS p",
+    "SELECT a FROM t WHERE a IN (1, 2, 3)",
+    "SELECT a FROM t WHERE a IN (SELECT b FROM u)",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE '%x%'",
+    "SELECT a FROM t WHERE a IS NULL OR b IS NOT NULL",
+    "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END AS c FROM t",
+    "SELECT cid FROM customer WHERE cid <= @cid",
+    "SELECT a FROM t WITH FRESHNESS 30 SECONDS",
+    "INSERT INTO t (a, b) VALUES (1, 'x''y'), (2, NULL)",
+    "INSERT INTO t SELECT a, b FROM u",
+    "UPDATE t SET a = 1, b = b + 1 WHERE id = 3",
+    "DELETE FROM t WHERE a < 5",
+    "EXEC p @a = 1, 'x'",
+    "EXEC p",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_STATEMENTS)
+def test_round_trip_stable(sql):
+    once = format_statement(parse(sql))
+    twice = format_statement(parse(once))
+    assert once == twice
+
+
+class TestExpressionFormatting:
+    def test_precedence_parenthesization(self):
+        text = format_expression(parse_expression("(1 + 2) * 3"))
+        assert text == "(1 + 2) * 3"
+
+    def test_no_spurious_parens(self):
+        text = format_expression(parse_expression("1 + 2 * 3"))
+        assert text == "1 + 2 * 3"
+
+    def test_non_associative_right_parens(self):
+        expression = parse_expression("10 - (4 - 2)")
+        text = format_expression(expression)
+        reparsed = parse_expression(text)
+        assert format_expression(reparsed) == text
+
+    def test_parameters(self):
+        assert format_expression(parse_expression("@x + 1")) == "@x + 1"
+
+    def test_not_parenthesizes(self):
+        text = format_expression(parse_expression("NOT a = 1 AND b = 2"))
+        reparsed = parse_expression(text)
+        assert format_expression(reparsed) == text
+
+    def test_string_escaping_survives(self):
+        text = format_expression(parse_expression("'it''s'"))
+        assert text == "'it''s'"
+
+
+class TestStatementFormatting:
+    def test_transactions(self):
+        assert format_statement(parse("BEGIN TRANSACTION")) == "BEGIN TRANSACTION"
+        assert format_statement(parse("COMMIT")) == "COMMIT"
+
+    def test_cached_view(self):
+        text = format_statement(parse("CREATE CACHED VIEW v AS SELECT a FROM t"))
+        assert text.startswith("CREATE CACHED VIEW v AS SELECT")
+
+    def test_select_assignment(self):
+        text = format_statement(parse("SELECT @x = a FROM t"))
+        assert "@x = a" in text

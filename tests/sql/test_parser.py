@@ -1,0 +1,293 @@
+"""Parser tests over the T-SQL subset."""
+
+import pytest
+
+from repro.common.types import TypeKind
+from repro.errors import ParseError
+from repro.sql import ast, parse, parse_expression, parse_statements
+
+
+class TestSelect:
+    def test_simple(self):
+        statement = parse("SELECT a, b FROM t")
+        assert isinstance(statement, ast.Select)
+        assert len(statement.items) == 2
+        assert statement.from_clause.object_name == "t"
+
+    def test_star(self):
+        statement = parse("SELECT * FROM t")
+        assert isinstance(statement.items[0].expression, ast.Star)
+
+    def test_qualified_star(self):
+        statement = parse("SELECT t.* FROM t")
+        assert statement.items[0].expression.qualifier == "t"
+
+    def test_top(self):
+        statement = parse("SELECT TOP 5 a FROM t")
+        assert statement.top == ast.Literal(5)
+
+    def test_top_parameter(self):
+        statement = parse("SELECT TOP (@n) a FROM t")
+        assert statement.top == ast.Parameter("n")
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_aliases(self):
+        statement = parse("SELECT a AS x, b y FROM t")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+
+    def test_where_group_having_order(self):
+        statement = parse(
+            "SELECT a, COUNT(*) c FROM t WHERE b > 1 "
+            "GROUP BY a HAVING COUNT(*) > 2 ORDER BY c DESC, a"
+        )
+        assert statement.where is not None
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+        assert statement.order_by[0].descending
+        assert not statement.order_by[1].descending
+
+    def test_joins(self):
+        statement = parse(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        outer = statement.from_clause
+        assert isinstance(outer, ast.JoinRef)
+        assert outer.kind == "LEFT"
+        assert outer.left.kind == "INNER"
+
+    def test_comma_join_is_cross(self):
+        statement = parse("SELECT * FROM a, b")
+        assert statement.from_clause.kind == "CROSS"
+
+    def test_derived_table(self):
+        statement = parse("SELECT * FROM (SELECT a FROM t) AS d")
+        assert isinstance(statement.from_clause, ast.DerivedTable)
+        assert statement.from_clause.alias == "d"
+
+    def test_four_part_name(self):
+        statement = parse("SELECT * FROM srv.db.dbo.part p")
+        table = statement.from_clause
+        assert table.parts == ("srv", "db", "dbo", "part")
+        assert table.server == "srv"
+        assert table.binding_name == "p"
+
+    def test_five_part_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM a.b.c.d.e")
+
+    def test_freshness_clause(self):
+        statement = parse("SELECT a FROM t WITH FRESHNESS 30 SECONDS")
+        assert statement.freshness.max_staleness_seconds == 30.0
+
+    def test_freshness_minutes(self):
+        statement = parse("SELECT a FROM t WITH FRESHNESS 2 MINUTES")
+        assert statement.freshness.max_staleness_seconds == 120.0
+
+    def test_select_assignment(self):
+        statement = parse("SELECT @x = a FROM t")
+        assert statement.items[0].target_parameter == "x"
+
+    def test_no_from(self):
+        statement = parse("SELECT 1, 'a'")
+        assert statement.from_clause is None
+
+    def test_in_subquery(self):
+        statement = parse("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(statement.where, ast.InSubquery)
+
+    def test_exists(self):
+        statement = parse("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert isinstance(statement.where, ast.Exists)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t extra stuff ,")
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert expression.op == "+"
+        assert expression.right.op == "*"
+
+    def test_precedence_logic(self):
+        expression = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expression.op == "OR"
+        assert expression.right.op == "AND"
+
+    def test_not(self):
+        expression = parse_expression("NOT a = 1")
+        assert isinstance(expression, ast.UnaryOp)
+
+    def test_between(self):
+        expression = parse_expression("a BETWEEN 1 AND 5")
+        assert isinstance(expression, ast.Between)
+
+    def test_not_between(self):
+        expression = parse_expression("a NOT BETWEEN 1 AND 5")
+        assert expression.negated
+
+    def test_like(self):
+        expression = parse_expression("name LIKE '%x%'")
+        assert isinstance(expression, ast.Like)
+
+    def test_in_list(self):
+        expression = parse_expression("a IN (1, 2, 3)")
+        assert len(expression.items) == 3
+
+    def test_is_null_and_not_null(self):
+        assert not parse_expression("a IS NULL").negated
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_case_when(self):
+        expression = parse_expression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expression, ast.CaseWhen)
+        assert expression.else_result == ast.Literal("y")
+
+    def test_function_calls(self):
+        expression = parse_expression("COALESCE(a, UPPER(b), 1)")
+        assert expression.name == "COALESCE"
+        assert expression.args[1].name == "UPPER"
+
+    def test_count_star(self):
+        expression = parse_expression("COUNT(*)")
+        assert isinstance(expression.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        assert parse_expression("COUNT(DISTINCT a)").distinct
+
+    def test_unary_minus_folds_literals(self):
+        assert parse_expression("-5") == ast.Literal(-5)
+
+    def test_negative_in_arithmetic(self):
+        expression = parse_expression("a * -2")
+        assert expression.right == ast.Literal(-2)
+
+    def test_string_concat_plus(self):
+        expression = parse_expression("'%' + @w + '%'")
+        assert expression.op == "+"
+
+
+class TestDml:
+    def test_insert_values(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert statement.columns == ("a", "b")
+        assert len(statement.rows) == 2
+
+    def test_insert_select(self):
+        statement = parse("INSERT INTO t SELECT a, b FROM u")
+        assert statement.select is not None
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert len(statement.assignments) == 2
+        assert statement.where is not None
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE a < 5")
+        assert statement.table.object_name == "t"
+
+    def test_delete_without_from(self):
+        statement = parse("DELETE t")
+        assert statement.table.object_name == "t"
+
+
+class TestDdl:
+    def test_create_table(self):
+        statement = parse(
+            "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(40) NOT NULL, "
+            "score FLOAT, d NUMERIC(10,2))"
+        )
+        assert statement.columns[0].primary_key
+        assert not statement.columns[1].nullable
+        assert statement.columns[3].sql_type.kind is TypeKind.NUMERIC
+
+    def test_create_table_composite_pk(self):
+        statement = parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert statement.primary_key == ("a", "b")
+
+    def test_create_table_foreign_key(self):
+        statement = parse(
+            "CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES u (x))"
+        )
+        assert statement.foreign_keys[0].ref_table == "u"
+
+    def test_create_index(self):
+        statement = parse("CREATE UNIQUE INDEX ix ON t (a, b)")
+        assert statement.unique
+        assert statement.columns == ("a", "b")
+
+    def test_create_views(self):
+        plain = parse("CREATE VIEW v AS SELECT a FROM t")
+        materialized = parse("CREATE MATERIALIZED VIEW v AS SELECT a FROM t")
+        cached = parse("CREATE CACHED VIEW v AS SELECT a FROM t")
+        assert not plain.materialized
+        assert materialized.materialized and not materialized.cached
+        assert cached.cached and cached.materialized
+
+    def test_create_procedure(self):
+        statement = parse(
+            """
+            CREATE PROCEDURE p @a INT, @b VARCHAR(10) = 'x' AS
+            BEGIN
+                DECLARE @c INT = 0
+                IF @a > 1
+                BEGIN
+                    SET @c = @a
+                END
+                ELSE
+                    SET @c = 0
+                WHILE @c > 0
+                    SET @c = @c - 1
+                RETURN @c
+            END
+            """
+        )
+        assert len(statement.params) == 2
+        assert statement.params[1].default == ast.Literal("x")
+        kinds = [type(s).__name__ for s in statement.body]
+        assert kinds == ["Declare", "IfStatement", "WhileStatement", "ReturnStatement"]
+
+    def test_drop(self):
+        assert parse("DROP TABLE t").kind == "TABLE"
+        assert parse("DROP PROC p").kind == "PROCEDURE"
+
+    def test_grant(self):
+        statement = parse("GRANT SELECT ON t TO alice")
+        assert statement.permission == "SELECT"
+        assert statement.principal == "alice"
+
+
+class TestExecAndBatches:
+    def test_exec_named_args(self):
+        statement = parse("EXEC p @a = 1, @b = 'x'")
+        assert statement.arguments[0] == ("a", ast.Literal(1))
+
+    def test_exec_positional(self):
+        statement = parse("EXEC p 1, 2")
+        assert statement.arguments[0][0] is None
+
+    def test_exec_no_args(self):
+        assert parse("EXEC p").arguments == ()
+
+    def test_exec_four_part(self):
+        statement = parse("EXECUTE srv.db.dbo.p 1")
+        assert statement.procedure == ("srv", "db", "dbo", "p")
+
+    def test_transactions(self):
+        batch = parse_statements("BEGIN TRANSACTION; COMMIT; ROLLBACK")
+        assert [type(s).__name__ for s in batch] == [
+            "BeginTransaction",
+            "CommitTransaction",
+            "RollbackTransaction",
+        ]
+
+    def test_batch_with_semicolons(self):
+        batch = parse_statements("SELECT 1;; SELECT 2;")
+        assert len(batch) == 2
+
+    def test_empty_batch(self):
+        assert parse_statements("  -- nothing\n") == []

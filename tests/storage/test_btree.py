@@ -1,0 +1,181 @@
+"""B+-tree unit and property-based tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BPlusTree, encode_key
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(encode_key((1,))) == []
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+
+    def test_insert_get(self):
+        tree = BPlusTree()
+        tree.insert(encode_key((5,)), "a")
+        assert tree.get(encode_key((5,))) == ["a"]
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree()
+        key = encode_key((5,))
+        tree.insert(key, "a")
+        tree.insert(key, "b")
+        assert sorted(tree.get(key)) == ["a", "b"]
+        assert len(tree) == 2
+
+    def test_delete_specific_payload(self):
+        tree = BPlusTree()
+        key = encode_key((5,))
+        tree.insert(key, "a")
+        tree.insert(key, "b")
+        assert tree.delete(key, "a")
+        assert tree.get(key) == ["b"]
+
+    def test_delete_missing_returns_false(self):
+        tree = BPlusTree()
+        assert not tree.delete(encode_key((1,)), "x")
+
+    def test_clear(self):
+        tree = BPlusTree()
+        for i in range(100):
+            tree.insert(encode_key((i,)), i)
+        tree.clear()
+        assert len(tree) == 0
+
+
+class TestSplitsAndOrder:
+    def test_many_inserts_stay_sorted(self):
+        tree = BPlusTree(order=8)
+        values = list(range(1000))
+        random.Random(3).shuffle(values)
+        for value in values:
+            tree.insert(encode_key((value,)), value)
+        scanned = [payload for _, payload in tree.scan()]
+        assert scanned == list(range(1000))
+
+    def test_min_max(self):
+        tree = BPlusTree(order=8)
+        for value in (5, 1, 9, 3):
+            tree.insert(encode_key((value,)), value)
+        assert tree.min_key() == encode_key((1,))
+        assert tree.max_key() == encode_key((9,))
+
+    def test_max_key_after_deleting_rightmost(self):
+        tree = BPlusTree(order=4)
+        for value in range(50):
+            tree.insert(encode_key((value,)), value)
+        for value in range(40, 50):
+            assert tree.delete(encode_key((value,)), value)
+        assert tree.max_key() == encode_key((39,))
+
+
+class TestRangeScans:
+    def make_tree(self):
+        tree = BPlusTree(order=8)
+        for value in range(0, 100, 2):  # evens
+            tree.insert(encode_key((value,)), value)
+        return tree
+
+    def test_bounded_inclusive(self):
+        tree = self.make_tree()
+        result = [p for _, p in tree.scan(encode_key((10,)), encode_key((20,)))]
+        assert result == [10, 12, 14, 16, 18, 20]
+
+    def test_bounded_exclusive(self):
+        tree = self.make_tree()
+        result = [
+            p
+            for _, p in tree.scan(
+                encode_key((10,)), encode_key((20,)), low_inclusive=False, high_inclusive=False
+            )
+        ]
+        assert result == [12, 14, 16, 18]
+
+    def test_open_low(self):
+        tree = self.make_tree()
+        result = [p for _, p in tree.scan(high=encode_key((6,)))]
+        assert result == [0, 2, 4, 6]
+
+    def test_open_high(self):
+        tree = self.make_tree()
+        result = [p for _, p in tree.scan(low=encode_key((94,)))]
+        assert result == [94, 96, 98]
+
+    def test_bounds_between_keys(self):
+        tree = self.make_tree()
+        result = [p for _, p in tree.scan(encode_key((11,)), encode_key((15,)))]
+        assert result == [12, 14]
+
+    def test_prefix_scan_composite(self):
+        tree = BPlusTree()
+        for a in range(3):
+            for b in range(4):
+                tree.insert(encode_key((a, b)), (a, b))
+        result = [p for _, p in tree.scan_prefix(encode_key((1,)))]
+        assert result == [(1, 0), (1, 1), (1, 2), (1, 3)]
+
+
+class TestKeyEncoding:
+    def test_null_sorts_first(self):
+        tree = BPlusTree()
+        tree.insert(encode_key((5,)), 5)
+        tree.insert(encode_key((None,)), None)
+        tree.insert(encode_key((1,)), 1)
+        assert [p for _, p in tree.scan()] == [None, 1, 5]
+
+    def test_mixed_int_float_compare(self):
+        assert encode_key((1,)) < encode_key((1.5,)) < encode_key((2,))
+
+    def test_strings_and_numbers_do_not_collide(self):
+        tree = BPlusTree()
+        tree.insert(encode_key(("a",)), "a")
+        tree.insert(encode_key((1,)), 1)
+        assert [p for _, p in tree.scan()] == [1, "a"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(-1000, 1000), st.integers(0, 5)),
+        min_size=0,
+        max_size=300,
+    )
+)
+def test_property_scan_matches_sorted_insertion(pairs):
+    """Full scan always yields entries in encoded-key order with the right
+    multiplicity, regardless of insertion order."""
+    tree = BPlusTree(order=6)
+    for key_value, payload in pairs:
+        tree.insert(encode_key((key_value,)), payload)
+    scanned = [(key, payload) for key, payload in tree.scan()]
+    expected = sorted(
+        (encode_key((key_value,)), payload) for key_value, payload in pairs
+    )
+    # Payload order within a key is insertion order, so compare as multisets
+    # per key while requiring global key order.
+    assert [key for key, _ in scanned] == [key for key, _ in expected]
+    assert sorted(scanned) == expected
+    assert len(tree) == len(pairs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(0, 200), min_size=1, max_size=200, unique=True),
+    st.data(),
+)
+def test_property_deletes_remove_exactly(keys, data):
+    tree = BPlusTree(order=6)
+    for key_value in keys:
+        tree.insert(encode_key((key_value,)), key_value)
+    to_delete = data.draw(st.lists(st.sampled_from(keys), unique=True))
+    for key_value in to_delete:
+        assert tree.delete(encode_key((key_value,)), key_value)
+    remaining = sorted(set(keys) - set(to_delete))
+    assert [p for _, p in tree.scan()] == remaining

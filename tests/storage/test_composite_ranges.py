@@ -1,0 +1,87 @@
+"""Composite-index range scans: prefix bounds vs brute force.
+
+Regression guard for the prefix-upper-bound bug: a high bound shorter than
+the index key must cover every key sharing the prefix (``(1,)`` as a high
+bound must include ``(1, 4)``).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.schema import Column, Schema
+from repro.common.types import INT
+from repro.storage.table import Table
+
+
+def make_table(pairs):
+    schema = Schema(
+        [
+            Column("a", INT, nullable=False),
+            Column("b", INT, nullable=False),
+            Column("payload", INT),
+        ]
+    )
+    table = Table("t", schema)
+    table.create_index("ix_ab", ["a", "b"])
+    for position, (a, b) in enumerate(pairs):
+        table.insert((a, b, position))
+    return table
+
+
+def scan(table, low=None, high=None, low_inclusive=True, high_inclusive=True):
+    index = table.indexes["ix_ab"]
+    return sorted(
+        table.rows[rid][:2]
+        for rid in index.range_scan(low, high, low_inclusive, high_inclusive)
+    )
+
+
+class TestPrefixBounds:
+    def setup_method(self):
+        self.table = make_table([(a, b) for a in range(3) for b in range(4)])
+
+    def test_full_prefix_high_bound_covers_group(self):
+        assert scan(self.table, low=(1,), high=(1,)) == [
+            (1, 0), (1, 1), (1, 2), (1, 3),
+        ]
+
+    def test_prefix_with_high_component(self):
+        assert scan(self.table, low=(1, 2), high=(1,)) == [(1, 2), (1, 3)]
+
+    def test_prefix_with_low_and_high_components(self):
+        assert scan(self.table, low=(1, 1), high=(1, 2)) == [(1, 1), (1, 2)]
+
+    def test_exclusive_low_component(self):
+        assert scan(self.table, low=(1, 1), high=(1,), low_inclusive=False) == [
+            (1, 2), (1, 3),
+        ]
+
+    def test_short_exclusive_high_is_strict_prefix_cut(self):
+        # Exclusive high (1,) excludes everything with prefix >= (1,...).
+        assert scan(self.table, low=(0,), high=(1,), high_inclusive=False) == [
+            (0, 0), (0, 1), (0, 2), (0, 3),
+        ]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=0, max_size=40
+    ),
+    a_low=st.integers(0, 4),
+    b_bound=st.one_of(st.none(), st.integers(0, 4)),
+    direction=st.sampled_from(["<=", ">="]),
+)
+def test_property_prefix_range_matches_bruteforce(pairs, a_low, b_bound, direction):
+    table = make_table(pairs)
+    if b_bound is None:
+        got = scan(table, low=(a_low,), high=(a_low,))
+        expected = sorted((a, b) for a, b in pairs if a == a_low)
+    elif direction == "<=":
+        got = scan(table, low=(a_low,), high=(a_low, b_bound))
+        expected = sorted((a, b) for a, b in pairs if a == a_low and b <= b_bound)
+    else:
+        got = scan(table, low=(a_low, b_bound), high=(a_low,))
+        expected = sorted((a, b) for a, b in pairs if a == a_low and b >= b_bound)
+    assert got == expected

@@ -1,0 +1,98 @@
+"""Statistics and histogram tests (with hypothesis properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.statistics import ColumnStatistics, Histogram, TableStatistics
+
+
+class TestHistogram:
+    def test_empty(self):
+        histogram = Histogram.build([])
+        assert histogram.fraction_below(5, True) == 0.5  # no information
+
+    def test_uniform_fractions(self):
+        histogram = Histogram.build(list(range(100)), buckets=20)
+        assert histogram.fraction_below(50, True) == pytest.approx(0.5, abs=0.1)
+        assert histogram.fraction_below(-1, True) == 0.0
+        assert histogram.fraction_below(1000, True) == 1.0
+
+    def test_skewed_data(self):
+        values = [1] * 90 + list(range(2, 12))
+        histogram = Histogram.build(values, buckets=10)
+        assert histogram.fraction_below(1, True) >= 0.8
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=500))
+    def test_property_monotone(self, values):
+        histogram = Histogram.build(values, buckets=10)
+        fractions = [histogram.fraction_below(v, True) for v in range(-110, 111, 10)]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+
+
+class TestColumnStatistics:
+    def test_basics(self):
+        stats = ColumnStatistics.build("c", [1, 2, 2, 3, None])
+        assert stats.row_count == 5
+        assert stats.null_count == 1
+        assert stats.distinct_count == 3
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+
+    def test_equality_selectivity(self):
+        stats = ColumnStatistics.build("c", list(range(100)))
+        assert stats.equality_selectivity() == pytest.approx(0.01)
+
+    def test_equality_selectivity_accounts_for_nulls(self):
+        stats = ColumnStatistics.build("c", [1, 2] + [None] * 2)
+        assert stats.equality_selectivity() == pytest.approx(0.25)
+
+    def test_range_selectivity_half(self):
+        stats = ColumnStatistics.build("c", list(range(100)))
+        assert stats.range_selectivity("<=", 49) == pytest.approx(0.5, abs=0.1)
+        assert stats.range_selectivity(">", 49) == pytest.approx(0.5, abs=0.1)
+
+    def test_range_selectivity_extremes(self):
+        stats = ColumnStatistics.build("c", list(range(100)))
+        assert stats.range_selectivity("<", -5) == 0.0
+        assert stats.range_selectivity("<=", 200) == 1.0
+
+    def test_all_null_column(self):
+        stats = ColumnStatistics.build("c", [None, None])
+        assert stats.null_fraction == 1.0
+        assert stats.min_value is None
+
+    def test_copy_is_detached(self):
+        stats = ColumnStatistics.build("c", [1, 2, 3])
+        clone = stats.copy()
+        clone.distinct_count = 99
+        assert stats.distinct_count == 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.one_of(st.none(), st.integers(-50, 50)), max_size=300))
+    def test_property_selectivities_bounded(self, values):
+        stats = ColumnStatistics.build("c", values)
+        assert 0.0 <= stats.equality_selectivity() <= 1.0
+        for op in ("<", "<=", ">", ">="):
+            assert 0.0 <= stats.range_selectivity(op, 0) <= 1.0
+
+
+class TestTableStatistics:
+    def test_build_from_rows(self):
+        rows = [(i, f"n{i%3}") for i in range(30)]
+        stats = TableStatistics.build("t", ["id", "name"], rows)
+        assert stats.row_count == 30
+        assert stats.column("id").distinct_count == 30
+        assert stats.column("NAME").distinct_count == 3
+
+    def test_copy_renames(self):
+        stats = TableStatistics.build("t", ["id"], [(1,)])
+        clone = stats.copy("shadow_t")
+        assert clone.table_name == "shadow_t"
+        assert clone.column("id") is not stats.column("id")
+
+    def test_missing_column(self):
+        stats = TableStatistics.build("t", ["id"], [(1,)])
+        assert stats.column("nope") is None

@@ -1,0 +1,148 @@
+"""Heap table + secondary index tests."""
+
+import pytest
+
+from repro.common.schema import Column, Schema
+from repro.common.types import FLOAT, INT, VARCHAR
+from repro.errors import ConstraintError, ExecutionError
+from repro.storage.table import Table
+
+
+def make_table():
+    schema = Schema(
+        [
+            Column("id", INT, nullable=False),
+            Column("name", VARCHAR(20), nullable=False),
+            Column("score", FLOAT),
+        ]
+    )
+    return Table("t", schema, primary_key=("id",))
+
+
+class TestInsert:
+    def test_insert_and_get(self):
+        table = make_table()
+        rid = table.insert((1, "a", 2.5))
+        assert table.get(rid) == (1, "a", 2.5)
+
+    def test_pk_duplicate_rejected(self):
+        table = make_table()
+        table.insert((1, "a", None))
+        with pytest.raises(ConstraintError, match="duplicate key"):
+            table.insert((1, "b", None))
+
+    def test_pk_violation_rolls_back_index_entries(self):
+        table = make_table()
+        table.create_index("ix_name", ["name"])
+        table.insert((1, "a", None))
+        with pytest.raises(ConstraintError):
+            table.insert((1, "a", None))
+        # The failed insert must leave no trace in any index.
+        assert len(list(table.indexes["ix_name"].seek(("a",)))) == 1
+
+    def test_not_null_enforced(self):
+        table = make_table()
+        with pytest.raises(ConstraintError, match="NOT NULL"):
+            table.insert((1, None, None))
+
+    def test_arity_mismatch(self):
+        table = make_table()
+        with pytest.raises(ExecutionError, match="arity"):
+            table.insert((1, "a"))
+
+    def test_coercion_applied(self):
+        table = make_table()
+        rid = table.insert(("7", "a", "2.5"))
+        assert table.get(rid) == (7, "a", 2.5)
+
+
+class TestDeleteUpdate:
+    def test_delete_removes_from_indexes(self):
+        table = make_table()
+        rid = table.insert((1, "a", None))
+        table.delete_rid(rid)
+        assert table.indexes["pk_t"].seek((1,)) == []
+        assert len(table) == 0
+
+    def test_delete_missing_rid(self):
+        table = make_table()
+        with pytest.raises(ExecutionError):
+            table.delete_rid(999)
+
+    def test_update_moves_index_entries(self):
+        table = make_table()
+        rid = table.insert((1, "a", None))
+        table.update_rid(rid, (2, "b", None))
+        assert table.indexes["pk_t"].seek((1,)) == []
+        assert table.indexes["pk_t"].seek((2,)) == [rid]
+
+    def test_update_conflict_restores_old_state(self):
+        table = make_table()
+        table.insert((1, "a", None))
+        rid2 = table.insert((2, "b", None))
+        with pytest.raises(ConstraintError):
+            table.update_rid(rid2, (1, "b", None))
+        assert table.get(rid2) == (2, "b", None)
+        assert table.indexes["pk_t"].seek((2,)) == [rid2]
+
+
+class TestIndexes:
+    def test_backfill_on_create(self):
+        table = make_table()
+        for i in range(10):
+            table.insert((i, f"n{i % 3}", None))
+        table.create_index("ix_name", ["name"])
+        assert len(list(table.indexes["ix_name"].seek(("n0",)))) == 4
+
+    def test_unique_secondary_index(self):
+        table = make_table()
+        table.create_index("ux_name", ["name"], unique=True)
+        table.insert((1, "a", None))
+        with pytest.raises(ConstraintError):
+            table.insert((2, "a", None))
+
+    def test_find_index_by_leading_columns(self):
+        table = make_table()
+        table.create_index("ix_ns", ["name", "score"])
+        assert table.find_index(["name"]).name == "ix_ns"
+        assert table.find_index(["name", "score"]).name == "ix_ns"
+        assert table.find_index(["score"]) is None
+
+    def test_range_scan_ordered(self):
+        table = make_table()
+        for i in (5, 1, 9, 3, 7):
+            table.insert((i, "x", None))
+        rids = list(table.indexes["pk_t"].range_scan((3,), (7,)))
+        values = [table.rows[rid][0] for rid in rids]
+        assert values == [3, 5, 7]
+
+    def test_duplicate_index_name_rejected(self):
+        table = make_table()
+        with pytest.raises(ConstraintError):
+            table.create_index("pk_t", ["name"])
+
+    def test_drop_index(self):
+        table = make_table()
+        table.create_index("ix_name", ["name"])
+        table.drop_index("ix_name")
+        assert "ix_name" not in table.indexes
+
+
+class TestTruncateAndCounters:
+    def test_truncate_keeps_definitions(self):
+        table = make_table()
+        table.create_index("ix_name", ["name"])
+        table.insert((1, "a", None))
+        table.truncate()
+        assert len(table) == 0
+        assert "ix_name" in table.indexes
+        table.insert((1, "a", None))  # PK free again
+
+    def test_work_counters(self):
+        table = make_table()
+        table.insert((1, "a", None))
+        list(table.scan())
+        assert table.rows_written == 1
+        assert table.rows_read >= 1
+        table.reset_counters()
+        assert table.rows_written == 0

@@ -1,0 +1,80 @@
+"""WAL and log-sniffing grouping tests."""
+
+from repro.storage.wal import LogRecordType, WriteAheadLog
+
+
+def test_lsns_are_dense_and_increasing():
+    wal = WriteAheadLog()
+    first = wal.append(LogRecordType.BEGIN, 1)
+    second = wal.append(LogRecordType.COMMIT, 1)
+    assert (first.lsn, second.lsn) == (1, 2)
+    assert wal.last_lsn == 2
+
+
+def test_read_from_watermark():
+    wal = WriteAheadLog()
+    for _ in range(5):
+        wal.append(LogRecordType.BEGIN, 1)
+    records = wal.read_from(3)
+    assert [record.lsn for record in records] == [4, 5]
+    assert wal.read_from(5) == []
+
+
+def test_read_from_after_truncate():
+    wal = WriteAheadLog()
+    for _ in range(10):
+        wal.append(LogRecordType.BEGIN, 1)
+    wal.truncate_through(4)
+    records = wal.read_from(6)
+    assert [record.lsn for record in records] == [7, 8, 9, 10]
+
+
+def test_committed_transactions_groups_changes():
+    wal = WriteAheadLog()
+    wal.append(LogRecordType.BEGIN, 1)
+    wal.append(LogRecordType.INSERT, 1, table="t", new_row=(1,))
+    wal.append(LogRecordType.INSERT, 1, table="t", new_row=(2,))
+    wal.append(LogRecordType.COMMIT, 1, timestamp=5.0)
+    batches = wal.committed_transactions(0)
+    assert len(batches) == 1
+    commit, changes = batches[0]
+    assert commit.timestamp == 5.0
+    assert [record.new_row for record in changes] == [(1,), (2,)]
+
+
+def test_uncommitted_transactions_invisible():
+    wal = WriteAheadLog()
+    wal.append(LogRecordType.BEGIN, 1)
+    wal.append(LogRecordType.INSERT, 1, table="t", new_row=(1,))
+    assert wal.committed_transactions(0) == []
+
+
+def test_aborted_transactions_skipped():
+    wal = WriteAheadLog()
+    wal.append(LogRecordType.BEGIN, 1)
+    wal.append(LogRecordType.INSERT, 1, table="t", new_row=(1,))
+    wal.append(LogRecordType.ABORT, 1)
+    wal.append(LogRecordType.BEGIN, 2)
+    wal.append(LogRecordType.DELETE, 2, table="t", old_row=(9,))
+    wal.append(LogRecordType.COMMIT, 2, timestamp=1.0)
+    batches = wal.committed_transactions(0)
+    assert len(batches) == 1
+    assert batches[0][0].transaction_id == 2
+
+
+def test_commit_order_preserved():
+    wal = WriteAheadLog()
+    for txn in (1, 2, 3):
+        wal.append(LogRecordType.BEGIN, txn)
+        wal.append(LogRecordType.INSERT, txn, table="t", new_row=(txn,))
+        wal.append(LogRecordType.COMMIT, txn, timestamp=float(txn))
+    batches = wal.committed_transactions(0)
+    assert [commit.transaction_id for commit, _ in batches] == [1, 2, 3]
+
+
+def test_truncate_returns_discard_count():
+    wal = WriteAheadLog()
+    for _ in range(6):
+        wal.append(LogRecordType.BEGIN, 1)
+    assert wal.truncate_through(4) == 4
+    assert len(wal) == 2

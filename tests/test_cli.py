@@ -1,0 +1,24 @@
+"""CLI entry point tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo_runs(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "ChoosePlan" in out
+    assert "RENAMED" in out
+
+
+def test_tpcw_runs(capsys):
+    assert main(["tpcw"]) == 0
+    out = capsys.readouterr().out
+    assert "cache work" in out
+    assert "backend work" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
