@@ -1,0 +1,154 @@
+"""Statement fast path microbenchmark.
+
+The fast path exists to make per-statement overhead — lexing, parsing,
+text shipping, remote re-parsing — vanish for repeated statements, which
+is the dominant case for MTCache traffic (shipped remote subexpressions,
+replicated commands, TPC-W stored procedure calls). Two experiments:
+
+1. A repeated parameterized remote query loop (cache -> backend via
+   RemoteQueryOp). With the fast path the text is parsed once per side
+   and every further execution goes by prepared handle; disabled, both
+   sides re-parse every iteration. Assert >= 2x fewer parses (via the
+   new counters) and lower wall time.
+2. The TPC-W Shopping mix through a cache server: the same interactions
+   repeat, so parse-cache hits dominate and total parses collapse.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro import MTCacheDeployment
+
+from benchmarks.conftest import emit
+from tests.conftest import make_shop_backend
+
+LOOP = 300
+
+
+def build_env(fastpath: bool, tag: str):
+    backend = make_shop_backend(customers=300, orders=900)
+    backend.statement_fastpath = fastpath
+    deployment = MTCacheDeployment(backend, "shop")
+    cache = deployment.add_cache_server(f"fp_{tag}")
+    cache.server.statement_fastpath = fastpath
+    # Customer is cached; orders stays backend-only so the loop query
+    # always routes through a RemoteQueryOp.
+    cache.create_cached_view(
+        "CREATE CACHED VIEW fc AS SELECT cid, cname, segment FROM customer"
+    )
+    return backend, deployment, cache
+
+
+def total_parses(backend, cache) -> int:
+    return backend.parses + cache.server.parses
+
+
+def run_remote_loop(cache, iterations: int = LOOP) -> float:
+    sql = "SELECT total FROM orders WHERE oid = @o"
+    start = time.perf_counter()
+    for i in range(iterations):
+        cache.execute(sql, params={"o": (i % 800) + 1})
+    return time.perf_counter() - start
+
+
+def test_bench_fastpath_remote_query_loop(benchmark, capsys):
+    on_backend, _, on_cache = build_env(True, "on")
+    off_backend, _, off_cache = build_env(False, "off")
+
+    # Warm both stacks identically (plans, interpreter state) so the
+    # measured loops compare parsing paths, not first-touch effects.
+    run_remote_loop(on_cache, 20)
+    run_remote_loop(off_cache, 20)
+
+    on_before = total_parses(on_backend, on_cache)
+    on_time = run_remote_loop(on_cache)
+    on_parses = total_parses(on_backend, on_cache) - on_before
+
+    off_before = total_parses(off_backend, off_cache)
+    off_time = run_remote_loop(off_cache)
+    off_parses = total_parses(off_backend, off_cache) - off_before
+
+    # Same answers either way (the fast path is invisible to results).
+    check = "SELECT total FROM orders WHERE oid = @o"
+    assert (
+        on_cache.execute(check, params={"o": 5}).rows
+        == off_cache.execute(check, params={"o": 5}).rows
+    )
+
+    work = on_cache.server.total_work
+    emit(
+        capsys,
+        "Statement fast path: repeated parameterized remote query",
+        [
+            f"{'':14s} {'parses':>8s} {'wall (ms)':>10s}",
+            f"{'fast path on':14s} {on_parses:8d} {on_time * 1e3:10.1f}",
+            f"{'disabled':14s} {off_parses:8d} {off_time * 1e3:10.1f}",
+            f"parse_cache_hits={work.parse_cache_hits} "
+            f"prepared_executions={work.prepared_executions}",
+        ],
+    )
+
+    # Acceptance: >= 2x fewer parses, lower wall time, savings visible
+    # through the new counters.
+    assert off_parses >= 2 * max(on_parses, 1)
+    assert on_time < off_time
+    assert work.parse_cache_hits >= LOOP
+    assert work.prepared_executions >= LOOP
+
+    benchmark(lambda: on_cache.execute(check, params={"o": 17}))
+
+
+def test_bench_fastpath_tpcw_mix(capsys):
+    from repro.mtcache.odbc import OdbcConnection
+    from repro.tpcw.application import TPCWApplication
+    from repro.tpcw.config import TPCWConfig
+    from repro.tpcw.setup import build_backend, enable_caching
+    from repro.tpcw.workload import MIXES
+
+    interactions_to_run = 80
+    mix = MIXES["Shopping"]
+    names = list(mix.weights)
+    weights = [mix.weights[name] for name in names]
+
+    results = {}
+    for fastpath in (True, False):
+        config = TPCWConfig(num_items=50, num_ebs=10)
+        backend, config = build_backend(config)
+        deployment, caches = enable_caching(backend, ["mix_cache"], config)
+        backend.statement_fastpath = fastpath
+        caches[0].server.statement_fastpath = fastpath
+        connection = OdbcConnection(caches[0].server, "tpcw", "dbo")
+        application = TPCWApplication(connection, config, random.Random(42))
+        rng = random.Random(7)
+        session = application.new_session()
+        application.shopping_cart(session)
+        deployment.sync()
+
+        parses_before = backend.parses + caches[0].server.parses
+        start = time.perf_counter()
+        for _ in range(interactions_to_run):
+            application.run(rng.choices(names, weights=weights)[0], session)
+            deployment.sync()
+        elapsed = time.perf_counter() - start
+        parses = backend.parses + caches[0].server.parses - parses_before
+        results[fastpath] = (parses, elapsed)
+
+    on_parses, on_time = results[True]
+    off_parses, off_time = results[False]
+    emit(
+        capsys,
+        "Statement fast path: TPC-W Shopping mix (80 interactions)",
+        [
+            f"{'':14s} {'parses':>8s} {'wall (ms)':>10s}",
+            f"{'fast path on':14s} {on_parses:8d} {on_time * 1e3:10.1f}",
+            f"{'disabled':14s} {off_parses:8d} {off_time * 1e3:10.1f}",
+        ],
+    )
+    # The mix repeats the same statement texts, so the text cache
+    # collapses parse counts; wall time is reported, not asserted, since
+    # interaction cost is dominated by execution at this scale.
+    assert off_parses >= 2 * max(on_parses, 1)

@@ -19,6 +19,7 @@ from repro.common.types import (
 )
 from repro.common.schema import Column, Schema
 from repro.common.clock import SimulatedClock
+from repro.common.lru import CacheStats, LRUCache
 
 __all__ = [
     "SqlType",
@@ -39,4 +40,6 @@ __all__ = [
     "Column",
     "Schema",
     "SimulatedClock",
+    "CacheStats",
+    "LRUCache",
 ]

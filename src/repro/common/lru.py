@@ -1,0 +1,140 @@
+"""A small bounded LRU cache with hit/miss/eviction accounting.
+
+Shared by the statement fast path: the server's SQL-text parse cache,
+the plan cache, and the linked-server prepared-handle caches all need
+the same thing — a dict with an eviction policy and counters the
+benchmarks can read. Derived artifacts (parse trees, plans, handles)
+are cheap to rebuild, so least-recently-used eviction is safe: an
+evicted entry just pays one extra miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters for one cache (survive ``clear()``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``get`` counts a hit or miss and refreshes recency; ``peek`` does
+    neither (for tests and introspection). Setting an existing key
+    refreshes recency without counting anything.
+    """
+
+    def __init__(self, capacity: int = 512, on_evict: Optional[Any] = None):
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be >= 1, not {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        # Called with the evicted value (capacity evictions only, not
+        # invalidations) — e.g. closing a remote prepared handle.
+        self.on_evict = on_evict
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def get(self, key: Any, default: Any = None, valid: Optional[Any] = None) -> Any:
+        """Look up ``key``; optionally validate the entry before counting.
+
+        ``valid`` is a predicate on the stored value (e.g. a schema-version
+        check). A present-but-invalid entry is dropped and counted as an
+        invalidation plus a miss — never a hit.
+        """
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return default
+        if valid is not None and not valid(value):
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def peek(self, key: Any, default: Any = None) -> Any:
+        return self._entries.get(key, default)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if key in self._entries:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            return
+        if len(self._entries) >= self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted)
+        self._entries[key] = value
+
+    def pop(self, key: Any, default: Any = None) -> Any:
+        return self._entries.pop(key, default)
+
+    def invalidate(self, key: Any) -> bool:
+        """Drop one entry, counting it as an invalidation."""
+        if self._entries.pop(key, _MISSING) is _MISSING:
+            return False
+        self.stats.invalidations += 1
+        return True
+
+    def clear(self) -> None:
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._entries)
+
+    def keys(self):
+        return self._entries.keys()
+
+    def values(self):
+        return self._entries.values()
+
+    def items(self):
+        return self._entries.items()
+
+    def __repr__(self) -> str:
+        return (
+            f"<LRUCache {len(self._entries)}/{self.capacity} "
+            f"hits={self.stats.hits} misses={self.stats.misses} "
+            f"evictions={self.stats.evictions}>"
+        )
+
+
+_MISSING = object()

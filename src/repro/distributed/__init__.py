@@ -1,6 +1,15 @@
 """Distributed queries: linked servers, remote execution, two-phase commit."""
 
-from repro.distributed.linked_server import LinkedServerRegistry, ServerLink
+from repro.distributed.linked_server import (
+    LinkedServerRegistry,
+    RemoteStatementHandle,
+    ServerLink,
+)
 from repro.distributed.dtc import DistributedTransactionCoordinator
 
-__all__ = ["LinkedServerRegistry", "ServerLink", "DistributedTransactionCoordinator"]
+__all__ = [
+    "LinkedServerRegistry",
+    "RemoteStatementHandle",
+    "ServerLink",
+    "DistributedTransactionCoordinator",
+]

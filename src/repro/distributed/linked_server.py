@@ -6,16 +6,81 @@ boundary renders plan fragments back to text) and are re-parsed and
 re-optimized by the target server — matching the paper's observation that
 plans cannot be shipped, only text.
 
-The registry also tracks simple traffic counters (queries, statements)
-used by tests and the cluster simulator.
+The statement fast path (paper §4.3, parameterized remote queries) adds a
+prepare/execute protocol on top: :meth:`ServerLink.prepare` registers the
+text on the target once and returns a :class:`RemoteStatementHandle`;
+subsequent executions ship only the handle id and the parameter values.
+Handles survive remote schema changes (the target re-prepares
+transparently) and remote handle loss (the link re-prepares from its own
+text copy).
+
+The registry also tracks simple traffic counters (queries, statements,
+prepares, prepared executions) used by tests and the cluster simulator.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.common.lru import LRUCache
 from repro.engine.results import Result
-from repro.errors import DistributedError
+from repro.errors import DistributedError, PreparedStatementError
+
+
+class RemoteStatementHandle:
+    """The client-side half of a prepared remote statement.
+
+    Lazily binds to a server-side handle id on first execution, and
+    re-binds transparently if the target reports the handle unknown
+    (e.g. it was closed); schema-version staleness is handled on the
+    target side, invisible to the client.
+    """
+
+    __slots__ = ("link", "sql", "handle_id", "prepares")
+
+    def __init__(self, link: "ServerLink", sql: str):
+        self.link = link
+        self.sql = sql
+        self.handle_id: Optional[int] = None
+        self.prepares = 0
+
+    def _ensure_prepared(self) -> int:
+        if self.handle_id is None:
+            self.handle_id = self.link.server.prepare_sql(self.sql, self.link.database)
+            self.prepares += 1
+            self.link.prepares += 1
+        return self.handle_id
+
+    def execute(self, params: Optional[Dict[str, Any]] = None) -> Result:
+        """Execute by handle; returns the full result."""
+        handle_id = self._ensure_prepared()
+        self.link.prepared_executions += 1
+        try:
+            return self.link.server.execute_prepared(handle_id, params)
+        except PreparedStatementError:
+            # The target lost the handle; re-prepare from our text copy.
+            self.handle_id = None
+            handle_id = self._ensure_prepared()
+            return self.link.server.execute_prepared(handle_id, params)
+
+    def execute_rows(self, params: Optional[Dict[str, Any]] = None) -> List[Tuple]:
+        """Execute by handle; returns the result rows (RemoteQueryOp).
+
+        Counts toward ``queries_shipped`` so traffic accounting matches
+        the text path — a by-handle execution is still one round trip,
+        just a much lighter one.
+        """
+        self.link.queries_shipped += 1
+        return self.execute(params).rows
+
+    def close(self) -> None:
+        if self.handle_id is not None:
+            self.link.server.close_prepared(self.handle_id)
+            self.handle_id = None
+
+    def __repr__(self) -> str:
+        text = self.sql if len(self.sql) <= 40 else self.sql[:37] + "..."
+        return f"<RemoteStatementHandle {self.link.name}:{self.handle_id} {text!r}>"
 
 
 class ServerLink:
@@ -27,6 +92,12 @@ class ServerLink:
         self.database = database
         self.queries_shipped = 0
         self.statements_shipped = 0
+        self.prepares = 0
+        self.prepared_executions = 0
+        # sql text -> RemoteStatementHandle, so every caller preparing the
+        # same text (RemoteQueryOps of cached plans, forwarded DML) shares
+        # one remote handle. Evicted handles close their server-side half.
+        self._handles: LRUCache = LRUCache(256, on_evict=lambda handle: handle.close())
 
     def execute_remote_sql(self, sql: str, params: Optional[Dict[str, Any]] = None) -> List[Tuple]:
         """Execute a query remotely; returns its rows.
@@ -43,6 +114,14 @@ class ServerLink:
         """Execute a forwarded statement (DML / EXEC); returns full result."""
         self.statements_shipped += 1
         return self.server.execute(sql, params=params, database=self.database)
+
+    def prepare(self, sql: str) -> RemoteStatementHandle:
+        """Return the (shared) prepared handle for ``sql`` on this link."""
+        handle = self._handles.get(sql)
+        if handle is None:
+            handle = RemoteStatementHandle(self, sql)
+            self._handles[sql] = handle
+        return handle
 
 
 class LinkedServerRegistry:

@@ -10,9 +10,12 @@ server for other instances' remote subexpressions.
 
 from __future__ import annotations
 
+import itertools
+import sys
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.clock import SimulatedClock
+from repro.common.lru import LRUCache
 from repro.engine.database import Database
 from repro.engine.ddl import (
     execute_create_index,
@@ -26,12 +29,50 @@ from repro.engine.dml import execute_delete, execute_insert, execute_update
 from repro.engine.procedures import ProcedureInterpreter
 from repro.engine.results import Result
 from repro.engine.session import Session
-from repro.errors import CatalogError, ExecutionError, TransactionError
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    PreparedStatementError,
+    TransactionError,
+    TypeCheckError,
+)
 from repro.exec.context import ExecutionContext, WorkCounters
 from repro.optimizer.cost import CostModel
 from repro.optimizer.planner import Optimizer, PlannedStatement
 from repro.sql import ast, parse_statements
 from repro.sql.formatter import format_statement
+
+
+class PreparedStatement:
+    """The server-side half of the prepare/execute protocol (paper §4.3).
+
+    Holds the statement text plus its parsed form, pinned to the schema
+    version it was prepared under. When the version moves (DDL on the
+    target database), the next execution transparently re-prepares: the
+    text is re-parsed and the plan cache — itself version-checked —
+    re-plans against the new schema.
+    """
+
+    __slots__ = ("handle_id", "sql", "database_key", "statements", "version", "reprepares")
+
+    def __init__(
+        self,
+        handle_id: int,
+        sql: str,
+        database_key: str,
+        statements: List[ast.Statement],
+        version: int,
+    ):
+        self.handle_id = handle_id
+        self.sql = sql
+        self.database_key = database_key
+        self.statements = statements
+        self.version = version
+        self.reprepares = 0
+
+    def __repr__(self) -> str:
+        text = self.sql if len(self.sql) <= 40 else self.sql[:37] + "..."
+        return f"<PreparedStatement #{self.handle_id} {text!r} v{self.version}>"
 
 
 class Server:
@@ -43,6 +84,9 @@ class Server:
         clock: Optional[SimulatedClock] = None,
         cost_model: Optional[CostModel] = None,
         optimizer_options: Optional[Dict[str, Any]] = None,
+        statement_fastpath: bool = True,
+        parse_cache_size: int = 512,
+        plan_cache_size: int = 512,
     ):
         from repro.distributed.linked_server import LinkedServerRegistry
 
@@ -54,7 +98,23 @@ class Server:
         self.default_database: Optional[str] = None
         self.linked_servers = LinkedServerRegistry()
         self._optimizers: Dict[str, Tuple[int, Optimizer]] = {}
-        self._plan_cache: Dict[Tuple[str, Any], Tuple[int, PlannedStatement]] = {}
+        # Statement fast path (all version-checked, all bounded LRUs):
+        # SQL text -> parsed statement list, and (database, statement) ->
+        # plan. ``statement_fastpath=False`` disables the text cache and
+        # by-handle remote execution for ablation benchmarks; the plan
+        # cache predates the fast path and stays on either way.
+        self.statement_fastpath = statement_fastpath
+        self._parse_cache: LRUCache = LRUCache(parse_cache_size)
+        self._plan_cache: LRUCache = LRUCache(plan_cache_size)
+        # Prepared statements this server holds for its clients
+        # (linked servers executing by handle).
+        self._prepared: Dict[int, PreparedStatement] = {}
+        self._prepared_ids = itertools.count(1)
+        # Forwarded-DML fast path: stripped statement AST -> remote handle.
+        self._dml_forward_cache: LRUCache = LRUCache(256)
+        #: How many times the lexer/parser actually ran (cache misses and
+        #: fast-path-disabled parses). Benchmarks read deltas of this.
+        self.parses = 0
         # Cumulative work executed on this server (simulator calibration).
         self.total_work = WorkCounters()
         self.statements_executed = 0
@@ -100,7 +160,7 @@ class Server:
         """Execute a SQL batch; returns the last statement's result."""
         session = session or Session()
         target = self.database(database or session.database)
-        statements = parse_statements(sql)
+        statements = self._parse_sql(sql, target)
         if not statements:
             return Result()
         result = Result()
@@ -109,6 +169,28 @@ class Server:
                 statement, params=params, session=session, database=target
             )
         return result
+
+    def _parse_sql(self, sql: str, database: Database) -> List[ast.Statement]:
+        """Parse a batch through the version-checked SQL-text cache.
+
+        Keys are interned so repeated identical batches — shipped remote
+        subexpressions, replication commands, TPC-W procedure calls —
+        compare by pointer and skip the lexer/parser entirely. AST nodes
+        are frozen, so the cached statement list is safe to re-execute.
+        """
+        if not self.statement_fastpath:
+            self.parses += 1
+            return parse_statements(sql)
+        key = (database.name.lower(), sys.intern(sql))
+        version = database.version
+        entry = self._parse_cache.get(key, valid=lambda e: e[0] == version)
+        if entry is not None:
+            self.total_work.parse_cache_hits += 1
+            return entry[1]
+        self.parses += 1
+        statements = parse_statements(sql)
+        self._parse_cache[key] = (version, statements)
+        return statements
 
     def execute_statement(
         self,
@@ -203,11 +285,12 @@ class Server:
         recycled onto a different statement).
         """
         key = (database.name.lower(), cache_key if cache_key is not None else statement)
-        cached = self._plan_cache.get(key)
-        if cached is not None and cached[0] == database.version:
+        version = database.version
+        cached = self._plan_cache.get(key, valid=lambda e: e[0] == version)
+        if cached is not None:
             return cached[1]
         planned = self.optimizer_for(database).plan_select(statement)
-        self._plan_cache[key] = (database.version, planned)
+        self._plan_cache[key] = (version, planned)
         return planned
 
     def _execute_select(
@@ -249,10 +332,31 @@ class Server:
                 raise ExecutionError(
                     "UNION ALL branches must produce the same number of columns"
                 )
+            else:
+                self._check_union_types(schema, result.schema)
             rows.extend(result.rows)
         final = Result(rows=rows, schema=schema, rowcount=len(rows))
         final.resultsets.append((schema, rows))
         return final
+
+    @staticmethod
+    def _check_union_types(expected, actual) -> None:
+        """Branches must be column-wise type-compatible, not just same arity.
+
+        Compatibility follows the expression type system's ``common_type``
+        widening rules (INT unions with FLOAT, VARCHAR with CHAR); a string
+        column under a numeric one is an error, reported with the column.
+        """
+        from repro.common.types import common_type
+
+        for position, (left, right) in enumerate(zip(expected, actual)):
+            try:
+                common_type(left.sql_type, right.sql_type)
+            except TypeCheckError as exc:
+                raise ExecutionError(
+                    f"UNION ALL branches are not type-compatible at column "
+                    f"{position + 1} ({left.name!r}): {left.sql_type} vs {right.sql_type}"
+                ) from exc
 
     def _run_select_rows(self, select, params, database, session):
         result = self._execute_select(select, params, database, session)
@@ -279,6 +383,7 @@ class Server:
             params=params,
             linked_servers=self.linked_servers,
             clock=self.clock,
+            fastpath=self.statement_fastpath,
         )
         ctx.subquery_executor = lambda select, sub_params: self.run_subquery(
             select, sub_params, database, session
@@ -316,9 +421,7 @@ class Server:
         if server_name is None and database.is_remote_table(target):
             server_name = database.backend_server
         if server_name is not None:
-            link = self.linked_servers.get(server_name)
-            stripped = self._strip_server_prefix(statement)
-            return link.execute_statement_text(format_statement(stripped), params)
+            return self._forward_dml(server_name, statement, params)
 
         ctx = self._make_context(params, database, session)
         autocommit = not session.in_transaction
@@ -346,6 +449,28 @@ class Server:
         if autocommit:
             database.transactions.commit(transaction)
         self.total_work.merge(ctx.work)
+        return result
+
+    def _forward_dml(self, server_name: str, statement, params: Dict[str, Any]) -> Result:
+        """Ship a DML statement to its owning server.
+
+        Fast path: the stripped statement AST (frozen, hashable) keys a
+        bounded cache of remote prepared handles, so a repeated forwarded
+        update neither re-formats its text here nor re-parses it there —
+        only the parameter values travel. Falls back to whole-text
+        shipping when the fast path is disabled.
+        """
+        link = self.linked_servers.get(server_name)
+        stripped = self._strip_server_prefix(statement)
+        if not self.statement_fastpath:
+            return link.execute_statement_text(format_statement(stripped), params)
+        text = self._dml_forward_cache.get(stripped)
+        if text is None:
+            text = format_statement(stripped)
+            self._dml_forward_cache[stripped] = text
+        link.statements_shipped += 1
+        result = link.prepare(text).execute(params)
+        self.total_work.prepared_executions += 1
         return result
 
     @staticmethod
@@ -401,6 +526,81 @@ class Server:
         forwarding. The shipped SQL is re-parsed and re-optimized here,
         as the paper notes must happen when plans cannot be shipped."""
         return self.execute(sql, params=params)
+
+    def prepare_sql(self, sql: str, database: Optional[str] = None) -> int:
+        """Prepare a statement batch for by-handle execution (paper §4.3).
+
+        Parses once and pins the result to the current schema version;
+        returns an opaque handle id the client executes with parameters.
+        This is what lets a parameterized remote query ship its text a
+        single time instead of once per execution.
+        """
+        target = self.database(database)
+        statements = self._parse_sql(sql, target)
+        handle = PreparedStatement(
+            handle_id=next(self._prepared_ids),
+            sql=sys.intern(sql),
+            database_key=target.name,
+            statements=statements,
+            version=target.version,
+        )
+        self._prepared[handle.handle_id] = handle
+        return handle.handle_id
+
+    def execute_prepared(
+        self, handle_id: int, params: Optional[Dict[str, Any]] = None
+    ) -> Result:
+        """Execute a previously prepared statement batch by handle.
+
+        A schema-version bump since prepare (or the last execution)
+        triggers a transparent re-prepare: re-parse the pinned text and
+        let the version-checked plan cache re-plan against the new
+        schema. Unknown handles raise :class:`PreparedStatementError`
+        so the client link can re-prepare from its own text copy.
+        """
+        handle = self._prepared.get(handle_id)
+        if handle is None:
+            raise PreparedStatementError(
+                f"no prepared statement with handle {handle_id} on server {self.name!r}"
+            )
+        target = self.database(handle.database_key)
+        if handle.version != target.version:
+            handle.statements = self._parse_sql(handle.sql, target)
+            handle.version = target.version
+            handle.reprepares += 1
+        self.total_work.prepared_executions += 1
+        session = Session()
+        result = Result()
+        for statement in handle.statements:
+            result = self.execute_statement(
+                statement, params=params, session=session, database=target
+            )
+        return result
+
+    def close_prepared(self, handle_id: int) -> None:
+        """Drop a prepared statement (client-side handle going away)."""
+        self._prepared.pop(handle_id, None)
+
+    def prepared_statement(self, handle_id: int) -> PreparedStatement:
+        """Introspection: the server-side half of a handle (tests, tools)."""
+        handle = self._prepared.get(handle_id)
+        if handle is None:
+            raise PreparedStatementError(
+                f"no prepared statement with handle {handle_id} on server {self.name!r}"
+            )
+        return handle
+
+    def statement_cache_stats(self) -> Dict[str, Any]:
+        """Fast-path observability: cache counters plus raw parse count."""
+        return {
+            "parses": self.parses,
+            "parse_cache": self._parse_cache.stats.snapshot(),
+            "plan_cache": self._plan_cache.stats.snapshot(),
+            "prepared_statements": len(self._prepared),
+            "parse_cache_hits": self.total_work.parse_cache_hits,
+            "prepared_executions": self.total_work.prepared_executions,
+            "round_trips_saved": self.total_work.round_trips_saved,
+        }
 
     # -- permissions ---------------------------------------------------------------
 

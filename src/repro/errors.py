@@ -81,6 +81,12 @@ class DistributedError(ReproError):
     """Raised for linked-server and distributed-transaction failures."""
 
 
+class PreparedStatementError(DistributedError):
+    """Raised when a prepared statement handle is unknown on the target
+    server (e.g. dropped or never created). Links recover by transparently
+    re-preparing the statement text."""
+
+
 class FreshnessError(ReproError):
     """Raised when a query's freshness requirement cannot be met locally
     and remote fallback is disabled."""

@@ -20,6 +20,13 @@ class WorkCounters:
     ``rows_returned`` the final result size, ``bytes_transferred`` the data
     shipped across DataTransfer boundaries, and ``remote_queries`` how many
     subexpressions were shipped to a linked server.
+
+    The statement fast path adds three savings counters:
+    ``parse_cache_hits`` (batches that skipped the lexer/parser),
+    ``prepared_executions`` (remote statements executed by prepared
+    handle instead of shipping text), and ``round_trips_saved``
+    (extra round trips avoided by batching, e.g. multiple replicated
+    transactions applied in one subscriber poll).
     """
 
     rows_processed: int = 0
@@ -27,6 +34,9 @@ class WorkCounters:
     bytes_transferred: int = 0
     remote_queries: int = 0
     index_seeks: int = 0
+    parse_cache_hits: int = 0
+    prepared_executions: int = 0
+    round_trips_saved: int = 0
 
     def merge(self, other: "WorkCounters") -> None:
         self.rows_processed += other.rows_processed
@@ -34,6 +44,9 @@ class WorkCounters:
         self.bytes_transferred += other.bytes_transferred
         self.remote_queries += other.remote_queries
         self.index_seeks += other.index_seeks
+        self.parse_cache_hits += other.parse_cache_hits
+        self.prepared_executions += other.prepared_executions
+        self.round_trips_saved += other.round_trips_saved
 
 
 class ExecutionContext:
@@ -46,11 +59,15 @@ class ExecutionContext:
         linked_servers: Optional[object] = None,
         clock: Optional[object] = None,
         subquery_executor: Optional[Callable] = None,
+        fastpath: bool = True,
     ):
         self.database = database
         self.params = dict(params or {})
         self.linked_servers = linked_servers
         self.clock = clock
+        # Statement fast path: when False, RemoteQueryOp ships full text
+        # instead of executing by prepared handle (benchmark ablation).
+        self.fastpath = fastpath
         self.work = WorkCounters()
         # Callable(select_ast, params) -> list of rows; installed by the
         # engine so scalar/IN subqueries can run nested statements.

@@ -699,6 +699,12 @@ class RemoteQueryOp(PhysicalOperator):
     be shipped), the linked server re-parses and re-optimizes it, and the
     result rows flow back. Transferred volume is charged to the context's
     work counters so the cost model and the cluster simulator see it.
+
+    On the statement fast path the text is shipped only once: the first
+    execution prepares it on the link (paper §4.3's parameterized remote
+    query) and every execution after that goes by handle with just the
+    parameter values. The target re-prepares transparently when its
+    schema version bumps, so plans stay valid across remote DDL.
     """
 
     def __init__(self, schema: Schema, server_name: str, sql_text: str):
@@ -710,7 +716,12 @@ class RemoteQueryOp(PhysicalOperator):
         if ctx.linked_servers is None:
             raise ExecutionError("no linked servers registered in context")
         server = ctx.linked_servers.get(self.server_name)
-        rows = server.execute_remote_sql(self.sql_text, ctx.params)
+        if getattr(ctx, "fastpath", True):
+            handle = server.prepare(self.sql_text)
+            rows = handle.execute_rows(ctx.params)
+            ctx.work.prepared_executions += 1
+        else:
+            rows = server.execute_remote_sql(self.sql_text, ctx.params)
         ctx.work.remote_queries += 1
         width = self.schema.row_width
         for row in rows:

@@ -49,6 +49,18 @@ def test_union_arity_mismatch_rejected(server):
         server.execute("SELECT id, v FROM a UNION ALL SELECT id FROM b")
 
 
+def test_union_type_mismatch_rejected(server):
+    """Same arity is not enough: branch columns must be type-compatible."""
+    with pytest.raises(ExecutionError, match="not type-compatible at column 1"):
+        server.execute("SELECT id FROM a UNION ALL SELECT v FROM b")
+
+
+def test_union_compatible_types_widen(server):
+    # INT unions with INT across tables; VARCHAR with VARCHAR.
+    result = server.execute("SELECT id, v FROM a UNION ALL SELECT id, v FROM b")
+    assert len(result.rows) == 3
+
+
 def test_union_routes_branches_independently():
     from repro import MTCacheDeployment
     from tests.conftest import make_shop_backend
