@@ -7,7 +7,6 @@ more often; longer intervals batch more commands per wakeup. This sweep
 quantifies the trade-off on the DES.
 """
 
-import pytest
 
 from repro.simulation import DESConfig, simulate_cluster
 

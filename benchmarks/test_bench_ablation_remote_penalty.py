@@ -9,7 +9,6 @@ free transfer, borderline queries flow to the loaded backend; as the
 penalty grows, they move onto the cache.
 """
 
-import pytest
 
 from repro import MTCacheDeployment
 from repro.optimizer.cost import CostModel

@@ -97,6 +97,8 @@ def test_bench_replication_apply_throughput(env, benchmark):
         deployment.sync()
 
     benchmark.pedantic(apply_batch, rounds=5, iterations=1)
-    assert cache.execute(
-        "SELECT COUNT(*) FROM mc WHERE cid >= 3000"
-    ).scalar >= 250
+    # Under --benchmark-disable (CI smoke) pedantic runs a single round,
+    # so assert one batch's worth: every inserted row reached the cache.
+    applied = cache.execute("SELECT COUNT(*) FROM mc WHERE cid >= 3000").scalar
+    assert applied >= 50
+    assert applied == counter[0] - 3000

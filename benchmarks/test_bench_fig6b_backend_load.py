@@ -5,7 +5,6 @@ Browsing/Shopping (the coasting backend) while Ordering drives it up
 steeply — the reason Ordering cannot scale out.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 

@@ -11,7 +11,6 @@ web scenarios. Reproduced with the discrete-event simulator (replication
 jobs queue behind saturated CPUs) using the calibrated demands.
 """
 
-import pytest
 
 from repro.simulation import DESConfig, simulate_cluster
 

@@ -13,7 +13,6 @@ actual extra backend work.
 
 import random
 
-import pytest
 
 from repro.mtcache.odbc import OdbcConnection
 from repro.tpcw import TPCWApplication, TPCWConfig, build_backend, enable_caching

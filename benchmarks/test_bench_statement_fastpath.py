@@ -19,7 +19,6 @@ from __future__ import annotations
 import random
 import time
 
-import pytest
 
 from repro import MTCacheDeployment
 

@@ -14,7 +14,6 @@ Ordering does NOT improve (cached ≈ or below baseline) and keeps the
 backend heavily loaded relative to the read mixes.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 
@@ -41,6 +40,33 @@ def test_bench_summary_table(cached_model, nocache_model, benchmark, capsys):
             f"   {paper_base}/{paper_cached}/{paper_load:.1%}"
         )
     emit(capsys, "E1d: no-cache vs five web/cache servers", lines)
+
+    # Observability snapshot from the calibration run that produced the
+    # demands above: plan shapes and cache hit rates next to the numbers
+    # they explain.
+    obs = cached_model.calibration.obs_snapshot
+    assert obs, "calibration should capture an observability snapshot"
+    obs_lines = []
+    for tier in ("cache", "backend"):
+        snap = obs.get(tier)
+        if snap is None:
+            continue
+        counters = snap["metrics"]["counters"]
+        plan_cache = snap["statement_cache"]["plan_cache"]
+        plan_lookups = plan_cache["hits"] + plan_cache["misses"]
+        hit_rate = plan_cache["hits"] / plan_lookups if plan_lookups else 0.0
+        obs_lines.append(
+            f"{tier:8s} plans={counters.get('optimizer.plans', 0):5d}"
+            f" dynamic={counters.get('optimizer.dynamic_plans', 0):4d}"
+            f" remote={counters.get('optimizer.remote_plans', 0):4d}"
+            f" cached_view={counters.get('optimizer.cached_view_plans', 0):4d}"
+            f" plan-cache hit rate={hit_rate:6.1%}"
+        )
+        # Calibration repeats each interaction, so plan caches must help.
+        assert 0.0 <= hit_rate <= 1.0
+    emit(capsys, "E1d: calibration observability", obs_lines)
+    cache_counters = obs["cache"]["metrics"]["counters"]
+    assert cache_counters.get("optimizer.plans", 0) > 0
 
     # Who-wins shape checks.
     assert measured["Browsing"][1] > measured["Browsing"][0]  # caching wins

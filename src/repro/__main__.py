@@ -7,7 +7,9 @@ Commands:
 * ``scaleout`` — regenerate the paper's Figure 6 and summary table from
   calibrated cluster models;
 * ``tpcw``     — run TPC-W traffic against backend and cache and report
-  the work split.
+  the work split;
+* ``metrics``  — drive a short TPC-W workload and print the deployment's
+  observability snapshot (metrics, caches, replication lag) as JSON.
 
 These wrap the scripts under ``examples/`` so the package is runnable
 after installation without a source checkout.
@@ -101,14 +103,38 @@ def _tpcw() -> None:
         print(f"replication latency: {latency:.2f}s")
 
 
+def _metrics() -> None:
+    import random
+
+    from repro.mtcache.odbc import OdbcSourceRegistry
+    from repro.obs.export import deployment_snapshot, to_json
+    from repro.tpcw import MIXES, TPCWApplication, TPCWConfig, build_backend, enable_caching
+
+    backend, config = build_backend(TPCWConfig(num_items=100, num_ebs=20))
+    deployment, caches = enable_caching(backend, ["cache1"], config)
+    registry = OdbcSourceRegistry()
+    registry.register("tpcw", caches[0].server, "tpcw")
+    application = TPCWApplication(registry.connect("tpcw"), config)
+    rng = random.Random(1)
+    sessions = [application.new_session() for _ in range(8)]
+    mix = MIXES["Shopping"]
+    for step in range(150):
+        application.run(mix.sample(rng), sessions[step % 8])
+        deployment.tick(0.02)
+    deployment.sync()
+    print(to_json(deployment_snapshot(deployment)))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="MTCache reproduction (SIGMOD 2003) demos",
     )
-    parser.add_argument("command", choices=["demo", "scaleout", "tpcw"])
+    parser.add_argument("command", choices=["demo", "scaleout", "tpcw", "metrics"])
     args = parser.parse_args(argv)
-    {"demo": _demo, "scaleout": _scaleout, "tpcw": _tpcw}[args.command]()
+    {"demo": _demo, "scaleout": _scaleout, "tpcw": _tpcw, "metrics": _metrics}[
+        args.command
+    ]()
     return 0
 
 

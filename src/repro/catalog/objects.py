@@ -8,8 +8,8 @@ copying any data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Tuple
 
 from repro.common.schema import Schema
 from repro.sql import ast

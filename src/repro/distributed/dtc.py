@@ -17,6 +17,13 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.errors import DistributedError, TransactionError
+from repro.obs.metrics import global_registry
+from repro.obs.tracing import Tracer
+
+# The DTC has no owning server, so its spans and counters go to the
+# process-global tracer/registry; spans still nest under whatever server
+# span is active when commit() is called (context propagation).
+_TRACER = Tracer(service="dtc")
 
 
 class DistributedTransactionCoordinator:
@@ -45,31 +52,39 @@ class DistributedTransactionCoordinator:
         """Phase one: every participant votes."""
         if self._finished:
             raise DistributedError("transaction already finished")
-        for _, transaction in self._participants:
-            if not transaction.active:
-                return False
-        return True
+        with _TRACER.span("2pc.prepare", participants=len(self._participants)):
+            for _, transaction in self._participants:
+                if not transaction.active:
+                    global_registry().counter("dtc.prepare_failures").inc()
+                    return False
+            return True
 
     def commit(self) -> None:
         """Phase two: commit everywhere, or roll back everywhere."""
-        if not self.prepare():
-            self.rollback()
-            raise DistributedError("prepare failed; distributed transaction rolled back")
-        errors = []
-        for database, transaction in self._participants:
-            try:
-                database.transactions.commit(transaction)
-            except TransactionError as exc:  # pragma: no cover - defensive
-                errors.append(exc)
-        self._finished = True
-        if errors:
-            raise DistributedError(f"commit phase reported errors: {errors}")
+        with _TRACER.span("2pc.commit", participants=len(self._participants)):
+            if not self.prepare():
+                self.rollback()
+                raise DistributedError(
+                    "prepare failed; distributed transaction rolled back"
+                )
+            errors = []
+            for database, transaction in self._participants:
+                try:
+                    database.transactions.commit(transaction)
+                except TransactionError as exc:  # pragma: no cover - defensive
+                    errors.append(exc)
+            self._finished = True
+            global_registry().counter("dtc.commits").inc()
+            if errors:
+                raise DistributedError(f"commit phase reported errors: {errors}")
 
     def rollback(self) -> None:
         """Abort every still-active participant."""
         if self._finished:
             return
-        for database, transaction in self._participants:
-            if transaction.active:
-                database.transactions.rollback(transaction)
-        self._finished = True
+        with _TRACER.span("2pc.rollback", participants=len(self._participants)):
+            for database, transaction in self._participants:
+                if transaction.active:
+                    database.transactions.rollback(transaction)
+            self._finished = True
+            global_registry().counter("dtc.rollbacks").inc()

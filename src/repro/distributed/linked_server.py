@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.common.lru import LRUCache
 from repro.engine.results import Result
 from repro.errors import DistributedError, PreparedStatementError
+from repro.obs.tracing import NULL_SPAN
 
 
 class RemoteStatementHandle:
@@ -55,13 +56,14 @@ class RemoteStatementHandle:
         """Execute by handle; returns the full result."""
         handle_id = self._ensure_prepared()
         self.link.prepared_executions += 1
-        try:
-            return self.link.server.execute_prepared(handle_id, params)
-        except PreparedStatementError:
-            # The target lost the handle; re-prepare from our text copy.
-            self.handle_id = None
-            handle_id = self._ensure_prepared()
-            return self.link.server.execute_prepared(handle_id, params)
+        with self.link._span("remote.prepared", handle=handle_id):
+            try:
+                return self.link.server.execute_prepared(handle_id, params)
+            except PreparedStatementError:
+                # The target lost the handle; re-prepare from our text copy.
+                self.handle_id = None
+                handle_id = self._ensure_prepared()
+                return self.link.server.execute_prepared(handle_id, params)
 
     def execute_rows(self, params: Optional[Dict[str, Any]] = None) -> List[Tuple]:
         """Execute by handle; returns the result rows (RemoteQueryOp).
@@ -86,10 +88,11 @@ class RemoteStatementHandle:
 class ServerLink:
     """A named link to another server (possibly a specific database)."""
 
-    def __init__(self, name: str, server, database: Optional[str] = None):
+    def __init__(self, name: str, server, database: Optional[str] = None, tracer=None):
         self.name = name
         self.server = server
         self.database = database
+        self.tracer = tracer
         self.queries_shipped = 0
         self.statements_shipped = 0
         self.prepares = 0
@@ -99,13 +102,25 @@ class ServerLink:
         # one remote handle. Evicted handles close their server-side half.
         self._handles: LRUCache = LRUCache(256, on_evict=lambda handle: handle.close())
 
+    def _span(self, name: str, **attributes):
+        """Client-side span for one remote call (no-op when untraced).
+
+        The target server opens its own spans inside; because the call is
+        in-process the context variable makes them children of this one,
+        so one exported trace covers both tiers.
+        """
+        if self.tracer is None:
+            return NULL_SPAN
+        return self.tracer.span(name, target=self.name, **attributes)
+
     def execute_remote_sql(self, sql: str, params: Optional[Dict[str, Any]] = None) -> List[Tuple]:
         """Execute a query remotely; returns its rows.
 
         Used by RemoteQueryOp: the remote side re-parses and re-optimizes.
         """
         self.queries_shipped += 1
-        result = self.server.execute(sql, params=params, database=self.database)
+        with self._span("remote.sql"):
+            result = self.server.execute(sql, params=params, database=self.database)
         return result.rows
 
     def execute_statement_text(
@@ -113,7 +128,8 @@ class ServerLink:
     ) -> Result:
         """Execute a forwarded statement (DML / EXEC); returns full result."""
         self.statements_shipped += 1
-        return self.server.execute(sql, params=params, database=self.database)
+        with self._span("remote.statement"):
+            return self.server.execute(sql, params=params, database=self.database)
 
     def prepare(self, sql: str) -> RemoteStatementHandle:
         """Return the (shared) prepared handle for ``sql`` on this link."""
@@ -127,12 +143,15 @@ class ServerLink:
 class LinkedServerRegistry:
     """The set of linked servers registered on one server."""
 
-    def __init__(self):
+    def __init__(self, tracer=None):
         self._links: Dict[str, ServerLink] = {}
+        # The owning server's Tracer (None when observability is off);
+        # handed to every link so remote calls get client-side spans.
+        self.tracer = tracer
 
     def register(self, name: str, server, database: Optional[str] = None) -> ServerLink:
         """Register (or replace) a linked server under ``name``."""
-        link = ServerLink(name, server, database)
+        link = ServerLink(name, server, database, tracer=self.tracer)
         self._links[name.lower()] = link
         return link
 

@@ -8,7 +8,7 @@ the optimizer costs them as if the data were here.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, Optional, Set
 
 from repro.catalog import Catalog
 from repro.catalog.objects import TableDef

@@ -7,12 +7,12 @@ operates on locally stored tables inside a transaction.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.common.schema import Schema
 from repro.engine.results import Result
 from repro.engine.transactions import Transaction, TransactionManager
-from repro.errors import BindError, ExecutionError
+from repro.errors import ExecutionError
 from repro.exec.context import ExecutionContext
 from repro.exec.expressions import ExpressionCompiler
 from repro.optimizer.predicates import normalize_comparison, split_conjuncts

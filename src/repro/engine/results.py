@@ -16,6 +16,9 @@ class Result:
     number of rows a DML statement affected; ``return_value`` carries a
     stored procedure's RETURN code; ``messages`` collects PRINT output.
     ``resultsets`` holds every result set a procedure produced, in order.
+    ``profile`` carries the per-operator execution profile when statistics
+    profiling was on for the statement (``SET STATISTICS PROFILE ON``
+    style; see :mod:`repro.obs.profile`).
     """
 
     rows: List[Tuple] = field(default_factory=list)
@@ -24,6 +27,7 @@ class Result:
     return_value: Optional[Any] = None
     messages: List[str] = field(default_factory=list)
     resultsets: List[Tuple[Schema, List[Tuple]]] = field(default_factory=list)
+    profile: Optional[Any] = None
 
     @property
     def scalar(self) -> Any:

@@ -10,8 +10,10 @@ server for other instances' remote subexpressions.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import sys
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.clock import SimulatedClock
@@ -37,10 +39,17 @@ from repro.errors import (
     TypeCheckError,
 )
 from repro.exec.context import ExecutionContext, WorkCounters
+from repro.obs.metrics import CounterGroupView, MetricsRegistry
+from repro.obs.tracing import NULL_SPAN as _NULL_SPAN
+from repro.obs.tracing import Tracer, active_span
 from repro.optimizer.cost import CostModel
 from repro.optimizer.planner import Optimizer, PlannedStatement
 from repro.sql import ast, parse_statements
 from repro.sql.formatter import format_statement
+
+#: The work-counter field names, taken from the dataclass so the
+#: registry-backed facade and the per-execution accumulator never drift.
+WORK_FIELDS = tuple(field.name for field in dataclasses.fields(WorkCounters))
 
 
 class PreparedStatement:
@@ -87,6 +96,7 @@ class Server:
         statement_fastpath: bool = True,
         parse_cache_size: int = 512,
         plan_cache_size: int = 512,
+        observability: bool = True,
     ):
         from repro.distributed.linked_server import LinkedServerRegistry
 
@@ -96,7 +106,21 @@ class Server:
         self.optimizer_options = dict(optimizer_options or {})
         self.databases: Dict[str, Database] = {}
         self.default_database: Optional[str] = None
-        self.linked_servers = LinkedServerRegistry()
+        # Observability (repro.obs): a per-server metrics registry plus a
+        # tracer exporting to the process-global span collector. With
+        # ``observability=False`` (ablation benchmarks) the registry still
+        # exists but the hot paths fall back to plain counters and the
+        # tracer is disabled.
+        self.observability = observability
+        self.metrics = MetricsRegistry(namespace=name)
+        self.tracer = Tracer(service=name, enabled=observability)
+        self._statement_seconds = self.metrics.histogram("engine.statement_seconds")
+        #: Opt-in per-operator profiling for every SELECT on this server
+        #: (per-session opt-in: ``Session.statistics_profile``).
+        self.profile_statements = False
+        self.linked_servers = LinkedServerRegistry(
+            tracer=self.tracer if observability else None
+        )
         self._optimizers: Dict[str, Tuple[int, Optimizer]] = {}
         # Statement fast path (all version-checked, all bounded LRUs):
         # SQL text -> parsed statement list, and (database, statement) ->
@@ -116,7 +140,13 @@ class Server:
         #: fast-path-disabled parses). Benchmarks read deltas of this.
         self.parses = 0
         # Cumulative work executed on this server (simulator calibration).
-        self.total_work = WorkCounters()
+        # With observability on, the counters live in the metrics registry
+        # and ``total_work`` is an attribute-compatible facade over them;
+        # per-execution accumulation still uses the plain dataclass.
+        if observability:
+            self.total_work = CounterGroupView(self.metrics, "work", WORK_FIELDS)
+        else:
+            self.total_work = WorkCounters()
         self.statements_executed = 0
 
     # -- databases -----------------------------------------------------------
@@ -143,7 +173,10 @@ class Server:
         if cached is not None and cached[0] == database.version:
             return cached[1]
         optimizer = Optimizer(
-            database, cost_model=self.cost_model, **self.optimizer_options
+            database,
+            cost_model=self.cost_model,
+            metrics=self.metrics if self.observability else None,
+            **self.optimizer_options,
         )
         self._optimizers[database.name.lower()] = (database.version, optimizer)
         return optimizer
@@ -160,15 +193,18 @@ class Server:
         """Execute a SQL batch; returns the last statement's result."""
         session = session or Session()
         target = self.database(database or session.database)
-        statements = self._parse_sql(sql, target)
-        if not statements:
-            return Result()
-        result = Result()
-        for statement in statements:
-            result = self.execute_statement(
-                statement, params=params, session=session, database=target
-            )
-        return result
+        tracer = self.tracer
+        span = tracer.span("batch", sql=sql) if tracer.enabled else _NULL_SPAN
+        with span:
+            statements = self._parse_sql(sql, target)
+            if not statements:
+                return Result()
+            result = Result()
+            for statement in statements:
+                result = self.execute_statement(
+                    statement, params=params, session=session, database=target
+                )
+            return result
 
     def _parse_sql(self, sql: str, database: Database) -> List[ast.Statement]:
         """Parse a batch through the version-checked SQL-text cache.
@@ -185,7 +221,7 @@ class Server:
         version = database.version
         entry = self._parse_cache.get(key, valid=lambda e: e[0] == version)
         if entry is not None:
-            self.total_work.parse_cache_hits += 1
+            self.total_work.inc("parse_cache_hits")
             return entry[1]
         self.parses += 1
         statements = parse_statements(sql)
@@ -203,7 +239,24 @@ class Server:
         database = database or self.database(session.database)
         merged = session.merged_params(params)
         self.statements_executed += 1
+        if not self.observability:
+            return self._dispatch_statement(statement, merged, database, session)
+        started = time.perf_counter()
+        if self.tracer.enabled:
+            with self.tracer.span("statement", statement=type(statement).__name__):
+                result = self._dispatch_statement(statement, merged, database, session)
+        else:
+            result = self._dispatch_statement(statement, merged, database, session)
+        self._statement_seconds.observe(time.perf_counter() - started)
+        return result
 
+    def _dispatch_statement(
+        self,
+        statement: ast.Statement,
+        merged: Dict[str, Any],
+        database: Database,
+        session: Session,
+    ) -> Result:
         if isinstance(statement, ast.Select):
             return self._execute_select(statement, merged, database, session)
         if isinstance(statement, ast.UnionAll):
@@ -289,7 +342,13 @@ class Server:
         cached = self._plan_cache.get(key, valid=lambda e: e[0] == version)
         if cached is not None:
             return cached[1]
-        planned = self.optimizer_for(database).plan_select(statement)
+        started = time.perf_counter()
+        with self.tracer.span("optimize"):
+            planned = self.optimizer_for(database).plan_select(statement)
+        if self.observability:
+            self.metrics.histogram("optimizer.plan_seconds").observe(
+                time.perf_counter() - started
+            )
         self._plan_cache[key] = (version, planned)
         return planned
 
@@ -303,11 +362,23 @@ class Server:
         self._check_select_permissions(statement, database, session)
         planned = self.plan_select(statement, database)
         ctx = self._make_context(params, database, session)
-        rows = list(planned.root.execute(ctx))
+        profile = None
+        if self.profile_statements or session.statistics_profile:
+            from repro.obs.profile import profiled
+
+            with profiled(planned.root) as profile:
+                rows = list(planned.root.execute(ctx))
+        else:
+            rows = list(planned.root.execute(ctx))
         ctx.work.rows_returned = len(rows)
         self.total_work.merge(ctx.work)
         result = Result(rows=rows, schema=planned.schema, rowcount=len(rows))
         result.resultsets.append((planned.schema, rows))
+        if profile is not None:
+            result.profile = profile
+            span = active_span()
+            if span is not None:
+                span.attributes["profile"] = profile.render()
         return result
 
     def _execute_union(
@@ -384,6 +455,7 @@ class Server:
             linked_servers=self.linked_servers,
             clock=self.clock,
             fastpath=self.statement_fastpath,
+            tracer=self.tracer if self.observability else None,
         )
         ctx.subquery_executor = lambda select, sub_params: self.run_subquery(
             select, sub_params, database, session
@@ -470,7 +542,7 @@ class Server:
             self._dml_forward_cache[stripped] = text
         link.statements_shipped += 1
         result = link.prepare(text).execute(params)
-        self.total_work.prepared_executions += 1
+        self.total_work.inc("prepared_executions")
         return result
 
     @staticmethod
@@ -503,7 +575,8 @@ class Server:
         if procedure is not None and explicit_server is None:
             database.catalog.permissions.check("EXECUTE", name, session.principal)
             interpreter = ProcedureInterpreter(self, database, session)
-            result = interpreter.call(procedure, list(statement.arguments), params)
+            with self.tracer.span("procedure", procedure=name):
+                result = interpreter.call(procedure, list(statement.arguments), params)
             return result
 
         # Transparent forwarding of the call (paper §5.2): evaluate the
@@ -564,18 +637,19 @@ class Server:
                 f"no prepared statement with handle {handle_id} on server {self.name!r}"
             )
         target = self.database(handle.database_key)
-        if handle.version != target.version:
-            handle.statements = self._parse_sql(handle.sql, target)
-            handle.version = target.version
-            handle.reprepares += 1
-        self.total_work.prepared_executions += 1
-        session = Session()
-        result = Result()
-        for statement in handle.statements:
-            result = self.execute_statement(
-                statement, params=params, session=session, database=target
-            )
-        return result
+        with self.tracer.span("prepared", handle=handle_id):
+            if handle.version != target.version:
+                handle.statements = self._parse_sql(handle.sql, target)
+                handle.version = target.version
+                handle.reprepares += 1
+            self.total_work.inc("prepared_executions")
+            session = Session()
+            result = Result()
+            for statement in handle.statements:
+                result = self.execute_statement(
+                    statement, params=params, session=session, database=target
+                )
+            return result
 
     def close_prepared(self, handle_id: int) -> None:
         """Drop a prepared statement (client-side handle going away)."""
@@ -629,9 +703,30 @@ class Server:
         visit_select(statement)
 
     def reset_work(self) -> None:
-        """Zero the cumulative work counters (between calibration runs)."""
-        self.total_work = WorkCounters()
+        """Zero the cumulative work counters (between calibration runs).
+
+        Also resets the parse-cache and plan-cache hit/miss statistics and
+        the raw parse count, so a calibration run measured after a warm-up
+        starts from zero on *every* counter — previously only
+        ``total_work`` was zeroed, leaving cache hit rates polluted by
+        warm-up traffic. Cache *contents* are kept (warm caches are the
+        steady state being measured); only the statistics reset.
+        """
+        if isinstance(self.total_work, CounterGroupView):
+            self.total_work.reset()
+        else:
+            self.total_work = WorkCounters()
         self.statements_executed = 0
+        self.parses = 0
+        for cache in (self._parse_cache, self._plan_cache, self._dml_forward_cache):
+            stats = cache.stats
+            stats.hits = 0
+            stats.misses = 0
+            stats.evictions = 0
+            stats.invalidations = 0
+        if self.observability:
+            self.metrics.reset(prefix="engine.")
+            self.metrics.reset(prefix="optimizer.")
 
     def __repr__(self) -> str:
         return f"<Server {self.name} databases={list(self.databases)}>"

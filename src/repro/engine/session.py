@@ -10,6 +10,10 @@ class Session:
 
     ``principal`` drives permission checks (the ``dbo`` owner bypasses
     them). ``variables`` holds session-level ``DECLARE``/``SET`` state.
+    ``statistics_profile`` is the session-scoped analogue of SQL Server's
+    ``SET STATISTICS PROFILE ON``: while True, every SELECT executed on
+    this session attaches a per-operator execution profile to its result
+    (see :mod:`repro.obs.profile`).
     """
 
     def __init__(self, principal: str = "dbo", database: Optional[str] = None):
@@ -17,6 +21,7 @@ class Session:
         self.database = database
         self.variables: Dict[str, Any] = {}
         self.in_transaction = False
+        self.statistics_profile = False
 
     def merged_params(self, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
         """Explicit parameters overlaid on session variables."""

@@ -8,7 +8,7 @@ work counters the cluster simulator uses to calibrate CPU demands.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 
@@ -48,6 +48,15 @@ class WorkCounters:
         self.prepared_executions += other.prepared_executions
         self.round_trips_saved += other.round_trips_saved
 
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Bump one counter by name.
+
+        Same signature as ``CounterGroupView.inc`` so engine hot paths can
+        increment a single field without caring whether the server's
+        ``total_work`` is this dataclass or the registry facade.
+        """
+        setattr(self, name, getattr(self, name) + amount)
+
 
 class ExecutionContext:
     """Per-execution state shared by all operators in a plan."""
@@ -60,6 +69,7 @@ class ExecutionContext:
         clock: Optional[object] = None,
         subquery_executor: Optional[Callable] = None,
         fastpath: bool = True,
+        tracer: Optional[object] = None,
     ):
         self.database = database
         self.params = dict(params or {})
@@ -68,6 +78,9 @@ class ExecutionContext:
         # Statement fast path: when False, RemoteQueryOp ships full text
         # instead of executing by prepared handle (benchmark ablation).
         self.fastpath = fastpath
+        # Observability: the owning server's Tracer (None when disabled);
+        # RemoteQueryOp opens client-side spans through it.
+        self.tracer = tracer
         self.work = WorkCounters()
         # Callable(select_ast, params) -> list of rows; installed by the
         # engine so scalar/IN subqueries can run nested statements.

@@ -18,7 +18,7 @@ import re
 from typing import Any, Callable, Optional, Tuple
 
 from repro.common.schema import Schema
-from repro.errors import BindError, ExecutionError, TypeCheckError
+from repro.errors import ExecutionError, TypeCheckError
 from repro.sql import ast
 
 Scalar = Callable[[Tuple, "object"], Any]

@@ -13,12 +13,12 @@ input is never opened (its branch of the plan costs nothing at run time).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
-from repro.common.schema import Column, Schema
+from repro.common.schema import Schema
 from repro.errors import ExecutionError
 from repro.exec.context import ExecutionContext
-from repro.exec.expressions import Scalar, sql_equal
+from repro.exec.expressions import Scalar
 
 Row = Tuple
 
@@ -716,12 +716,20 @@ class RemoteQueryOp(PhysicalOperator):
         if ctx.linked_servers is None:
             raise ExecutionError("no linked servers registered in context")
         server = ctx.linked_servers.get(self.server_name)
-        if getattr(ctx, "fastpath", True):
-            handle = server.prepare(self.sql_text)
-            rows = handle.execute_rows(ctx.params)
-            ctx.work.prepared_executions += 1
+        tracer = getattr(ctx, "tracer", None)
+        if tracer is not None:
+            span = tracer.span("remote.query", server=self.server_name)
         else:
-            rows = server.execute_remote_sql(self.sql_text, ctx.params)
+            from repro.obs.tracing import NULL_SPAN
+
+            span = NULL_SPAN
+        with span:
+            if getattr(ctx, "fastpath", True):
+                handle = server.prepare(self.sql_text)
+                rows = handle.execute_rows(ctx.params)
+                ctx.work.prepared_executions += 1
+            else:
+                rows = server.execute_remote_sql(self.sql_text, ctx.params)
         ctx.work.remote_queries += 1
         width = self.schema.row_width
         for row in rows:

@@ -26,11 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.optimizer.binder import Namespace, qualify_expression
-from repro.optimizer.predicates import (
-    SimpleComparison,
-    normalize_comparison,
-    split_conjuncts,
-)
+from repro.optimizer.predicates import normalize_comparison, split_conjuncts
 from repro.sql import ast, parse_statements
 
 

@@ -18,11 +18,9 @@ from repro.common.schema import Column, Schema
 from repro.engine import Database, Server
 from repro.errors import ReplicationError
 from repro.replication.agent import DistributionAgent
-from repro.replication.publication import Article
 from repro.replication.subscription import Subscription
 from repro.sql import ast, parse
 from repro.sql.formatter import format_statement
-from repro.storage.statistics import TableStatistics
 
 
 class CacheServer:
@@ -68,9 +66,12 @@ class CacheServer:
             if not self.minimal_shadow:
                 raise
             self.statements_forwarded += 1
-            return self.deployment.backend.execute(
-                sql, params=params, database=self.deployment.database_name
-            )
+            if self.server.observability:
+                self.server.metrics.counter("mtcache.statements_forwarded").inc()
+            with self.server.tracer.span("forward.statement", target="backend"):
+                return self.deployment.backend.execute(
+                    sql, params=params, database=self.deployment.database_name
+                )
 
     def plan(self, sql: str):
         """Plan a SELECT and return the PlannedStatement (for inspection)."""
@@ -215,6 +216,12 @@ class CacheServer:
             self.copy_procedure(name)
 
     # -- freshness -----------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict:
+        """JSON-ready snapshot of this cache server's metrics registry."""
+        from repro.obs.export import server_snapshot
+
+        return server_snapshot(self.server)
 
     def staleness(self) -> float:
         """Upper bound (seconds) on how stale the cached views may be."""

@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import List
 
 from repro.catalog import Catalog
-from repro.common.types import TypeKind
 
 
 def _column_ddl(column) -> str:

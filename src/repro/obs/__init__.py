@@ -1,0 +1,56 @@
+"""``repro.obs`` — the unified observability subsystem.
+
+Four pillars, one package:
+
+* :mod:`repro.obs.metrics` — thread-safe metrics registry (counters,
+  gauges, fixed-bucket histograms), cheap enough to be always-on. Every
+  :class:`~repro.engine.server.Server` owns one; the old ``total_work``
+  counters are a facade over it.
+* :mod:`repro.obs.tracing` — structured trace spans with parent/child
+  linkage, propagated across linked-server calls via context variables
+  and exported through a bounded ring buffer.
+* :mod:`repro.obs.profile` — opt-in per-operator execution profiles
+  (actual rows / opens / wall time per plan operator), rendered as an
+  annotated plan tree.
+* :mod:`repro.obs.replication_metrics` — per-subscription replication lag
+  gauges, apply-batch histograms and distribution-queue depth.
+
+:mod:`repro.obs.export` snapshots all of it to JSON (also:
+``python -m repro metrics``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    CounterGroupView,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.profile import ExecutionProfile, OperatorProfile, profiled
+from repro.obs.tracing import (
+    Span,
+    SpanCollector,
+    Tracer,
+    active_span,
+    format_trace,
+    global_collector,
+)
+
+__all__ = [
+    "Counter",
+    "CounterGroupView",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "ExecutionProfile",
+    "OperatorProfile",
+    "profiled",
+    "Span",
+    "SpanCollector",
+    "Tracer",
+    "active_span",
+    "format_trace",
+    "global_collector",
+]

@@ -1,0 +1,104 @@
+"""Replication observability: per-subscription lag gauges and batch stats.
+
+The paper's Experiment 3 measures replication latency; these gauges make
+the same quantities continuously visible instead of post-hoc:
+
+* ``replication.lag_transactions{subscription=...}`` — how many committed
+  transactions the subscription still has to consume (the commit-sequence
+  delta between the distribution database's frontier and the
+  subscription's watermark; the repro's analogue of a commit-LSN delta).
+* ``replication.lag_seconds{subscription=...}`` — the age of the cached
+  data: now minus the newest point the subscription is known current as
+  of (same formula the freshness clause uses).
+* ``replication.batch_size{subscription=...}`` — histogram of transactions
+  applied per subscriber round trip (the agent-batching win from PR 1).
+* ``replication.distribution_queue_depth`` — transactions sitting in the
+  distribution database, sampled at each agent poll.
+
+Gauges land on the *subscriber* server's registry — the same attribution
+the cluster simulator uses for apply CPU — so a cache server's snapshot
+tells the whole story of its own staleness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: Transactions applied in one subscriber round trip.
+BATCH_SIZE_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250)
+#: Replication lag age in seconds (sub-second to tens of seconds).
+LAG_AGE_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+def registry_for_subscription(subscription) -> Optional[Any]:
+    """The subscriber server's metrics registry, if observability is on."""
+    server = getattr(subscription.subscriber_database, "owner_server", None)
+    if server is None or not getattr(server, "observability", False):
+        return None
+    return getattr(server, "metrics", None)
+
+
+def _lag_values(agent, now: float) -> Dict[str, float]:
+    subscription = agent.subscription
+    frontier = agent.distributor.distribution_db.last_sequence
+    synced = getattr(subscription, "synced_through", 0.0)
+    current_as_of = max(subscription.last_applied_commit_ts, synced)
+    return {
+        "lag_transactions": max(0, frontier - subscription.last_sequence),
+        "lag_seconds": max(0.0, now - current_as_of),
+        "queue_depth": len(agent.distributor.distribution_db),
+    }
+
+
+def update_lag_gauges(agent, now: Optional[float] = None, registry=None) -> Dict[str, float]:
+    """Refresh one agent's lag gauges; returns the sampled values."""
+    subscription = agent.subscription
+    if now is None:
+        now = subscription.subscriber_database.clock.now()
+    values = _lag_values(agent, now)
+    if registry is None:
+        registry = registry_for_subscription(subscription)
+    if registry is not None:
+        labels = {"subscription": subscription.name}
+        registry.gauge("replication.lag_transactions", labels=labels).set(
+            values["lag_transactions"]
+        )
+        registry.gauge("replication.lag_seconds", labels=labels).set(
+            values["lag_seconds"]
+        )
+        registry.gauge("replication.distribution_queue_depth").set(
+            values["queue_depth"]
+        )
+    return values
+
+
+def record_batch(agent, batch_size: int, now: Optional[float] = None) -> None:
+    """Record one applied batch on the subscriber's registry.
+
+    Called by :class:`~repro.replication.agent.DistributionAgent` after a
+    poll applies ``batch_size`` transactions in one round trip.
+    """
+    registry = registry_for_subscription(agent.subscription)
+    if registry is None:
+        return
+    labels = {"subscription": agent.subscription.name}
+    registry.histogram(
+        "replication.batch_size", buckets=BATCH_SIZE_BUCKETS, labels=labels
+    ).observe(batch_size)
+    registry.counter("replication.transactions_applied", labels=labels).inc(batch_size)
+    registry.counter("replication.round_trips", labels=labels).inc()
+    update_lag_gauges(agent, now=now, registry=registry)
+
+
+def sample(deployment) -> Dict[str, Dict[str, float]]:
+    """Refresh and return lag for every agent of a deployment.
+
+    Keys are subscription names; values the sampled lag dicts. Use this
+    for on-demand reads (snapshots, the CLI) — between agent polls the
+    ``lag_seconds`` gauge ages and this recomputes it.
+    """
+    samples: Dict[str, Dict[str, float]] = {}
+    now = deployment.clock.now()
+    for agent in deployment.distributor.agents:
+        samples[agent.subscription.name] = update_lag_gauges(agent, now=now)
+    return samples

@@ -1,0 +1,273 @@
+"""Structured trace spans with parent/child linkage.
+
+One TPC-W interaction executed through a cache server fans out across
+tiers: parse and optimize on the mid tier, local execution against cached
+views, shipped remote SQL on the backend, forwarded DML inside a 2PC.
+Tracing stitches those pieces back into one tree.
+
+The design mirrors OpenTelemetry's span model, cut down to what this
+codebase needs:
+
+* A :class:`Span` carries ids (trace/span/parent), a service name (which
+  server produced it), wall-clock bounds, a status and free-form
+  attributes.
+* The *active* span lives in a :mod:`contextvars` context variable. A new
+  span adopts the active span as parent — and because linked-server calls
+  are in-process method calls, span context propagates across the
+  ``ServerLink`` boundary for free: the backend's spans become children of
+  the mid-tier span that shipped the SQL, with no wire protocol needed.
+* Finished spans land in a bounded ring-buffer :class:`SpanCollector`
+  (default: one process-global collector shared by every tracer, so a
+  cross-server trace can be exported in one piece).
+
+Tracers can be disabled per server (``tracer.enabled = False``); a
+disabled tracer hands out a shared no-op context manager, keeping the
+instrumentation cost of the off state to one attribute check.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Any, Dict, Iterable, List, Optional
+
+_ids = itertools.count(1)
+
+#: The currently active span in this execution context (None at top level).
+_ACTIVE: ContextVar[Optional["Span"]] = ContextVar("repro_obs_active_span", default=None)
+
+
+def active_span() -> Optional["Span"]:
+    """The innermost open span in the current context, if any."""
+    return _ACTIVE.get()
+
+
+class Span:
+    """One timed operation within a trace.
+
+    A plain ``__slots__`` class rather than a dataclass: spans are created
+    on the statement hot path, so construction cost matters.
+    """
+
+    __slots__ = (
+        "name",
+        "service",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "status",
+        "attributes",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        service: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        end: Optional[float] = None,
+        status: str = "ok",
+        attributes: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.service = service
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = end
+        self.status = status
+        self.attributes = attributes if attributes is not None else {}
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        # Long string attributes (full SQL text) are trimmed at export
+        # time so recording them stays free on the hot path.
+        attributes = {
+            key: _trim(value) if isinstance(value, str) else value
+            for key, value in self.attributes.items()
+        }
+        return {
+            "name": self.name,
+            "service": self.service,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration_seconds": self.duration,
+            "status": self.status,
+            "attributes": attributes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.service}/{self.name} trace={self.trace_id} "
+            f"id={self.span_id} parent={self.parent_id} {self.status}>"
+        )
+
+
+class SpanCollector:
+    """A bounded ring buffer of finished spans (the exporter)."""
+
+    def __init__(self, capacity: int = 4096):
+        self._spans: "deque[Span]" = deque(maxlen=capacity)
+
+    def record(self, span: Span) -> None:
+        self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def trace(self, trace_id: int) -> List[Span]:
+        """All finished spans of one trace, in span-id (creation) order."""
+        return sorted(
+            (span for span in self._spans if span.trace_id == trace_id),
+            key=lambda span: span.span_id,
+        )
+
+    def trace_ids(self) -> List[int]:
+        seen: Dict[int, None] = {}
+        for span in self._spans:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def latest_trace_id(self) -> Optional[int]:
+        if not self._spans:
+            return None
+        return self._spans[-1].trace_id
+
+    def export(self, trace_id: Optional[int] = None) -> List[Dict[str, Any]]:
+        """JSON-ready dicts for one trace (or the whole buffer)."""
+        spans = self.trace(trace_id) if trace_id is not None else self.spans()
+        return [span.to_dict() for span in spans]
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+_GLOBAL_COLLECTOR = SpanCollector()
+
+
+def global_collector() -> SpanCollector:
+    """The shared collector every tracer exports to by default."""
+    return _GLOBAL_COLLECTOR
+
+
+class _NullSpanContext:
+    """Shared no-op context manager handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter, finishes it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_token", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._token = None
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        parent = _ACTIVE.get()
+        span_id = next(_ids)
+        span = Span(
+            name=self._name,
+            service=self._tracer.service,
+            trace_id=parent.trace_id if parent is not None else span_id,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            start=time.perf_counter(),
+            attributes=self._attributes,
+        )
+        self.span = span
+        self._token = _ACTIVE.set(span)
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.end = time.perf_counter()
+        if exc_type is not None:
+            span.status = "error"
+            span.attributes.setdefault("error", repr(exc))
+        _ACTIVE.reset(self._token)
+        self._tracer.collector.record(span)
+        return False
+
+
+class Tracer:
+    """Creates spans on behalf of one service (one server, usually)."""
+
+    def __init__(
+        self,
+        service: str,
+        collector: Optional[SpanCollector] = None,
+        enabled: bool = True,
+    ):
+        self.service = service
+        self.collector = collector if collector is not None else _GLOBAL_COLLECTOR
+        self.enabled = enabled
+
+    def span(self, name: str, **attributes: Any):
+        """Open a child span of whatever span is currently active."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanContext(self, name, attributes)
+
+
+def _trim(text: str, limit: int = 120) -> str:
+    """Collapse whitespace and truncate (for SQL text in exports)."""
+    collapsed = " ".join(text.split())
+    if len(collapsed) <= limit:
+        return collapsed
+    return collapsed[: limit - 3] + "..."
+
+
+def format_trace(spans: Iterable[Span]) -> str:
+    """Render a trace as an indented tree (diagnostics and tests)."""
+    spans = list(spans)
+    by_parent: Dict[Optional[int], List[Span]] = {}
+    ids = {span.span_id for span in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(span)
+
+    lines: List[str] = []
+
+    def render(parent: Optional[int], indent: int) -> None:
+        for span in sorted(by_parent.get(parent, []), key=lambda s: s.span_id):
+            marker = "" if span.status == "ok" else f" !{span.status}"
+            lines.append(
+                "  " * indent
+                + f"{span.service}/{span.name} ({span.duration * 1e3:.3f} ms){marker}"
+            )
+            render(span.span_id, indent + 1)
+
+    render(None, 0)
+    return "\n".join(lines)

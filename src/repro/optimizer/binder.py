@@ -9,7 +9,7 @@ expression-to-column substitution can use plain dict lookup.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import BindError
 from repro.sql import ast

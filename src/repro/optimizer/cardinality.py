@@ -13,7 +13,7 @@ between the column's min and max values (the paper's stated assumption).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import List, Optional
 
 from repro.optimizer.predicates import SimpleComparison, normalize_comparison
 from repro.sql import ast

@@ -33,10 +33,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.common.schema import Column, Schema
-from repro.common.types import BIGINT, FLOAT, INT, VARCHAR, SqlType, TypeKind
+from repro.common.types import BIGINT, FLOAT, INT, VARCHAR, SqlType
 from repro.errors import BindError, OptimizerError
 from repro.exec.expressions import ExpressionCompiler, Scalar
 from repro.exec.operators import (
@@ -186,6 +186,7 @@ class Optimizer:
         force_local_views: bool = False,
         assume_all_local: bool = False,
         parameter_distribution: str = "uniform",
+        metrics=None,
     ):
         """``force_local_views`` reproduces the DBCache-style heuristic the
         paper contrasts against: always use a matching cached view
@@ -215,6 +216,21 @@ class Optimizer:
             database.catalog, lambda name: self._object_columns(name)
         )
         self._backend_estimator_cache: Optional[Tuple[int, "Optimizer"]] = None
+        # Observability: the owning server's MetricsRegistry (None when
+        # disabled); plan_select records what kind of plan came out.
+        self.metrics = metrics
+
+    def _record(self, planned: PlannedStatement) -> PlannedStatement:
+        """Count the produced plan's shape on the metrics registry."""
+        if self.metrics is not None:
+            self.metrics.counter("optimizer.plans").inc()
+            if planned.is_dynamic:
+                self.metrics.counter("optimizer.dynamic_plans").inc()
+            if planned.uses_remote:
+                self.metrics.counter("optimizer.remote_plans").inc()
+            if planned.uses_cached_view:
+                self.metrics.counter("optimizer.cached_view_plans").inc()
+        return planned
 
     # ------------------------------------------------------------------
     # public entry point
@@ -234,7 +250,7 @@ class Optimizer:
 
         if select.from_clause is None:
             plan = self._plan_values(select)
-            return PlannedStatement(
+            return self._record(PlannedStatement(
                 root=plan.op,
                 schema=plan.op.schema,
                 estimated_rows=plan.rows,
@@ -243,7 +259,7 @@ class Optimizer:
                 uses_cached_view=False,
                 is_dynamic=False,
                 freshness_seconds=freshness,
-            )
+            ))
 
         sources, join_conjuncts, has_outer = self._collect_sources(select.from_clause)
         namespace = Namespace()
@@ -261,7 +277,7 @@ class Optimizer:
                 select, sources, namespace, normalized, use_views
             )
         plan.attach()
-        return PlannedStatement(
+        return self._record(PlannedStatement(
             root=plan.op,
             schema=plan.op.schema,
             estimated_rows=plan.rows,
@@ -270,7 +286,7 @@ class Optimizer:
             uses_cached_view=used_view,
             is_dynamic=is_dynamic,
             freshness_seconds=freshness,
-        )
+        ))
 
     # ------------------------------------------------------------------
     # normalization

@@ -14,7 +14,7 @@ either orientation, plus BETWEEN (split into two bounds).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, List, Optional, Union
 
 from repro.sql import ast
 

@@ -21,7 +21,6 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.catalog.objects import ViewDef
 from repro.optimizer.predicates import (
-    ImplicationResult,
     SimpleComparison,
     implies,
     normalize_comparison,

@@ -16,8 +16,9 @@ statement fast path.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
+from repro.obs import replication_metrics
 from repro.replication.distributor import Distributor
 from repro.replication.subscription import Subscription
 
@@ -49,6 +50,13 @@ class DistributionAgent:
         # applies N pending transactions in one trip saves N - 1.
         self.round_trips = 0
         self.round_trips_saved = 0
+        # Last applied transaction, recorded per agent for observability:
+        # the subscriber's "how far am I" answer (LSN analogue + commit
+        # timestamp + origin transaction + apply wall-clock).
+        self.last_applied_sequence: int = 0
+        self.last_applied_commit_ts: Optional[float] = None
+        self.last_applied_origin_id: Optional[int] = None
+        self.last_apply_time: Optional[float] = None
 
     def due(self, now: float) -> bool:
         return now - self.last_poll_time >= self.poll_interval
@@ -73,14 +81,32 @@ class DistributionAgent:
             self.subscription.last_sequence
         )
         if not pending:
+            # Idle poll: lag gauges still move (age keeps growing).
+            replication_metrics.update_lag_gauges(self, now=now)
             return 0
         self.commands_applied += self.subscription.apply_batch(pending)
         self.transactions_applied += len(pending)
         self.round_trips += 1
+        newest = pending[-1]
+        self.last_applied_sequence = newest.sequence
+        self.last_applied_commit_ts = newest.commit_timestamp
+        self.last_applied_origin_id = newest.origin_transaction_id
+        self.last_apply_time = self.subscription.last_apply_time
         saved = len(pending) - 1
         self.round_trips_saved += saved
         if saved:
             server = getattr(self.subscription.subscriber_database, "owner_server", None)
             if server is not None:
                 server.total_work.round_trips_saved += saved
+        replication_metrics.record_batch(self, len(pending), now=now)
         return len(pending)
+
+    def last_applied(self) -> dict:
+        """Snapshot of the newest applied transaction (satellite API)."""
+        return {
+            "subscription": self.subscription.name,
+            "sequence": self.last_applied_sequence,
+            "commit_timestamp": self.last_applied_commit_ts,
+            "origin_transaction_id": self.last_applied_origin_id,
+            "applied_at": self.last_apply_time,
+        }

@@ -8,10 +8,8 @@ has consumed them, after which they are deleted (as SQL Server does).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-from repro.errors import ReplicationError
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 
 @dataclass(frozen=True)

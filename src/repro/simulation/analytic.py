@@ -17,7 +17,7 @@ demands come from :mod:`repro.simulation.calibrate`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.simulation.calibrate import CalibrationResult

@@ -15,13 +15,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.mtcache.odbc import OdbcConnection
 from repro.tpcw.application import TPCWApplication
 from repro.tpcw.config import TPCWConfig
 from repro.tpcw.setup import build_backend, enable_caching
-from repro.tpcw.workload import INTERACTIONS, MIXES, WorkloadMix
+from repro.tpcw.workload import INTERACTIONS, WorkloadMix
 
 
 @dataclass
@@ -42,6 +42,10 @@ class CalibrationResult:
     mode: str  # "nocache" | "cached"
     profiles: Dict[str, InteractionProfile]
     config: TPCWConfig
+    # Observability snapshots of the servers the calibration ran against
+    # (keys: "backend" and, in cached mode, "cache"); lets benchmark
+    # reports show cache hit rates and plan-shape counts alongside demand.
+    obs_snapshot: Dict[str, Dict] = field(default_factory=dict)
 
     def mix_demand(self, mix: WorkloadMix) -> Tuple[float, float, float]:
         """Expected (cache_work, backend_work, repl_commands) per interaction
@@ -119,4 +123,11 @@ def calibrate(
             db_calls=calls / repetitions,
             replication_commands=commands / repetitions,
         )
-    return CalibrationResult(mode=mode, profiles=profiles, config=config)
+    from repro.obs.export import server_snapshot
+
+    obs_snapshot = {"backend": server_snapshot(backend)}
+    if mode == "cached":
+        obs_snapshot["cache"] = server_snapshot(target_server)
+    return CalibrationResult(
+        mode=mode, profiles=profiles, config=config, obs_snapshot=obs_snapshot
+    )

@@ -14,8 +14,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.simulation.analytic import ClusterSpec
 from repro.simulation.calibrate import CalibrationResult

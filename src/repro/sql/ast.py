@@ -8,8 +8,8 @@ Table names carry up to four dot-separated parts, matching SQL Server's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
 
 from repro.common.types import SqlType
 

@@ -9,7 +9,6 @@ query string and executed on a linked server.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.common.types import sql_literal
 from repro.sql import ast

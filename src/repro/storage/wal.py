@@ -13,8 +13,8 @@ changes without re-evaluating predicates.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
 
 
 class LogRecordType(enum.Enum):

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import datetime
 import random
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Optional
 
 from repro.tpcw.config import SUBJECTS, TITLE_WORDS, TPCWConfig
 

@@ -10,7 +10,7 @@ sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: The benchmark's book subject categories.
 SUBJECTS = [

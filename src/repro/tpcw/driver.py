@@ -16,10 +16,10 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.tpcw.application import TPCWApplication
-from repro.tpcw.workload import MIXES, WorkloadMix
+from repro.tpcw.workload import WorkloadMix
 
 
 @dataclass
@@ -60,6 +60,16 @@ class LoadDriver:
         self.deployment = deployment
         self.rng = random.Random(seed)
 
+    def _target_server(self):
+        """The engine Server the application's connection reaches.
+
+        Connections may point at a plain :class:`~repro.engine.Server` or
+        at a :class:`~repro.mtcache.cache_server.CacheServer` facade.
+        """
+        server = getattr(self.application.connection, "server", None)
+        inner = getattr(server, "server", None)
+        return inner if inner is not None else server
+
     def run(self, duration: float) -> DriverStats:
         """Run for ``duration`` virtual seconds; returns statistics."""
         stats = DriverStats()
@@ -75,6 +85,11 @@ class LoadDriver:
         now = 0.0
         calls_before = self.application.db_calls
 
+        target = self._target_server()
+        observed = target is not None and getattr(target, "observability", False)
+        registry = target.metrics if observed else None
+        tracer = target.tracer if observed else None
+
         while events:
             now, user = heapq.heappop(events)
             if now > duration:
@@ -83,14 +98,29 @@ class LoadDriver:
                 clock.advance_to(start + now)
                 self.deployment.tick()
             interaction = self.mix.sample(self.rng)
+            span = (
+                tracer.span(f"tpcw.{interaction}", user=user)
+                if tracer is not None
+                else None
+            )
             try:
-                self.application.run(interaction, sessions[user])
+                if span is not None:
+                    with span:
+                        self.application.run(interaction, sessions[user])
+                else:
+                    self.application.run(interaction, sessions[user])
                 stats.interactions += 1
                 stats.by_interaction[interaction] = (
                     stats.by_interaction.get(interaction, 0) + 1
                 )
+                if registry is not None:
+                    registry.counter(
+                        "tpcw.interactions", labels={"interaction": interaction}
+                    ).inc()
             except Exception:
                 stats.errors += 1
+                if registry is not None:
+                    registry.counter("tpcw.errors").inc()
             heapq.heappush(events, (now + self.think_time, user))
 
         stats.virtual_seconds = min(now, duration)

@@ -23,7 +23,7 @@ def procedure_definitions(config: TPCWConfig) -> Dict[str, str]:
     window = config.bestseller_window
     return {
         # ---- browse class ------------------------------------------------
-        "getName": f"""
+        "getName": """
             CREATE PROCEDURE getName @c_id INT AS
             BEGIN
                 SELECT c_fname, c_lname FROM customer WHERE c_id = @c_id
@@ -332,7 +332,7 @@ def procedure_definitions(config: TPCWConfig) -> Dict[str, str]:
                     WHERE i_id = @i_id
             END
         """,
-        "updateRelatedItems": f"""
+        "updateRelatedItems": """
             CREATE PROCEDURE updateRelatedItems @i_id INT AS
             BEGIN
                 -- TPC-W's admin-confirm recomputation: the items most

@@ -42,7 +42,7 @@ def test_prepare_failure_rolls_back_everyone():
     a, b = make_server("a"), make_server("b")
     dtc = DistributedTransactionCoordinator()
     txn_a = dtc.begin_on(a.database("db"))
-    txn_b = dtc.begin_on(b.database("db"))
+    dtc.begin_on(b.database("db"))  # enlists b as a participant
     a.database("db").transactions.logged_insert(txn_a, a.database("db").storage_table("t"), (1, 10))
     # One participant aborts out-of-band: prepare must fail and roll back b.
     a.database("db").transactions.rollback(txn_a)

@@ -5,7 +5,6 @@ import pytest
 from repro import Server
 from repro.errors import DistributedError
 
-from tests.conftest import make_shop_backend
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """WAL redo recovery tests."""
 
-import pytest
 
 from repro import Server, Session
 from repro.engine.recovery import replay_wal

@@ -1,6 +1,5 @@
 """Broad SQL behavioural coverage: one test per distinct feature."""
 
-import datetime
 
 import pytest
 

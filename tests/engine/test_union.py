@@ -4,7 +4,7 @@ import pytest
 
 from repro import Server
 from repro.errors import ExecutionError
-from repro.sql import parse, parse_statements
+from repro.sql import parse
 from repro.sql.formatter import format_statement
 
 

@@ -10,14 +10,7 @@ from repro.common.schema import Column, Schema
 from repro.common.types import FLOAT, INT, VARCHAR
 from repro.errors import ExecutionError, TypeCheckError
 from repro.exec.context import ExecutionContext
-from repro.exec.expressions import (
-    ExpressionCompiler,
-    like_to_regex,
-    sql_and,
-    sql_compare,
-    sql_not,
-    sql_or,
-)
+from repro.exec.expressions import ExpressionCompiler, like_to_regex, sql_and, sql_not, sql_or
 from repro.sql import parse_expression
 
 SCHEMA = Schema(
@@ -84,7 +77,6 @@ class TestComparisons:
         assert evaluate("a < 1.5") is True
 
     def test_date_vs_string(self):
-        row = (1, 2.5, "hello")
         schema = Schema([Column("d", INT)])
         compiled = ExpressionCompiler(schema).compile(parse_expression("d >= '2003-01-05'"))
         assert compiled((datetime.date(2003, 1, 6),), ExecutionContext()) is True

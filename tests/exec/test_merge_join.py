@@ -1,6 +1,5 @@
 """Merge join operator and planner selection tests."""
 
-import pytest
 
 from repro.common.schema import Column, Schema
 from repro.common.types import INT, VARCHAR

@@ -354,7 +354,6 @@ class TestSortTopDistinctUnion:
         assert len(rows_of(op, database)) == 10
 
     def test_explain_renders_tree(self):
-        database = make_db()
         schema = scan_schema()
         op = TopOp(SeqScanOp(schema, "t"), ExpressionCompiler(Schema(())).compile(parse_expression("3")))
         text = op.explain()

@@ -6,7 +6,6 @@ of inserts, updates and deletes (including article-boundary crossings and
 multi-statement transactions) the backend committed in between.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

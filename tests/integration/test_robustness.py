@@ -3,12 +3,7 @@
 import pytest
 
 from repro import MTCacheDeployment, Server
-from repro.errors import (
-    CatalogError,
-    ConstraintError,
-    DistributedError,
-    ExecutionError,
-)
+from repro.errors import CatalogError, ConstraintError, ExecutionError
 from repro.replication.agent import DistributionAgent
 
 from tests.conftest import make_shop_backend

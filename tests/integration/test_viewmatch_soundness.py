@@ -7,7 +7,6 @@ derivation, ChoosePlan construction, startup-predicate evaluation — as one
 black box under adversarial ranges and boundary values.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

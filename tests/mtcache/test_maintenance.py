@@ -1,6 +1,5 @@
 """Operational maintenance: WAL checkpointing and periodic stats refresh."""
 
-import pytest
 
 from repro import MTCacheDeployment
 

@@ -47,10 +47,6 @@ class TestRouting:
 
     def test_hybrid_plan_mixes_local_and_remote(self, env):
         _, _, cache = env
-        planned = cache.plan(
-            "SELECT c.cname, o.total FROM customer c "
-            "JOIN orders o ON o.o_cid = c.cid WHERE c.segment = 'gold'"
-        )
         # Whichever shape wins must produce correct results; in the hybrid
         # case there is a remote op below a local join.
         result = cache.execute(

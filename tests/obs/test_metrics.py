@@ -1,0 +1,181 @@
+"""Metrics registry: counters, gauges, histograms, the work facade."""
+
+import threading
+
+from repro.obs.metrics import (
+    Counter,
+    CounterGroupView,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_add(self):
+        gauge = Gauge("g")
+        gauge.set(2.5)
+        gauge.add(-1.0)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 100.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["buckets"]["1.0"] == 2
+        assert snap["buckets"]["10.0"] == 1
+        assert snap["buckets"]["+Inf"] == 1
+        assert snap["sum"] == 106.2
+
+    def test_mean_and_reset(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.mean == 3.0
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry("test")
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_labels_distinguish_metrics(self):
+        registry = MetricsRegistry("test")
+        plain = registry.counter("hits")
+        labeled = registry.counter("hits", labels={"table": "customer"})
+        assert plain is not labeled
+        labeled.inc()
+        assert plain.value == 0
+        snap = registry.snapshot()
+        assert snap["counters"]["hits{table=customer}"] == 1
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry("test")
+        one = registry.counter("m", labels={"a": 1, "b": 2})
+        two = registry.counter("m", labels={"b": 2, "a": 1})
+        assert one is two
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry("srv")
+        registry.counter("engine.statements").inc(7)
+        registry.gauge("replication.lag_seconds").set(0.5)
+        registry.histogram("engine.seconds", buckets=(1.0,)).observe(0.1)
+        snap = registry.snapshot()
+        assert snap["namespace"] == "srv"
+        assert snap["counters"]["engine.statements"] == 7
+        assert snap["gauges"]["replication.lag_seconds"] == 0.5
+        assert snap["histograms"]["engine.seconds"]["count"] == 1
+
+    def test_reset_with_prefix(self):
+        registry = MetricsRegistry("test")
+        registry.counter("engine.a").inc()
+        registry.counter("optimizer.b").inc()
+        registry.reset(prefix="engine.")
+        assert registry.counter("engine.a").value == 0
+        assert registry.counter("optimizer.b").value == 1
+
+    def test_global_registry_is_shared(self):
+        assert global_registry() is global_registry()
+
+
+class FakeWork:
+    def __init__(self, **values):
+        self.__dict__.update(values)
+
+
+class TestCounterGroupView:
+    def test_attribute_reads_and_writes(self):
+        registry = MetricsRegistry("test")
+        view = CounterGroupView(registry, "work", ("rows", "seeks"))
+        view.rows = 5
+        view.rows += 2
+        assert view.rows == 7
+        assert registry.snapshot()["counters"]["work.rows"] == 7
+
+    def test_merge_adds_nonzero_fields(self):
+        registry = MetricsRegistry("test")
+        view = CounterGroupView(registry, "work", ("rows", "seeks"))
+        view.merge(FakeWork(rows=3, seeks=0))
+        view.merge(FakeWork(rows=2, seeks=1))
+        assert view.snapshot() == {"rows": 5, "seeks": 1}
+
+    def test_inc(self):
+        registry = MetricsRegistry("test")
+        view = CounterGroupView(registry, "work", ("rows",))
+        view.inc("rows")
+        view.inc("rows", 4)
+        assert view.rows == 5
+
+    def test_registry_snapshot_flushes_pending_deltas(self):
+        registry = MetricsRegistry("test")
+        view = CounterGroupView(registry, "work", ("rows",))
+        view.inc("rows", 9)
+        # No facade read in between: the registry must flush on its own.
+        assert registry.snapshot()["counters"]["work.rows"] == 9
+
+    def test_unknown_field_raises(self):
+        registry = MetricsRegistry("test")
+        view = CounterGroupView(registry, "work", ("rows",))
+        try:
+            view.bogus = 1
+        except AttributeError:
+            pass
+        else:
+            raise AssertionError("expected AttributeError")
+
+    def test_reset(self):
+        registry = MetricsRegistry("test")
+        view = CounterGroupView(registry, "work", ("rows",))
+        view.inc("rows", 3)
+        view.reset()
+        assert view.rows == 0
+        assert registry.snapshot()["counters"]["work.rows"] == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry("test")
+        counter = registry.counter("c")
+        histogram = registry.histogram("h", buckets=(0.5,))
+        view = CounterGroupView(registry, "work", ("rows",))
+        threads = 8
+        per_thread = 10_000
+
+        def worker():
+            for _ in range(per_thread):
+                counter.inc()
+                view.inc("rows")
+            histogram.observe(0.1)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.value == threads * per_thread
+        assert view.rows == threads * per_thread
+        assert histogram.count == threads

@@ -1,0 +1,102 @@
+"""Per-operator execution profiles (statistics profile)."""
+
+import pytest
+
+from repro.obs.profile import profiled
+from tests.conftest import make_shop_backend
+
+
+@pytest.fixture
+def server():
+    return make_shop_backend()
+
+
+class TestProfiledPlan:
+    def test_actual_rows_and_opens(self, server):
+        # Profiling through the session flag (SET STATISTICS PROFILE ON).
+        from repro.engine.session import Session
+
+        session = Session()
+        session.statistics_profile = True
+        result = server.execute(
+            "SELECT cname FROM customer WHERE cid <= 10", session=session
+        )
+        assert len(result.rows) == 10
+        profile = result.profile
+        assert profile is not None
+        assert profile.root.actual_rows == 10
+        assert profile.root.opens == 1
+        # Every operator in the tree was opened exactly once.
+        for node in profile.root.walk():
+            assert node.opens == 1
+
+    def test_server_flag_profiles_every_select(self, server):
+        server.profile_statements = True
+        result = server.execute("SELECT cid FROM customer WHERE cid = 5")
+        assert result.profile is not None
+        server.profile_statements = False
+        result = server.execute("SELECT cid FROM customer WHERE cid = 5")
+        assert result.profile is None
+
+    def test_render_carries_actuals_and_estimates(self, server):
+        server.profile_statements = True
+        result = server.execute("SELECT cname FROM customer WHERE segment = 'gold'")
+        text = result.profile.render()
+        assert "actual rows=" in text
+        assert "est rows=" in text
+        assert "self=" in text
+        # The tree is indented: at least one nested operator line.
+        assert any(line.startswith("  ") for line in text.splitlines())
+
+    def test_to_dict_is_json_ready(self, server):
+        import json
+
+        server.profile_statements = True
+        result = server.execute("SELECT cid FROM customer WHERE cid <= 3")
+        payload = json.loads(json.dumps(result.profile.to_dict()))
+        assert payload["actual_rows"] == 3
+        assert isinstance(payload["children"], list)
+
+    def test_shims_removed_after_execution(self, server):
+        server.profile_statements = True
+        server.execute("SELECT cid FROM customer WHERE cid <= 3")
+        planned = server.plan_select(
+            __import__("repro.sql", fromlist=["parse"]).parse(
+                "SELECT cid FROM customer WHERE cid <= 3"
+            ),
+            server.database("shop"),
+        )
+        # No instance-level execute shim left behind on any operator.
+        stack = [planned.root]
+        while stack:
+            operator = stack.pop()
+            assert "execute" not in operator.__dict__
+            stack.extend(operator.children)
+
+    def test_shims_removed_even_when_execution_raises(self, server):
+        from repro.sql import parse
+
+        planned = server.plan_select(
+            parse("SELECT cid FROM customer WHERE cid <= 3"),
+            server.database("shop"),
+        )
+
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom):
+            with profiled(planned.root):
+                raise Boom()
+        stack = [planned.root]
+        while stack:
+            operator = stack.pop()
+            assert "execute" not in operator.__dict__
+            stack.extend(operator.children)
+
+    def test_wall_time_accumulates(self, server):
+        server.profile_statements = True
+        result = server.execute("SELECT cname FROM customer")
+        root = result.profile.root
+        assert root.actual_rows == 200
+        assert root.wall_seconds > 0.0
+        assert root.self_seconds >= 0.0

@@ -1,0 +1,115 @@
+"""Replication lag gauges, batch stats, last-applied tracking."""
+
+
+from repro.obs import replication_metrics
+from repro.obs.export import deployment_snapshot
+
+
+def _agent(cache):
+    return next(iter(cache.agents.values()))
+
+
+class TestLagGauges:
+    def test_lag_counts_pending_transactions(self, deployment, cache):
+        backend = deployment.backend
+        backend.execute("UPDATE customer SET cname = 'X1' WHERE cid = 1")
+        backend.execute("UPDATE customer SET cname = 'X2' WHERE cid = 2")
+        deployment.log_reader.poll()
+        agent = _agent(cache)
+        values = replication_metrics.update_lag_gauges(agent)
+        assert values["lag_transactions"] == 2
+        assert values["queue_depth"] == 2
+
+        registry = cache.server.metrics
+        labels = {"subscription": agent.subscription.name}
+        assert (
+            registry.gauge("replication.lag_transactions", labels=labels).value == 2
+        )
+
+        agent.poll(now=deployment.clock.now())
+        values = replication_metrics.update_lag_gauges(agent)
+        assert values["lag_transactions"] == 0
+
+    def test_lag_seconds_ages_between_polls(self, deployment, cache):
+        deployment.sync()
+        agent = _agent(cache)
+        before = replication_metrics.update_lag_gauges(agent)
+        deployment.clock.advance(5.0)
+        after = replication_metrics.update_lag_gauges(agent)
+        assert after["lag_seconds"] >= before["lag_seconds"] + 5.0 - 1e-9
+
+
+class TestBatchStats:
+    def test_batch_size_histogram_and_counters(self, deployment, cache):
+        backend = deployment.backend
+        for cid in (1, 2, 3):
+            backend.execute(f"UPDATE customer SET cname = 'B{cid}' WHERE cid = {cid}")
+        deployment.log_reader.poll()
+        agent = _agent(cache)
+        applied = agent.poll(now=deployment.clock.now())
+        assert applied == 3
+
+        registry = cache.server.metrics
+        labels = {"subscription": agent.subscription.name}
+        histogram = registry.histogram(
+            "replication.batch_size",
+            buckets=replication_metrics.BATCH_SIZE_BUCKETS,
+            labels=labels,
+        )
+        assert histogram.count == 1
+        assert histogram.sum == 3
+        assert (
+            registry.counter("replication.transactions_applied", labels=labels).value
+            == 3
+        )
+        assert registry.counter("replication.round_trips", labels=labels).value == 1
+
+
+class TestLastApplied:
+    """Satellite: the agent records the newest applied transaction."""
+
+    def test_last_applied_updates_on_poll(self, deployment, cache):
+        agent = _agent(cache)
+        assert agent.last_applied_sequence == 0
+        backend = deployment.backend
+        backend.execute("UPDATE customer SET cname = 'Y' WHERE cid = 7")
+        deployment.log_reader.poll()
+        frontier = deployment.distributor.distribution_db.last_sequence
+        agent.poll(now=deployment.clock.now())
+
+        assert agent.last_applied_sequence == frontier
+        assert agent.last_applied_commit_ts is not None
+        assert agent.last_applied_origin_id is not None
+        info = agent.last_applied()
+        assert info["subscription"] == agent.subscription.name
+        assert info["sequence"] == frontier
+        assert info["applied_at"] == agent.subscription.last_apply_time
+
+    def test_idle_poll_does_not_move_last_applied(self, deployment, cache):
+        deployment.sync()
+        agent = _agent(cache)
+        sequence = agent.last_applied_sequence
+        agent.poll(now=deployment.clock.now())
+        assert agent.last_applied_sequence == sequence
+
+
+class TestDeploymentSample:
+    def test_sample_covers_every_subscription(self, deployment, cache):
+        deployment.sync()
+        samples = replication_metrics.sample(deployment)
+        assert set(samples) == {
+            agent.subscription.name for agent in deployment.distributor.agents
+        }
+        for values in samples.values():
+            assert {"lag_transactions", "lag_seconds", "queue_depth"} <= set(values)
+
+    def test_deployment_snapshot_includes_replication(self, deployment, cache):
+        backend = deployment.backend
+        backend.execute("UPDATE customer SET cname = 'Z' WHERE cid = 9")
+        deployment.clock.advance(1.0)
+        deployment.sync()
+        snap = deployment_snapshot(deployment)
+        assert snap["replication"]["subscriptions"]
+        assert snap["replication"]["transactions_distributed"] >= 1
+        assert snap["backend"]["metrics"]["counters"]
+        assert snap["caches"][0]["server"] == "cache1"

@@ -10,7 +10,6 @@ import pytest
 
 from repro import MTCacheDeployment
 from repro.exec.operators import FilterOp, RemoteQueryOp, UnionAllOp
-from repro.sql import parse
 
 from tests.conftest import make_shop_backend
 

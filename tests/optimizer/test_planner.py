@@ -10,7 +10,6 @@ from repro.exec.operators import (
     IndexSeekOp,
     RemoteQueryOp,
     SeqScanOp,
-    UnionAllOp,
 )
 from repro.sql import parse
 

@@ -13,7 +13,6 @@ from repro.exec.context import ExecutionContext
 from repro.exec.expressions import ExpressionCompiler
 from repro.common.schema import Schema
 from repro.optimizer.predicates import (
-    ImplicationResult,
     and_together,
     implies,
     negate,

@@ -1,10 +1,9 @@
 """View matching: select-project containment with parameter guards."""
 
-import pytest
 
 from repro.catalog.objects import ViewDef
 from repro.common.schema import Column, Schema
-from repro.common.types import INT, VARCHAR
+from repro.common.types import INT
 from repro.optimizer.viewmatch import describe_view, match_view
 from repro.sql import ast, parse, parse_expression
 from repro.optimizer.predicates import split_conjuncts

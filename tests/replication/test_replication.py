@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro import MTCacheDeployment, Server
-from repro.replication.publication import Article
+from repro import MTCacheDeployment
 
 from tests.conftest import make_shop_backend
 

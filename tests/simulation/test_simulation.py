@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.simulation import (
-    ClusterModel,
-    ClusterSpec,
-    DESConfig,
-    calibrate,
-    simulate_cluster,
-)
+from repro.simulation import ClusterModel, DESConfig, calibrate, simulate_cluster
 from repro.tpcw import TPCWConfig
 from repro.tpcw.workload import MIXES
 

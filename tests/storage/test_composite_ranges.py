@@ -5,7 +5,6 @@ the index key must cover every key sharing the prefix (``(1,)`` as a high
 bound must include ``(1, 4)``).
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

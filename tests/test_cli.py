@@ -19,6 +19,18 @@ def test_tpcw_runs(capsys):
     assert "backend work" in out
 
 
+def test_metrics_emits_json_snapshot(capsys):
+    import json
+
+    assert main(["metrics"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["backend"]["metrics"]["counters"]
+    assert snapshot["caches"][0]["server"] == "cache1"
+    assert snapshot["replication"]["subscriptions"]
+    for values in snapshot["replication"]["subscriptions"].values():
+        assert "lag_seconds" in values
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
