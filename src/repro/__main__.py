@@ -9,7 +9,10 @@ Commands:
 * ``tpcw``     — run TPC-W traffic against backend and cache and report
   the work split;
 * ``metrics``  — drive a short TPC-W workload and print the deployment's
-  observability snapshot (metrics, caches, replication lag) as JSON.
+  observability snapshot (metrics, caches, replication lag) as JSON;
+* ``analyze``  — run the static-analysis passes (``--self`` AST lint,
+  ``--workload`` SQL lint, ``--plans`` plan-invariant verification; all
+  three when no flag is given).
 
 These wrap the scripts under ``examples/`` so the package is runnable
 after installation without a source checkout.
@@ -130,8 +133,32 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="MTCache reproduction (SIGMOD 2003) demos",
     )
-    parser.add_argument("command", choices=["demo", "scaleout", "tpcw", "metrics"])
+    parser.add_argument(
+        "command", choices=["demo", "scaleout", "tpcw", "metrics", "analyze"]
+    )
+    parser.add_argument(
+        "--self",
+        dest="self_lint",
+        action="store_true",
+        help="analyze: run only the repo AST lint pack",
+    )
+    parser.add_argument(
+        "--workload",
+        action="store_true",
+        help="analyze: run only the workload SQL lint",
+    )
+    parser.add_argument(
+        "--plans",
+        action="store_true",
+        help="analyze: run only the plan-invariant verifier",
+    )
     args = parser.parse_args(argv)
+    if args.command == "analyze":
+        from repro.analysis.cli import run_analyze
+
+        return run_analyze(
+            self_lint=args.self_lint, workload=args.workload, plans=args.plans
+        )
     {"demo": _demo, "scaleout": _scaleout, "tpcw": _tpcw, "metrics": _metrics}[
         args.command
     ]()

@@ -1,0 +1,50 @@
+"""Static analysis for the MTCache reproduction.
+
+Three passes, one CLI (``python -m repro analyze``):
+
+* :mod:`repro.analysis.plancheck` — walks optimizer-produced physical
+  plans and checks the structural invariants the paper states but the
+  optimizer otherwise upholds only by convention: schema agreement
+  between parents and children, DataLocation discipline (remote rows
+  only cross into local operators through a DataTransfer /
+  ``RemoteQueryOp`` boundary), ChoosePlan well-formedness (guards
+  mutually exclusive and exhaustive, branch schemas identical),
+  parameter-binding completeness, and catalog-resolvable table/index
+  references.
+* :mod:`repro.analysis.sqllint` — statically binds workload SQL (stored
+  procedures, cached-view DDL, generated shadow/grant scripts) against a
+  catalog, with no execution.
+* :mod:`repro.analysis.selflint` — repo-specific rules over the
+  package's own Python source (stdlib ``ast``).
+
+All passes report :class:`repro.errors.AnalysisError` diagnostics.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.plancheck import PlanVerifier, check_plan, verify_plan
+from repro.analysis.selflint import lint_package, lint_source
+from repro.analysis.sqllint import SqlLinter, lint_workload
+
+__all__ = [
+    "PlanVerifier",
+    "check_plan",
+    "verify_plan",
+    "SqlLinter",
+    "lint_workload",
+    "lint_package",
+    "lint_source",
+    "checked_plans_default",
+]
+
+
+def checked_plans_default() -> bool:
+    """Resolve the opt-in checked-execution default from the environment.
+
+    Servers created while ``REPRO_CHECKED_PLANS`` is set (to anything but
+    ``0``) verify every freshly optimized plan; the test suite turns this
+    on globally, production defaults stay off.
+    """
+    return os.environ.get("REPRO_CHECKED_PLANS", "0") not in ("", "0")

@@ -1,0 +1,122 @@
+"""``python -m repro analyze`` — run the static-analysis passes.
+
+Three passes (all by default, each opt-in via flag):
+
+* ``--self``     — the repo-specific AST lint pack over ``repro``'s own
+  source (:mod:`repro.analysis.selflint`);
+* ``--workload`` — the workload SQL lint over the full TPC-W procedure
+  set, the MTCache cached-view DDL, and the generated shadow/grant
+  deployment scripts (:mod:`repro.analysis.sqllint`);
+* ``--plans``    — the plan-invariant verifier over every SELECT the
+  optimizer produces for the TPC-W procedures, on both the backend and
+  a provisioned cache server (:mod:`repro.analysis.plancheck`).
+
+Exit status is 1 when any error-severity diagnostic is reported.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import AnalysisError
+
+
+def _print(pass_name: str, diagnostics: List[AnalysisError]) -> int:
+    errors = 0
+    for diagnostic in diagnostics:
+        print(f"{pass_name}: {diagnostic.severity}: {diagnostic}")
+        if diagnostic.is_error:
+            errors += 1
+    return errors
+
+
+def _build_corpus():
+    from repro.tpcw import TPCWConfig, build_backend, enable_caching
+
+    backend, config = build_backend(TPCWConfig(num_items=50, num_ebs=10))
+    deployment, caches = enable_caching(backend, ["cache1"], config)
+    deployment.sync()
+    return backend, caches[0]
+
+
+def _self_pass() -> int:
+    from repro.analysis.selflint import lint_package
+
+    diagnostics = lint_package()
+    errors = _print("self", diagnostics)
+    print(f"self: {len(diagnostics)} diagnostic(s)")
+    return errors
+
+
+def _workload_pass(backend, cache) -> int:
+    from repro.analysis.sqllint import SqlLinter, lint_workload
+    from repro.mtcache.scripts import generate_grant_script, generate_shadow_script
+    from repro.tpcw.setup import CACHED_VIEW_DDL, DATABASE_NAME
+
+    catalog = backend.databases[DATABASE_NAME].catalog
+    diagnostics = lint_workload(
+        backend.databases[DATABASE_NAME],
+        scripts={"cached-view-ddl": ";".join(CACHED_VIEW_DDL)},
+    )
+    diagnostics += lint_workload(cache.database)
+    # The generated deployment scripts run against an initially empty
+    # shadow database, so they lint with no base catalog: the script's
+    # own CREATE TABLEs must carry the later CREATE INDEX / GRANT lines.
+    empty = SqlLinter(None)
+    diagnostics += empty.lint_sql(generate_shadow_script(catalog), "shadow-script")
+    diagnostics += empty.lint_sql(generate_grant_script(catalog), "grant-script")
+    errors = _print("workload", diagnostics)
+    print(f"workload: {len(diagnostics)} diagnostic(s)")
+    return errors
+
+
+def _plans_pass(backend, cache) -> int:
+    from repro.analysis.plancheck import verify_plan
+    from repro.sql import ast
+    from repro.tpcw.setup import DATABASE_NAME
+
+    errors = 0
+    planned_count = 0
+    for server in (backend, cache.server):
+        database = server.databases[DATABASE_NAME]
+        for procedure in database.catalog.procedures.values():
+            pending = list(procedure.body)
+            while pending:
+                statement = pending.pop()
+                if isinstance(statement, ast.Select):
+                    planned = server.plan_select(statement, database)
+                    diagnostics = verify_plan(planned, database=database)
+                    planned_count += 1
+                    errors += _print(
+                        f"plans[{server.name}:{procedure.name}]", diagnostics
+                    )
+                elif isinstance(statement, ast.IfStatement):
+                    pending.extend(statement.then_body)
+                    pending.extend(statement.else_body)
+                elif isinstance(statement, ast.WhileStatement):
+                    pending.extend(statement.body)
+    print(f"plans: {planned_count} plan(s) verified on backend and cache")
+    return errors
+
+
+def run_analyze(
+    self_lint: bool = False, workload: bool = False, plans: bool = False
+) -> int:
+    """Run the selected passes (all three when none is selected)."""
+    if not (self_lint or workload or plans):
+        self_lint = workload = plans = True
+    errors = 0
+    if self_lint:
+        errors += _self_pass()
+    backend = cache = None
+    if workload or plans:
+        backend, cache = _build_corpus()
+    if workload:
+        errors += _workload_pass(backend, cache)
+    if plans:
+        errors += _plans_pass(backend, cache)
+    if errors:
+        print(f"analyze: {errors} error(s)")
+        return 1
+    print("analyze: clean")
+    return 0

@@ -1,0 +1,264 @@
+"""Repo-specific AST lint pack (analysis pass 3).
+
+Four rules, enforced with the stdlib ``ast`` module over the package's
+own source (``python -m repro analyze --self``):
+
+* ``wall-clock`` — nothing under ``repro/simulation`` may read the real
+  clock (``time.time``/``perf_counter``/``monotonic``/``time_ns``,
+  ``datetime.now``/``utcnow``, ``date.today``). Simulated time must come
+  from the injected :class:`~repro.simulation.clock.SimulatedClock`, or
+  runs stop being deterministic and freshness tests get flaky.
+* ``bare-except`` — no bare ``except:`` in ``repro/engine`` or
+  ``repro/replication``; swallowing ``KeyboardInterrupt`` there has hung
+  replication workers before.
+* ``metric-name-literal`` — every ``.counter(...)`` / ``.gauge(...)`` /
+  ``.histogram(...)`` call outside ``repro/obs`` must pass the metric
+  name as a string literal, so the full metric namespace is greppable.
+* ``operator-children`` — a class deriving from a ``*Op`` operator base
+  whose ``__init__`` takes ``child``/``children``/``left``/``right``/
+  ``inputs`` must forward each of them into ``super().__init__(...)``;
+  otherwise the plan walker (and the plan verifier) silently skips a
+  subtree.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+
+#: Attribute chains that read the real clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.perf_counter",
+        "time.monotonic",
+        "time.time_ns",
+        "time.perf_counter_ns",
+        "time.monotonic_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+_CHILD_PARAM_NAMES = frozenset({"child", "children", "left", "right", "inputs"})
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Render an ``a.b.c`` attribute/name chain, or None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _in_subtree(path: str, *parts: str) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return any(f"repro/{part}/" in normalized or normalized.endswith(f"repro/{part}") for part in parts)
+
+
+def _check_wall_clock(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
+    if not _in_subtree(path, "simulation"):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_name(node.func)
+        if dotted in _WALL_CLOCK_CALLS:
+            yield AnalysisError(
+                "wall-clock",
+                f"call to {dotted}() in repro.simulation; use the injected "
+                "SimulatedClock so runs stay deterministic",
+                location=f"{path}:{node.lineno}",
+            )
+
+
+def _check_bare_except(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
+    if not _in_subtree(path, "engine", "replication"):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield AnalysisError(
+                "bare-except",
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                "catch Exception or something narrower",
+                location=f"{path}:{node.lineno}",
+            )
+
+
+def _check_metric_names(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
+    if _in_subtree(path, "obs"):
+        return  # the registry itself builds names dynamically
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _METRIC_METHODS):
+            continue
+        name_arg: Optional[ast.expr] = None
+        if node.args:
+            name_arg = node.args[0]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "name":
+                    name_arg = keyword.value
+                    break
+        if name_arg is None:
+            continue  # not a metric-registry call shape
+        if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
+            yield AnalysisError(
+                "metric-name-literal",
+                f".{func.attr}() metric name must be a string literal so the "
+                "metric namespace stays greppable",
+                location=f"{path}:{node.lineno}",
+            )
+
+
+def _init_method(class_node: ast.ClassDef) -> Optional[ast.FunctionDef]:
+    for item in class_node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            return item
+    return None
+
+
+def _super_init_calls(func: ast.FunctionDef) -> List[ast.Call]:
+    calls = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__init__"
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Name)
+            and node.func.value.func.id == "super"
+        ):
+            calls.append(node)
+    return calls
+
+
+def _bare_names(node: ast.AST) -> Iterator[str]:
+    """Names passed as values (not attribute bases like ``child.schema``).
+
+    ``super().__init__(child.schema, [child])`` forwards ``child``;
+    ``super().__init__(child.schema)`` only reads its schema and does not.
+    """
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        for element in node.elts:
+            yield from _bare_names(element)
+    elif isinstance(node, ast.Starred):
+        yield from _bare_names(node.value)
+    elif isinstance(node, ast.Call):  # e.g. list(children), tuple(inputs)
+        for argument in node.args:
+            yield from _bare_names(argument)
+    elif isinstance(node, ast.BinOp):  # e.g. [left] + [right]
+        yield from _bare_names(node.left)
+        yield from _bare_names(node.right)
+    elif isinstance(node, (ast.IfExp,)):
+        yield from _bare_names(node.body)
+        yield from _bare_names(node.orelse)
+
+
+def _check_operator_children(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        base_names = [b for b in (_dotted_name(base) for base in node.bases) if b]
+        last_parts = [name.split(".")[-1] for name in base_names]
+        if not any(part.endswith(("Op", "Operator")) for part in last_parts):
+            continue
+        init = _init_method(node)
+        if init is None:
+            continue
+        params = {arg.arg for arg in init.args.args} | {
+            arg.arg for arg in init.args.kwonlyargs
+        }
+        child_params = params & _CHILD_PARAM_NAMES
+        if not child_params:
+            continue
+        super_calls = _super_init_calls(init)
+        if not super_calls:
+            yield AnalysisError(
+                "operator-children",
+                f"operator {node.name} takes {sorted(child_params)} but never "
+                "calls super().__init__(), so the plan walker skips its subtree",
+                location=f"{path}:{node.lineno}",
+            )
+            continue
+        forwarded = set()
+        for call in super_calls:
+            for argument in list(call.args) + [kw.value for kw in call.keywords]:
+                forwarded.update(_bare_names(argument))
+        for missing in sorted(child_params - forwarded):
+            yield AnalysisError(
+                "operator-children",
+                f"operator {node.name} does not forward {missing!r} into "
+                "super().__init__(); unregistered children are invisible to "
+                "plan walks and the verifier",
+                location=f"{path}:{node.lineno}",
+            )
+
+
+_ALL_CHECKS = (
+    _check_wall_clock,
+    _check_bare_except,
+    _check_metric_names,
+    _check_operator_children,
+)
+
+
+def lint_source(source: str, path: str) -> List[AnalysisError]:
+    """Run every rule against one module's source text.
+
+    ``path`` is used both for rule scoping (several rules only apply under
+    specific subpackages) and for diagnostic locations; tests pass virtual
+    paths like ``"repro/simulation/fake.py"``.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            AnalysisError(
+                "parse", f"module does not parse: {exc.msg}", location=f"{path}:{exc.lineno}"
+            )
+        ]
+    diagnostics: List[AnalysisError] = []
+    for check in _ALL_CHECKS:
+        diagnostics.extend(check(tree, path))
+    return diagnostics
+
+
+def _python_files(root: str) -> Iterator[Tuple[str, str]]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                full = os.path.join(dirpath, filename)
+                yield full, os.path.relpath(full, os.path.dirname(root))
+
+
+def lint_package(root: Optional[str] = None) -> List[AnalysisError]:
+    """Lint every module under ``root`` (default: the installed repro package)."""
+    if root is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    diagnostics: List[AnalysisError] = []
+    for full_path, rel_path in _python_files(root):
+        with open(full_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        diagnostics.extend(lint_source(source, rel_path))
+    return diagnostics

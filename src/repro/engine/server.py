@@ -97,6 +97,7 @@ class Server:
         parse_cache_size: int = 512,
         plan_cache_size: int = 512,
         observability: bool = True,
+        checked_plans: Optional[bool] = None,
     ):
         from repro.distributed.linked_server import LinkedServerRegistry
 
@@ -128,6 +129,16 @@ class Server:
         # by-handle remote execution for ablation benchmarks; the plan
         # cache predates the fast path and stays on either way.
         self.statement_fastpath = statement_fastpath
+        # Checked execution (repro.analysis): verify every freshly
+        # optimized plan against the structural invariants before it is
+        # cached or run. Defaults from REPRO_CHECKED_PLANS; the test
+        # suite turns it on globally, MTCache deployments force it on
+        # for cache servers.
+        if checked_plans is None:
+            from repro.analysis import checked_plans_default
+
+            checked_plans = checked_plans_default()
+        self.checked_plans = checked_plans
         self._parse_cache: LRUCache = LRUCache(parse_cache_size)
         self._plan_cache: LRUCache = LRUCache(plan_cache_size)
         # Prepared statements this server holds for its clients
@@ -349,6 +360,14 @@ class Server:
             self.metrics.histogram("optimizer.plan_seconds").observe(
                 time.perf_counter() - started
             )
+        if self.checked_plans:
+            # Checked execution: raise before a structurally invalid plan
+            # can be cached or run (repro.analysis.plancheck).
+            from repro.analysis import check_plan
+
+            check_plan(planned, database=database)
+            if self.observability:
+                self.metrics.counter("analysis.plans_checked").inc()
         self._plan_cache[key] = (version, planned)
         return planned
 

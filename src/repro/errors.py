@@ -90,3 +90,31 @@ class PreparedStatementError(DistributedError):
 class FreshnessError(ReproError):
     """Raised when a query's freshness requirement cannot be met locally
     and remote fallback is disabled."""
+
+
+class AnalysisError(ReproError):
+    """A structured static-analysis diagnostic (``repro.analysis``).
+
+    Doubles as a value and an exception: the analysis passes collect
+    instances into diagnostic lists, and the checked-execution hook raises
+    the first error-severity instance when a freshly optimized plan
+    violates a structural invariant.
+    """
+
+    def __init__(
+        self,
+        rule: str,
+        message: str,
+        severity: str = "error",
+        location: str = "",
+    ):
+        where = f" at {location}" if location else ""
+        super().__init__(f"[{rule}] {message}{where}")
+        self.rule = rule
+        self.message = message
+        self.severity = severity
+        self.location = location
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"

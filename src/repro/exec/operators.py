@@ -223,11 +223,16 @@ class FilterOp(PhysicalOperator):
         predicate: Optional[Scalar] = None,
         startup_predicate: Optional[Scalar] = None,
         description: str = "",
+        startup_guard: Optional[Any] = None,
     ):
         super().__init__(child.schema, [child])
         self.predicate = predicate
         self.startup_predicate = startup_predicate
         self.description = description
+        # Source AST of the startup predicate. Compiled startup predicates
+        # are opaque closures; the plan verifier needs the expression to
+        # prove ChoosePlan guards mutually exclusive and exhaustive.
+        self.startup_guard = startup_guard
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         if self.startup_predicate is not None:

@@ -148,6 +148,10 @@ class MTCacheDeployment:
         shadow.catalog.permissions = backend_db.catalog.permissions.copy()
         shadow.mark_remote(shadow.catalog.tables.keys(), backend_server=link_name)
         server.linked_servers.register(link_name, self.backend, self.database_name)
+        # Cache-server plans mix local and remote subexpressions — exactly
+        # where the DataLocation/ChoosePlan invariants can break — so
+        # checked execution is always on here.
+        server.checked_plans = True
 
         cache = CacheServer(server, self, self.database_name)
         cache.minimal_shadow = shadow_tables is not None

@@ -97,6 +97,9 @@ class PlannedStatement:
     uses_cached_view: bool
     is_dynamic: bool
     freshness_seconds: Optional[float] = None
+    #: Parameters the source statement references (including inside
+    #: subqueries); the plan verifier checks bindings against this set.
+    required_parameters: frozenset = frozenset()
 
     def explain(self, costs: bool = False) -> str:
         return self.root.explain(costs=costs)
@@ -248,6 +251,8 @@ class Optimizer:
                 # matching so the data comes from the backend.
                 use_views = False
 
+        required = frozenset(ast.statement_parameters(select))
+
         if select.from_clause is None:
             plan = self._plan_values(select)
             return self._record(PlannedStatement(
@@ -259,6 +264,7 @@ class Optimizer:
                 uses_cached_view=False,
                 is_dynamic=False,
                 freshness_seconds=freshness,
+                required_parameters=required,
             ))
 
         sources, join_conjuncts, has_outer = self._collect_sources(select.from_clause)
@@ -286,6 +292,7 @@ class Optimizer:
             uses_cached_view=used_view,
             is_dynamic=is_dynamic,
             freshness_seconds=freshness,
+            required_parameters=required,
         ))
 
     # ------------------------------------------------------------------
@@ -954,9 +961,13 @@ class Optimizer:
         view_plan = self._leaf_view_plan(leaf, match)
         remote_plan = self._leaf_remote_plan(leaf, extra_predicate=match.remainder)
         blank = ExpressionCompiler(Schema(()))
-        startup = blank.compile(negate(guard))
+        not_guard = negate(guard)
+        startup = blank.compile(not_guard)
         guarded_remote = FilterOp(
-            remote_plan.op, startup_predicate=startup, description="remainder"
+            remote_plan.op,
+            startup_predicate=startup,
+            description="remainder",
+            startup_guard=not_guard,
         )
         op = UnionAllOp([view_plan.op, guarded_remote])
         rows = view_plan.rows + (1 - frequency) * remote_plan.rows
@@ -968,11 +979,20 @@ class Optimizer:
     ) -> _Plan:
         """Leaf-level ChoosePlan (no pull-up): UnionAll + startup guards."""
         blank = ExpressionCompiler(Schema(()))
+        not_guard = negate(dynamic.guard)
         guard_fn = blank.compile(dynamic.guard)
-        not_guard_fn = blank.compile(negate(dynamic.guard))
-        local_branch = FilterOp(view_plan.op, startup_predicate=guard_fn, description="guard")
+        not_guard_fn = blank.compile(not_guard)
+        local_branch = FilterOp(
+            view_plan.op,
+            startup_predicate=guard_fn,
+            description="guard",
+            startup_guard=dynamic.guard,
+        )
         remote_branch = FilterOp(
-            base_plan.op, startup_predicate=not_guard_fn, description="not guard"
+            base_plan.op,
+            startup_predicate=not_guard_fn,
+            description="not guard",
+            startup_guard=not_guard,
         )
         op = UnionAllOp([local_branch, remote_branch], choose_plan=True)
         frequency = dynamic.frequency
@@ -1553,13 +1573,20 @@ class Optimizer:
             select, rest, build_with, {**forced, alias: "base"}
         )
         blank = ExpressionCompiler(Schema(()))
+        not_guard = negate(dynamic.guard)
         guard_fn = blank.compile(dynamic.guard)
-        not_guard_fn = blank.compile(negate(dynamic.guard))
+        not_guard_fn = blank.compile(not_guard)
         guarded_view = FilterOp(
-            view_branch.op, startup_predicate=guard_fn, description="guard"
+            view_branch.op,
+            startup_predicate=guard_fn,
+            description="guard",
+            startup_guard=dynamic.guard,
         )
         guarded_base = FilterOp(
-            base_branch.op, startup_predicate=not_guard_fn, description="not guard"
+            base_branch.op,
+            startup_predicate=not_guard_fn,
+            description="not guard",
+            startup_guard=not_guard,
         )
         op = UnionAllOp([guarded_view, guarded_base], choose_plan=True)
         frequency = dynamic.frequency

@@ -535,3 +535,98 @@ def expression_parameters(expression: Expression) -> List[str]:
 def expression_columns(expression: Expression) -> List[ColumnRef]:
     """Return all column references in an expression."""
     return [node for node in walk_expression(expression) if isinstance(node, ColumnRef)]
+
+
+def walk_statement_expressions(statement: Statement):
+    """Yield every expression anywhere in a statement.
+
+    Unlike :func:`walk_expression`, this descends into subqueries
+    (``IN (SELECT ...)``, ``EXISTS``, scalar subqueries), derived tables,
+    UNION ALL branches and procedure/control-flow bodies — so parameter
+    and column collection sees the whole statement, not just one level.
+    """
+    pending: List[Statement] = [statement]
+
+    def deep(expression: Expression):
+        for node in walk_expression(expression):
+            yield node
+            if isinstance(node, (InSubquery, Exists, ScalarSubquery)):
+                pending.append(node.subquery)
+
+    def table_refs(ref: Optional[TableRef]):
+        if ref is None:
+            return
+        if isinstance(ref, JoinRef):
+            if ref.condition is not None:
+                yield from deep(ref.condition)
+            yield from table_refs(ref.left)
+            yield from table_refs(ref.right)
+        elif isinstance(ref, DerivedTable):
+            pending.append(ref.select)
+
+    while pending:
+        node = pending.pop()
+        if isinstance(node, Select):
+            for item in node.items:
+                yield from deep(item.expression)
+            if node.top is not None:
+                yield from deep(node.top)
+            yield from table_refs(node.from_clause)
+            if node.where is not None:
+                yield from deep(node.where)
+            for expression in node.group_by:
+                yield from deep(expression)
+            if node.having is not None:
+                yield from deep(node.having)
+            for order in node.order_by:
+                yield from deep(order.expression)
+        elif isinstance(node, UnionAll):
+            pending.extend(node.branches)
+        elif isinstance(node, Explain):
+            pending.append(node.statement)
+        elif isinstance(node, Insert):
+            for row in node.rows:
+                for expression in row:
+                    yield from deep(expression)
+            if node.select is not None:
+                pending.append(node.select)
+        elif isinstance(node, Update):
+            for _, expression in node.assignments:
+                yield from deep(expression)
+            if node.where is not None:
+                yield from deep(node.where)
+        elif isinstance(node, Delete):
+            if node.where is not None:
+                yield from deep(node.where)
+        elif isinstance(node, Declare):
+            if node.initial is not None:
+                yield from deep(node.initial)
+        elif isinstance(node, SetVariable):
+            yield from deep(node.value)
+        elif isinstance(node, IfStatement):
+            yield from deep(node.condition)
+            pending.extend(node.then_body)
+            pending.extend(node.else_body)
+        elif isinstance(node, WhileStatement):
+            yield from deep(node.condition)
+            pending.extend(node.body)
+        elif isinstance(node, (ReturnStatement, PrintStatement)):
+            if getattr(node, "value", None) is not None:
+                yield from deep(node.value)
+        elif isinstance(node, Execute):
+            for _, expression in node.arguments:
+                yield from deep(expression)
+        elif isinstance(node, CreateView):
+            pending.append(node.select)
+        elif isinstance(node, CreateProcedure):
+            pending.extend(node.body)
+
+
+def statement_parameters(statement: Statement) -> List[str]:
+    """Return the distinct ``@parameter`` names a statement references,
+    in first-use order, descending into subqueries and nested bodies."""
+    seen = []
+    for node in walk_statement_expressions(statement):
+        if isinstance(node, Parameter) and node.name not in seen:
+            seen.append(node.name)
+    return seen

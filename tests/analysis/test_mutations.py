@@ -1,0 +1,225 @@
+"""Mutation tests: every seeded plan corruption must be flagged.
+
+Each test takes a real optimizer-produced plan (fresh, never the shared
+plan cache's copy), corrupts exactly one invariant, and asserts the
+verifier reports it under the expected rule — proving the verifier is
+not vacuously green on the clean corpus.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import check_plan, verify_plan
+from repro.common.schema import Column, Schema
+from repro.errors import AnalysisError
+from repro.exec.operators import (
+    FilterOp,
+    IndexRangeScanOp,
+    ProjectOp,
+    RemoteQueryOp,
+    SeqScanOp,
+    UnionAllOp,
+)
+from repro.sql import parse_statements
+
+
+def _plan(server, database, sql):
+    statement = parse_statements(sql)[0]
+    return server.optimizer_for(database).plan_select(statement)
+
+
+def _rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def _choose_plan(cache):
+    """A fresh dynamic plan plus its ChoosePlan union node."""
+    planned = _plan(
+        cache.server, cache.database, "SELECT cid, cname FROM customer WHERE cid <= @cid"
+    )
+    unions = [
+        op for op in planned.root.walk() if isinstance(op, UnionAllOp) and op.choose_plan
+    ]
+    assert unions, "fixture query must produce a ChoosePlan"
+    return planned, unions[0]
+
+
+def _find(root, kind):
+    ops = [op for op in root.walk() if isinstance(op, kind)]
+    assert ops, f"plan has no {kind.__name__}"
+    return ops[0]
+
+
+def _parent_of(root, target):
+    for op in root.walk():
+        if target in op.children:
+            return op
+    raise AssertionError("target has no parent")
+
+
+# -- DataTransfer / DataLocation ------------------------------------------
+
+
+def test_dropped_data_transfer_is_flagged(cache):
+    """Replacing the RemoteQueryOp with a direct scan of the remote table
+    violates DataLocation: remote rows without a DataTransfer boundary."""
+    planned, _ = _choose_plan(cache)
+    remote = _find(planned.root, RemoteQueryOp)
+    parent = _parent_of(planned.root, remote)
+    parent.children[parent.children.index(remote)] = SeqScanOp(remote.schema, "customer")
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "data-location" in _rules(diagnostics)
+
+
+def test_remote_query_with_children_is_flagged(cache):
+    planned, _ = _choose_plan(cache)
+    remote = _find(planned.root, RemoteQueryOp)
+    remote.children.append(SeqScanOp(remote.schema, "Cust1000"))
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "data-transfer" in _rules(diagnostics)
+
+
+def test_unparsable_remote_sql_is_flagged(cache):
+    planned, _ = _choose_plan(cache)
+    remote = _find(planned.root, RemoteQueryOp)
+    remote.sql_text = "SELECT FROM WHERE !!"
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "data-transfer" in _rules(diagnostics)
+
+
+def test_unknown_linked_server_is_flagged(cache):
+    planned, _ = _choose_plan(cache)
+    remote = _find(planned.root, RemoteQueryOp)
+    remote.server_name = "no_such_link"
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "catalog" in _rules(diagnostics)
+
+
+# -- ChoosePlan well-formedness -------------------------------------------
+
+
+def test_swapped_branch_schema_is_flagged(cache):
+    """Renaming one branch's output columns breaks UnionAll name agreement."""
+    planned, union = _choose_plan(cache)
+    branch = union.children[0]
+    renamed = Schema(
+        [Column(f"mut_{c.name}", c.sql_type, c.qualifier, c.nullable) for c in branch.schema]
+    )
+    branch.schema = renamed
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "schema-names" in _rules(diagnostics)
+
+
+def test_branch_arity_mismatch_is_flagged(cache):
+    planned, union = _choose_plan(cache)
+    branch = union.children[0]
+    branch.schema = Schema(list(branch.schema.columns[:1]))
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "schema-arity" in _rules(diagnostics)
+
+
+def test_missing_startup_predicate_is_flagged(cache):
+    planned, union = _choose_plan(cache)
+    union.children[0].startup_predicate = None
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "choose-plan" in _rules(diagnostics)
+
+
+def test_non_exclusive_guards_are_flagged(cache):
+    """Copying one guard onto both branches: rows would duplicate or vanish."""
+    planned, union = _choose_plan(cache)
+    first, second = union.children
+    second.startup_guard = first.startup_guard
+    second.startup_predicate = first.startup_predicate
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "choose-plan" in _rules(diagnostics)
+
+
+def test_missing_guard_ast_is_flagged(cache):
+    """A compiled guard without its source AST defeats exclusivity proofs."""
+    planned, union = _choose_plan(cache)
+    union.children[0].startup_guard = None
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "choose-plan" in _rules(diagnostics)
+
+
+def test_column_referencing_guard_is_flagged(cache):
+    planned, union = _choose_plan(cache)
+    guard = parse_statements("SELECT 1 FROM customer WHERE cid <= 100")[0].where
+    union.children[0].startup_guard = guard
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "choose-plan" in _rules(diagnostics)
+
+
+def test_three_branch_choose_plan_is_flagged(cache):
+    planned, union = _choose_plan(cache)
+    extra = FilterOp(
+        union.children[0].children[0],
+        startup_predicate=union.children[0].startup_predicate,
+        startup_guard=union.children[0].startup_guard,
+    )
+    union.children.append(extra)
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "choose-plan" in _rules(diagnostics)
+
+
+# -- Parameter binding -----------------------------------------------------
+
+
+def test_unbound_parameter_is_flagged(cache):
+    planned, _ = _choose_plan(cache)
+    diagnostics = verify_plan(planned, database=cache.database, params={})
+    assert "plan-params" in _rules(diagnostics)
+    assert any("@cid" in str(d) for d in diagnostics)
+
+
+def test_guard_parameter_outside_required_set_is_flagged(cache):
+    """A guard referencing a parameter the statement never mentions means
+    the plan depends on state the statement cannot supply."""
+    planned, _ = _choose_plan(cache)
+    stripped = dataclasses.replace(planned, required_parameters=frozenset())
+    diagnostics = verify_plan(stripped, database=cache.database)
+    assert "plan-params" in _rules(diagnostics)
+
+
+# -- Schema agreement and catalog resolution -------------------------------
+
+
+def test_dropped_project_maker_is_flagged(backend):
+    database = backend.database("shop")
+    planned = _plan(backend, database, "SELECT cid, cname FROM customer WHERE cid = 7")
+    project = _find(planned.root, ProjectOp)
+    project.makers = project.makers[:-1]
+    diagnostics = verify_plan(planned, database=database)
+    assert "schema-arity" in _rules(diagnostics)
+
+
+def test_passthrough_schema_change_is_flagged(backend):
+    database = backend.database("shop")
+    planned = _plan(
+        backend, database, "SELECT cid, cname FROM customer WHERE cname = 'cust1'"
+    )
+    filter_op = _find(planned.root, FilterOp)
+    filter_op.schema = Schema(list(filter_op.schema.columns[:1]))
+    diagnostics = verify_plan(planned, database=database)
+    assert "schema-passthrough" in _rules(diagnostics)
+
+
+def test_renamed_index_is_flagged(cache):
+    planned, _ = _choose_plan(cache)
+    scan = _find(planned.root, IndexRangeScanOp)
+    scan.index_name = "ix_dropped"
+    diagnostics = verify_plan(planned, database=cache.database, params={"cid": 500})
+    assert "catalog" in _rules(diagnostics)
+
+
+def test_check_plan_raises_on_first_error(cache):
+    planned, union = _choose_plan(cache)
+    union.children[0].startup_predicate = None
+    with pytest.raises(AnalysisError) as excinfo:
+        check_plan(planned, database=cache.database, params={"cid": 500})
+    assert excinfo.value.rule == "choose-plan"
+    assert excinfo.value.is_error

@@ -1,0 +1,169 @@
+"""Repo AST lint pack: the tree is clean, seeded violations are caught."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.analysis.selflint import lint_package, lint_source
+
+
+def _rules(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+def test_repository_is_clean():
+    assert lint_package() == []
+
+
+# -- wall-clock -------------------------------------------------------------
+
+
+def test_wall_clock_flagged_in_simulation():
+    source = dedent(
+        """
+        import time
+
+        def now():
+            return time.time()
+        """
+    )
+    diagnostics = lint_source(source, "repro/simulation/fake.py")
+    assert _rules(diagnostics) == ["wall-clock"]
+    assert "SimulatedClock" in diagnostics[0].message
+
+
+def test_datetime_now_flagged_in_simulation():
+    source = dedent(
+        """
+        import datetime
+
+        def now():
+            return datetime.datetime.now()
+        """
+    )
+    assert _rules(lint_source(source, "repro/simulation/fake.py")) == ["wall-clock"]
+
+
+def test_wall_clock_allowed_outside_simulation():
+    source = "import time\n\ndef now():\n    return time.time()\n"
+    assert lint_source(source, "repro/obs/fake.py") == []
+
+
+# -- bare-except ------------------------------------------------------------
+
+
+def test_bare_except_flagged_in_engine():
+    source = dedent(
+        """
+        def run():
+            try:
+                work()
+            except:
+                pass
+        """
+    )
+    diagnostics = lint_source(source, "repro/engine/fake.py")
+    assert _rules(diagnostics) == ["bare-except"]
+
+
+def test_bare_except_flagged_in_replication():
+    source = "try:\n    work()\nexcept:\n    pass\n"
+    assert _rules(lint_source(source, "repro/replication/fake.py")) == ["bare-except"]
+
+
+def test_narrow_except_is_clean():
+    source = "try:\n    work()\nexcept ValueError:\n    pass\n"
+    assert lint_source(source, "repro/engine/fake.py") == []
+
+
+def test_bare_except_allowed_elsewhere():
+    source = "try:\n    work()\nexcept:\n    pass\n"
+    assert lint_source(source, "repro/tpcw/fake.py") == []
+
+
+# -- metric-name-literal -----------------------------------------------------
+
+
+def test_dynamic_metric_name_flagged():
+    source = dedent(
+        """
+        def record(metrics, name):
+            metrics.counter(name).inc()
+        """
+    )
+    diagnostics = lint_source(source, "repro/engine/fake.py")
+    assert _rules(diagnostics) == ["metric-name-literal"]
+
+
+def test_literal_metric_name_is_clean():
+    source = "def record(metrics):\n    metrics.counter('engine.requests').inc()\n"
+    assert lint_source(source, "repro/engine/fake.py") == []
+
+
+def test_dynamic_metric_name_allowed_in_obs():
+    source = "def record(metrics, name):\n    metrics.counter(name).inc()\n"
+    assert lint_source(source, "repro/obs/fake.py") == []
+
+
+def test_metric_name_keyword_argument_checked():
+    source = "def record(metrics, name):\n    metrics.gauge(name=name).add(1)\n"
+    assert _rules(lint_source(source, "repro/engine/fake.py")) == ["metric-name-literal"]
+
+
+# -- operator-children -------------------------------------------------------
+
+
+def test_unregistered_child_flagged():
+    source = dedent(
+        """
+        class BadOp(PhysicalOperator):
+            def __init__(self, child):
+                super().__init__(child.schema)
+                self.child = child
+        """
+    )
+    diagnostics = lint_source(source, "repro/exec/fake.py")
+    assert _rules(diagnostics) == ["operator-children"]
+    assert "child" in diagnostics[0].message
+
+
+def test_missing_super_init_flagged():
+    source = dedent(
+        """
+        class WorseOp(PhysicalOperator):
+            def __init__(self, left, right):
+                self.left = left
+                self.right = right
+        """
+    )
+    diagnostics = lint_source(source, "repro/exec/fake.py")
+    assert _rules(diagnostics) == ["operator-children"]
+
+
+def test_registered_children_are_clean():
+    source = dedent(
+        """
+        class GoodOp(PhysicalOperator):
+            def __init__(self, left, right):
+                super().__init__(left.schema.concat(right.schema), [left, right])
+        """
+    )
+    assert lint_source(source, "repro/exec/fake.py") == []
+
+
+def test_non_operator_classes_ignored():
+    source = dedent(
+        """
+        class Holder:
+            def __init__(self, child):
+                self.child = child
+        """
+    )
+    assert lint_source(source, "repro/exec/fake.py") == []
+
+
+# -- parse errors ------------------------------------------------------------
+
+
+def test_syntax_error_reported_as_parse():
+    assert _rules(lint_source("def broken(:\n", "repro/engine/fake.py")) == ["parse"]

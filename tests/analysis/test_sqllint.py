@@ -1,0 +1,247 @@
+"""Workload SQL lint: the real corpus is clean, seeded defects are not."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sqllint import SqlLinter, lint_workload
+from repro.mtcache.scripts import generate_grant_script, generate_shadow_script
+from repro.tpcw.config import TPCWConfig
+from repro.tpcw.setup import CACHED_VIEW_DDL, DATABASE_NAME, build_backend, enable_caching
+
+
+@pytest.fixture(scope="module")
+def tpcw():
+    backend, config = build_backend(TPCWConfig(num_items=20, num_ebs=4))
+    deployment, caches = enable_caching(backend, ["cache1"], config)
+    deployment.sync()
+    return backend, caches[0]
+
+
+# -- The clean corpus produces zero diagnostics ----------------------------
+
+
+def test_tpcw_backend_procedures_lint_clean(tpcw):
+    backend, _ = tpcw
+    assert lint_workload(backend.databases[DATABASE_NAME]) == []
+
+
+def test_tpcw_cache_procedures_lint_clean(tpcw):
+    _, cache = tpcw
+    assert lint_workload(cache.database) == []
+
+
+def test_cached_view_ddl_lints_clean(tpcw):
+    backend, _ = tpcw
+    linter = SqlLinter(backend.databases[DATABASE_NAME].catalog)
+    assert linter.lint_sql(";".join(CACHED_VIEW_DDL), "cached-view-ddl") == []
+
+
+def test_generated_deployment_scripts_lint_clean(tpcw):
+    """The shadow and grant scripts run against an initially empty shadow
+    database: they must lint with no base catalog, overlay only."""
+    backend, _ = tpcw
+    catalog = backend.databases[DATABASE_NAME].catalog
+    linter = SqlLinter(None)
+    assert linter.lint_sql(generate_shadow_script(catalog), "shadow-script") == []
+    assert linter.lint_sql(generate_grant_script(catalog), "grant-script") == []
+
+
+def test_shop_fixture_lints_clean(cache):
+    assert lint_workload(cache.database) == []
+
+
+# -- Seeded defects, one rule each -----------------------------------------
+
+
+def _lint(cache, sql):
+    return SqlLinter(cache.database.catalog).lint_sql(sql, "test")
+
+
+def _rules(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+def test_unknown_table(cache):
+    diagnostics = _lint(cache, "SELECT x FROM no_such_table")
+    assert "unknown-table" in _rules(diagnostics)
+
+
+def test_unknown_column(cache):
+    diagnostics = _lint(cache, "SELECT no_such_column FROM customer")
+    assert _rules(diagnostics) == ["unknown-column"]
+
+
+def test_unknown_qualified_column(cache):
+    diagnostics = _lint(cache, "SELECT c.nope FROM customer c")
+    assert _rules(diagnostics) == ["unknown-column"]
+
+
+def test_one_unknown_table_does_not_cascade(cache):
+    """An unknown table is one diagnostic, not one per column reference."""
+    diagnostics = _lint(cache, "SELECT a, b, c FROM no_such_table WHERE d = 1")
+    assert _rules(diagnostics) == ["unknown-table"]
+
+
+def test_ambiguous_column(cache):
+    diagnostics = _lint(
+        cache, "SELECT cid FROM customer c JOIN Cust1000 k ON c.cid = k.cid"
+    )
+    assert "ambiguous-column" in _rules(diagnostics)
+
+
+def test_order_by_may_use_select_alias(cache):
+    diagnostics = _lint(
+        cache,
+        "SELECT segment, COUNT(*) AS n FROM customer GROUP BY segment ORDER BY n DESC",
+    )
+    assert diagnostics == []
+
+
+def test_undeclared_parameter(cache):
+    diagnostics = _lint(cache, "SELECT cid FROM customer WHERE cid = @nope")
+    assert _rules(diagnostics) == ["undeclared-parameter"]
+
+
+def test_declared_parameters_accepted(cache):
+    script = """
+        CREATE PROCEDURE p1 @cid INT AS
+        BEGIN
+            DECLARE @limit INT = 10
+            SELECT cname FROM customer WHERE cid = @cid AND cid < @limit
+        END
+    """
+    assert _lint(cache, script) == []
+
+
+def test_insert_arity(cache):
+    diagnostics = _lint(cache, "INSERT INTO customer (cid, cname) VALUES (1, 'a', 'extra')")
+    assert "insert-arity" in _rules(diagnostics)
+
+
+def test_insert_select_arity(cache):
+    diagnostics = _lint(
+        cache, "INSERT INTO customer (cid, cname) SELECT cid FROM customer"
+    )
+    assert "insert-arity" in _rules(diagnostics)
+
+
+def test_insert_unknown_column(cache):
+    diagnostics = _lint(cache, "INSERT INTO customer (cid, nope) VALUES (1, 'a')")
+    assert "unknown-column" in _rules(diagnostics)
+
+
+def test_insert_type_mismatch(cache):
+    diagnostics = _lint(cache, "INSERT INTO customer (cid, cname) VALUES ('text', 'a')")
+    assert "type-mismatch" in _rules(diagnostics)
+
+
+def test_comparison_type_mismatch(cache):
+    diagnostics = _lint(cache, "SELECT cid FROM customer WHERE cname > 5")
+    assert "type-mismatch" in _rules(diagnostics)
+
+
+def test_numeric_widening_is_not_a_mismatch(cache):
+    assert _lint(cache, "SELECT cid FROM customer WHERE cid < 10.5") == []
+
+
+def test_update_against_cached_article(cache):
+    diagnostics = _lint(cache, "UPDATE Cust1000 SET cname = 'x' WHERE cid = 1")
+    assert _rules(diagnostics) == ["dml-target"]
+    assert "cached article" in diagnostics[0].message
+
+
+def test_delete_against_cached_article(cache):
+    diagnostics = _lint(cache, "DELETE FROM Cust1000 WHERE cid = 1")
+    assert _rules(diagnostics) == ["dml-target"]
+
+
+def test_update_unknown_column(cache):
+    diagnostics = _lint(cache, "UPDATE customer SET nope = 'x' WHERE cid = 1")
+    assert "unknown-column" in _rules(diagnostics)
+
+
+def test_update_type_mismatch(cache):
+    diagnostics = _lint(cache, "UPDATE customer SET cid = 'text' WHERE cid = 1")
+    assert "type-mismatch" in _rules(diagnostics)
+
+
+def test_exec_unknown_argument(cache):
+    script = """
+        CREATE PROCEDURE p2 @cid INT AS
+        BEGIN
+            SELECT cname FROM customer WHERE cid = @cid
+        END;
+        EXEC p2 @nope = 1
+    """
+    diagnostics = _lint(cache, script)
+    assert "exec-args" in _rules(diagnostics)
+
+
+def test_exec_missing_required_argument(cache):
+    script = """
+        CREATE PROCEDURE p3 @cid INT AS
+        BEGIN
+            SELECT cname FROM customer WHERE cid = @cid
+        END;
+        EXEC p3
+    """
+    diagnostics = _lint(cache, script)
+    assert "exec-args" in _rules(diagnostics)
+
+
+def test_exec_with_default_is_clean(cache):
+    script = """
+        CREATE PROCEDURE p4 @cid INT = 1 AS
+        BEGIN
+            SELECT cname FROM customer WHERE cid = @cid
+        END;
+        EXEC p4
+    """
+    assert _lint(cache, script) == []
+
+
+def test_grant_on_unknown_object(cache):
+    diagnostics = _lint(cache, "GRANT SELECT ON no_such_object TO app")
+    assert _rules(diagnostics) == ["unknown-object"]
+
+
+def test_create_index_on_unknown_table(cache):
+    diagnostics = _lint(cache, "CREATE INDEX ix_x ON no_such_table (a)")
+    assert _rules(diagnostics) == ["unknown-object"]
+
+
+def test_create_index_on_unknown_column(cache):
+    diagnostics = _lint(cache, "CREATE INDEX ix_x ON customer (nope)")
+    assert _rules(diagnostics) == ["unknown-column"]
+
+
+def test_subqueries_are_bound(cache):
+    diagnostics = _lint(
+        cache,
+        "SELECT cname FROM customer WHERE cid IN (SELECT nope FROM orders)",
+    )
+    assert "unknown-column" in _rules(diagnostics)
+
+
+def test_derived_table_columns_resolve(cache):
+    sql = (
+        "SELECT t.n FROM "
+        "(SELECT segment, COUNT(*) AS n FROM customer GROUP BY segment) t"
+    )
+    assert _lint(cache, sql) == []
+
+
+def test_overlay_create_table_then_index(cache):
+    """Script-local DDL satisfies later references, as at execution time."""
+    script = """
+        CREATE TABLE t_new (a INT PRIMARY KEY, b VARCHAR(10));
+        CREATE INDEX ix_t_new_b ON t_new (b);
+        INSERT INTO t_new (a, b) VALUES (1, 'x')
+    """
+    assert _lint(cache, script) == []
+
+
+def test_unparsable_script_reports_parse(cache):
+    diagnostics = _lint(cache, "SELEC cid FORM customer")
+    assert _rules(diagnostics) == ["parse"]

@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import MTCacheDeployment, Server
+
+# Checked execution for the whole suite: every server verifies each
+# freshly optimized plan against the repro.analysis invariants. The
+# default is read when each Server is constructed, so setting it at
+# conftest import time covers every test.
+os.environ.setdefault("REPRO_CHECKED_PLANS", "1")
 
 
 def make_shop_backend(customers: int = 200, orders: int = 400) -> Server:

@@ -31,6 +31,20 @@ def test_metrics_emits_json_snapshot(capsys):
         assert "lag_seconds" in values
 
 
+def test_analyze_self_runs_clean(capsys):
+    assert main(["analyze", "--self"]) == 0
+    out = capsys.readouterr().out
+    assert "self: 0 diagnostic(s)" in out
+    assert "analyze: clean" in out
+
+
+def test_analyze_workload_runs_clean(capsys):
+    assert main(["analyze", "--workload"]) == 0
+    out = capsys.readouterr().out
+    assert "workload: 0 diagnostic(s)" in out
+    assert "analyze: clean" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
