@@ -24,8 +24,10 @@ Quickstart::
 
 from repro.common.clock import SimulatedClock
 from repro.engine import Database, Result, Server, Session
+from repro.faults import FaultInjector
 from repro.mtcache import CacheServer, MTCacheDeployment
 from repro.optimizer import CostModel, Optimizer
+from repro.resilience import CircuitBreaker, FailoverRouter, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -35,9 +37,13 @@ __all__ = [
     "Result",
     "Server",
     "Session",
+    "FaultInjector",
     "CacheServer",
     "MTCacheDeployment",
     "CostModel",
     "Optimizer",
+    "CircuitBreaker",
+    "FailoverRouter",
+    "RetryPolicy",
     "__version__",
 ]

@@ -19,6 +19,11 @@ own source (``python -m repro analyze --self``):
   ``inputs`` must forward each of them into ``super().__init__(...)``;
   otherwise the plan walker (and the plan verifier) silently skips a
   subtree.
+* ``resilience-determinism`` — ``repro/faults`` and ``repro/resilience``
+  may neither read the wall clock (chaos schedules and retry backoff run
+  on the injected SimulatedClock, or fault runs stop being reproducible)
+  nor use bare ``except:`` (which would swallow the very faults being
+  injected).
 """
 
 from __future__ import annotations
@@ -212,11 +217,35 @@ def _check_operator_children(tree: ast.AST, path: str) -> Iterator[AnalysisError
             )
 
 
+def _check_resilience_determinism(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
+    if not _in_subtree(path, "faults", "resilience"):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted in _WALL_CLOCK_CALLS:
+                yield AnalysisError(
+                    "resilience-determinism",
+                    f"call to {dotted}() in the fault/resilience layer; chaos "
+                    "schedules and retry backoff must run on the injected "
+                    "SimulatedClock so fault runs stay reproducible",
+                    location=f"{path}:{node.lineno}",
+                )
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield AnalysisError(
+                "resilience-determinism",
+                "bare 'except:' in the fault/resilience layer can swallow the "
+                "very faults being injected; catch specific errors",
+                location=f"{path}:{node.lineno}",
+            )
+
+
 _ALL_CHECKS = (
     _check_wall_clock,
     _check_bare_except,
     _check_metric_names,
     _check_operator_children,
+    _check_resilience_determinism,
 )
 
 

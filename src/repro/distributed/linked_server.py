@@ -20,12 +20,20 @@ prepares, prepared executions) used by tests and the cluster simulator.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.lru import LRUCache
 from repro.engine.results import Result
-from repro.errors import DistributedError, PreparedStatementError
+from repro.errors import (
+    CircuitOpenError,
+    DistributedError,
+    PreparedStatementError,
+    ReproError,
+    is_transient,
+)
 from repro.obs.tracing import NULL_SPAN
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.retry import RetryPolicy, default_link_policy
 
 
 class RemoteStatementHandle:
@@ -54,16 +62,19 @@ class RemoteStatementHandle:
 
     def execute(self, params: Optional[Dict[str, Any]] = None) -> Result:
         """Execute by handle; returns the full result."""
-        handle_id = self._ensure_prepared()
         self.link.prepared_executions += 1
-        with self.link._span("remote.prepared", handle=handle_id):
-            try:
-                return self.link.server.execute_prepared(handle_id, params)
-            except PreparedStatementError:
-                # The target lost the handle; re-prepare from our text copy.
-                self.handle_id = None
-                handle_id = self._ensure_prepared()
-                return self.link.server.execute_prepared(handle_id, params)
+        with self.link._span("remote.prepared", handle=self.handle_id):
+            return self.link._invoke("prepared", lambda: self._execute_once(params))
+
+    def _execute_once(self, params: Optional[Dict[str, Any]]) -> Result:
+        handle_id = self._ensure_prepared()
+        try:
+            return self.link.server.execute_prepared(handle_id, params)
+        except PreparedStatementError:
+            # The target lost the handle; re-prepare from our text copy.
+            self.handle_id = None
+            handle_id = self._ensure_prepared()
+            return self.link.server.execute_prepared(handle_id, params)
 
     def execute_rows(self, params: Optional[Dict[str, Any]] = None) -> List[Tuple]:
         """Execute by handle; returns the result rows (RemoteQueryOp).
@@ -88,7 +99,15 @@ class RemoteStatementHandle:
 class ServerLink:
     """A named link to another server (possibly a specific database)."""
 
-    def __init__(self, name: str, server, database: Optional[str] = None, tracer=None):
+    def __init__(
+        self,
+        name: str,
+        server,
+        database: Optional[str] = None,
+        tracer=None,
+        clock=None,
+        metrics=None,
+    ):
         self.name = name
         self.server = server
         self.database = database
@@ -97,6 +116,21 @@ class ServerLink:
         self.statements_shipped = 0
         self.prepares = 0
         self.prepared_executions = 0
+        self.retries = 0
+        # Resilience wiring: retries and breaking only engage when the
+        # owning server hands us its virtual clock (backoff must advance
+        # it); without one the link behaves exactly as before.
+        self.clock = clock
+        self._metrics = metrics
+        self.retry_policy: Optional[RetryPolicy] = (
+            default_link_policy(name) if clock is not None else None
+        )
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(clock, name=name, registry=metrics) if clock is not None else None
+        )
+        # Fault-injection hook (repro.faults). None means every guard
+        # below is a single attribute check — a true no-op.
+        self.injector = None
         # sql text -> RemoteStatementHandle, so every caller preparing the
         # same text (RemoteQueryOps of cached plans, forwarded DML) shares
         # one remote handle. Evicted handles close their server-side half.
@@ -113,6 +147,52 @@ class ServerLink:
             return NULL_SPAN
         return self.tracer.span(name, target=self.name, **attributes)
 
+    def _invoke(self, kind: str, fn: Callable[[], Any]) -> Any:
+        """Run one remote call under the link's resilience machinery.
+
+        Order matters: the breaker gates first (an open breaker rejects
+        without touching the target), the fault injector fires next (so
+        injected faults land *before* the remote call has any effect —
+        the property that makes retrying non-idempotent statements safe),
+        then the call itself. Transient failures back off on the virtual
+        clock and re-enter the loop; deterministic errors propagate
+        untouched and leave the breaker alone.
+        """
+        policy = self.retry_policy
+        breaker = self.breaker
+        started = self.clock.now() if (policy is not None and self.clock is not None) else 0.0
+        attempt = 1
+        while True:
+            if breaker is not None and not breaker.allow():
+                raise CircuitOpenError(f"circuit open for linked server {self.name!r}")
+            try:
+                if self.injector is not None:
+                    self.injector.on_call(f"link:{self.name}:{kind}", link=self, kind=kind)
+                result = fn()
+            except ReproError as exc:
+                if not is_transient(exc):
+                    raise
+                if breaker is not None:
+                    breaker.record_failure()
+                delay = (
+                    policy.next_delay(attempt, started, self.clock.now())
+                    if policy is not None and self.clock is not None
+                    else None
+                )
+                if delay is None:
+                    raise
+                self.retries += 1
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "resilience.retries", labels={"link": self.name}
+                    ).inc()
+                self.clock.advance(delay)
+                attempt += 1
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            return result
+
     def execute_remote_sql(self, sql: str, params: Optional[Dict[str, Any]] = None) -> List[Tuple]:
         """Execute a query remotely; returns its rows.
 
@@ -120,7 +200,10 @@ class ServerLink:
         """
         self.queries_shipped += 1
         with self._span("remote.sql"):
-            result = self.server.execute(sql, params=params, database=self.database)
+            result = self._invoke(
+                "query",
+                lambda: self.server.execute(sql, params=params, database=self.database),
+            )
         return result.rows
 
     def execute_statement_text(
@@ -129,7 +212,10 @@ class ServerLink:
         """Execute a forwarded statement (DML / EXEC); returns full result."""
         self.statements_shipped += 1
         with self._span("remote.statement"):
-            return self.server.execute(sql, params=params, database=self.database)
+            return self._invoke(
+                "statement",
+                lambda: self.server.execute(sql, params=params, database=self.database),
+            )
 
     def prepare(self, sql: str) -> RemoteStatementHandle:
         """Return the (shared) prepared handle for ``sql`` on this link."""
@@ -139,19 +225,43 @@ class ServerLink:
             self._handles[sql] = handle
         return handle
 
+    def peek_handle(self, sql: str) -> Optional[RemoteStatementHandle]:
+        """The cached handle for ``sql``, if any (no allocation)."""
+        return self._handles.get(sql)
+
+    def close(self) -> None:
+        """Close every prepared handle (releases the server-side halves)."""
+        for handle in list(self._handles.values()):
+            handle.close()
+        self._handles.clear()
+
 
 class LinkedServerRegistry:
     """The set of linked servers registered on one server."""
 
-    def __init__(self, tracer=None):
+    def __init__(self, tracer=None, clock=None, metrics=None):
         self._links: Dict[str, ServerLink] = {}
         # The owning server's Tracer (None when observability is off);
         # handed to every link so remote calls get client-side spans.
+        # Clock and metrics likewise flow to each link's retry policy,
+        # breaker, and resilience counters.
         self.tracer = tracer
+        self.clock = clock
+        self.metrics = metrics
 
     def register(self, name: str, server, database: Optional[str] = None) -> ServerLink:
-        """Register (or replace) a linked server under ``name``."""
-        link = ServerLink(name, server, database, tracer=self.tracer)
+        """Register (or replace) a linked server under ``name``.
+
+        Replacing closes the old link's prepared handles first —
+        otherwise its LRU keeps the server-side halves alive with no
+        client able to reach them (a handle leak on the target).
+        """
+        old = self._links.get(name.lower())
+        if old is not None:
+            old.close()
+        link = ServerLink(
+            name, server, database, tracer=self.tracer, clock=self.clock, metrics=self.metrics
+        )
         self._links[name.lower()] = link
         return link
 

@@ -120,8 +120,14 @@ class Server:
         #: (per-session opt-in: ``Session.statistics_profile``).
         self.profile_statements = False
         self.linked_servers = LinkedServerRegistry(
-            tracer=self.tracer if observability else None
+            tracer=self.tracer if observability else None,
+            clock=self.clock,
+            metrics=self.metrics if observability else None,
         )
+        #: False while crashed (see :meth:`crash`); entry points raise
+        #: ``ServerUnavailableError`` so callers can retry or reroute.
+        self.available = True
+        self.crashes = 0
         self._optimizers: Dict[str, Tuple[int, Optimizer]] = {}
         # Statement fast path (all version-checked, all bounded LRUs):
         # SQL text -> parsed statement list, and (database, statement) ->
@@ -159,6 +165,41 @@ class Server:
         else:
             self.total_work = WorkCounters()
         self.statements_executed = 0
+
+    # -- crash / restart (fault injection) -----------------------------------
+
+    def crash(self) -> None:
+        """Simulate a process crash: volatile state is lost, durable state
+        (tables, the replication watermark held by subscriptions) is kept.
+
+        Prepared-statement handles are the canonical volatile state —
+        clearing them makes remote links holding handle ids go through
+        their ``PreparedStatementError`` re-prepare path after restart.
+        Any in-flight transaction is rolled back, modeling the loss of
+        uncommitted work.
+        """
+        self.available = False
+        self.crashes += 1
+        self._prepared.clear()
+        self._dml_forward_cache.clear()
+        for database in self.databases.values():
+            transaction = database.transactions.current
+            if transaction is not None and transaction.active:
+                database.transactions.rollback(transaction)
+        if self.observability:
+            self.metrics.counter("faults.server_crashes").inc()
+
+    def restart(self) -> None:
+        """Bring a crashed server back (cold caches, empty prepared set)."""
+        self.available = True
+        if self.observability:
+            self.metrics.counter("faults.server_restarts").inc()
+
+    def _check_available(self) -> None:
+        if not self.available:
+            from repro.errors import ServerUnavailableError
+
+            raise ServerUnavailableError(f"server {self.name!r} is down")
 
     # -- databases -----------------------------------------------------------
 
@@ -202,6 +243,7 @@ class Server:
         database: Optional[str] = None,
     ) -> Result:
         """Execute a SQL batch; returns the last statement's result."""
+        self._check_available()
         session = session or Session()
         target = self.database(database or session.database)
         tracer = self.tracer
@@ -627,6 +669,7 @@ class Server:
         This is what lets a parameterized remote query ship its text a
         single time instead of once per execution.
         """
+        self._check_available()
         target = self.database(database)
         statements = self._parse_sql(sql, target)
         handle = PreparedStatement(
@@ -650,6 +693,7 @@ class Server:
         schema. Unknown handles raise :class:`PreparedStatementError`
         so the client link can re-prepare from its own text copy.
         """
+        self._check_available()
         handle = self._prepared.get(handle_id)
         if handle is None:
             raise PreparedStatementError(

@@ -10,7 +10,16 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro database engine."""
+    """Base class for all errors raised by the repro database engine.
+
+    ``transient`` marks failures that may succeed on retry (an unreachable
+    link, a crashed server mid-restart) as opposed to deterministic ones
+    (constraint violations, parse errors). The resilience layer's retry
+    policies and the failover router key off this flag via
+    :func:`is_transient`.
+    """
+
+    transient = False
 
 
 class SqlError(ReproError):
@@ -85,6 +94,43 @@ class PreparedStatementError(DistributedError):
     """Raised when a prepared statement handle is unknown on the target
     server (e.g. dropped or never created). Links recover by transparently
     re-preparing the statement text."""
+
+
+class LinkUnavailableError(DistributedError):
+    """Raised when a linked-server call cannot reach its target.
+
+    Transient: the fault injector raises it *before* the remote call runs,
+    and real outages clear when the link recovers, so retrying cannot
+    double-apply remote effects.
+    """
+
+    transient = True
+
+
+class ServerUnavailableError(DistributedError):
+    """Raised when a crashed (or not-yet-restarted) server is called.
+
+    Raised at the entry points (``execute``/``prepare_sql``/
+    ``execute_prepared``) before any work happens, so callers may safely
+    retry or reroute the whole statement. Transient by definition: the
+    server may come back.
+    """
+
+    transient = True
+
+
+class CircuitOpenError(DistributedError):
+    """Raised when a circuit breaker rejects a call without attempting it.
+
+    Deliberately *not* transient: the breaker exists to stop retry storms
+    against a down target, so retry policies fail fast on it. The failover
+    router treats it as a reroute signal instead.
+    """
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when ``exc`` is a retry-safe transient failure."""
+    return bool(getattr(exc, "transient", False))
 
 
 class FreshnessError(ReproError):

@@ -1,0 +1,14 @@
+"""Deterministic fault injection for the distributed stack.
+
+The paper's availability argument — a mid-tier cache can fail without
+taking the application down — is only testable if failures can be made to
+happen on demand, at exact points, reproducibly. :class:`FaultInjector`
+provides that: seeded, driven entirely by call counts and *virtual* time
+(never the wall clock), and a strict no-op when nothing is scheduled, so
+a run with an attached-but-empty injector is byte-identical to a run
+without one.
+"""
+
+from repro.faults.injector import FaultInjector, FaultRule
+
+__all__ = ["FaultInjector", "FaultRule"]

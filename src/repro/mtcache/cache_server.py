@@ -36,6 +36,9 @@ class CacheServer:
         # the cached views; anything else is forwarded as whole statements.
         self.minimal_shadow = False
         self.statements_forwarded = 0
+        # Read-only statements rerouted to the backend on transient
+        # failures (link down, breaker open, own server crashed).
+        self.fallback_reads = 0
 
     @property
     def database(self) -> Database:
@@ -55,8 +58,22 @@ class CacheServer:
         On a *minimal shadow* (paper §7), statements touching objects the
         shadow does not carry cannot be bound locally — they forward to
         the backend as whole statements, preserving transparency.
+
+        Transient failures get the same treatment for *read-only*
+        batches: when the backend link is unreachable even after retries
+        (or its breaker is open, or this cache's own server is down), a
+        SELECT re-runs on the backend as a whole statement — retryable
+        reads never fail because a cache did. Writes propagate the error;
+        the application-tier :class:`~repro.resilience.FailoverRouter`
+        handles rerouting those.
         """
-        from repro.errors import BindError, CatalogError
+        from repro.errors import (
+            BindError,
+            CatalogError,
+            CircuitOpenError,
+            LinkUnavailableError,
+            ServerUnavailableError,
+        )
 
         try:
             return self.server.execute(
@@ -72,6 +89,46 @@ class CacheServer:
                 return self.deployment.backend.execute(
                     sql, params=params, database=self.deployment.database_name
                 )
+        except (LinkUnavailableError, ServerUnavailableError, CircuitOpenError):
+            if not self._read_only_batch(sql):
+                raise
+            self.fallback_reads += 1
+            if self.server.observability:
+                self.server.metrics.counter("resilience.fallback_reads").inc()
+            with self.server.tracer.span("failover.read", target="backend"):
+                return self.deployment.backend.execute(
+                    sql, params=params, database=self.deployment.database_name
+                )
+
+    def _read_only_batch(self, sql: str) -> bool:
+        """True when every statement in the batch is a pure query.
+
+        Uses the server's version-checked parse cache; parsing here is
+        safe even when the server is marked crashed (in-process model).
+        """
+        try:
+            statements = self.server._parse_sql(sql, self.database)
+        except Exception:
+            return False
+        return bool(statements) and all(
+            isinstance(statement, (ast.Select, ast.UnionAll, ast.Explain))
+            for statement in statements
+        )
+
+    def healthy(self) -> bool:
+        """Health probe for failover routers: up, with no breaker stuck open.
+
+        A breaker whose reset timeout has elapsed counts as healthy — the
+        first routed call performs the half-open probe.
+        """
+        if not getattr(self.server, "available", True):
+            return False
+        links = self.server.linked_servers
+        for name in links.names():
+            breaker = links.get(name).breaker
+            if breaker is not None and not breaker.ready():
+                return False
+        return True
 
     def plan(self, sql: str):
         """Plan a SELECT and return the PlannedStatement (for inspection)."""

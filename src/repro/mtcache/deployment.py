@@ -63,6 +63,11 @@ class MTCacheDeployment:
         self._last_logreader_poll = float("-inf")
         self.cache_servers: List[CacheServer] = []
         self._article_counter = itertools.count(1)
+        # Chaos hook (repro.faults): when attached, ``tick()`` fires its
+        # virtual-time schedule. None costs one attribute check.
+        self.fault_injector = None
+        # Apply failures contained by tick() (watermark-backed retries).
+        self.apply_failures_contained = 0
 
     @property
     def backend_database(self) -> Database:
@@ -274,6 +279,43 @@ class MTCacheDeployment:
         subscription.last_applied_commit_ts = self.clock.now()
         return copied
 
+    # -- faults & resilience ----------------------------------------------------
+
+    def attach_fault_injector(self, injector) -> None:
+        """Attach a :class:`repro.faults.FaultInjector`; its virtual-time
+        chaos schedule fires from :meth:`tick`. The injector must share
+        the deployment clock, or scheduled faults would fire at the wrong
+        simulated moments."""
+        if injector.clock is not self.clock:
+            raise ReplicationError("fault injector must share the deployment clock")
+        self.fault_injector = injector
+
+    def failover_connection(
+        self,
+        cache: CacheServer,
+        principal: str = "dbo",
+        probe_interval: float = 1.0,
+    ):
+        """An application connection that survives the cache failing.
+
+        Routes statements to ``cache`` while healthy and to the backend
+        while not — the paper's availability story made concrete. Health
+        means the cache's server is up and no link breaker is stuck open
+        (:meth:`CacheServer.healthy`).
+        """
+        from repro.resilience.failover import FailoverRouter
+
+        return FailoverRouter(
+            primary=cache,
+            fallback=self.backend,
+            clock=self.clock,
+            fallback_database=self.database_name,
+            probe_interval=probe_interval,
+            principal=principal,
+            registry=cache.server.metrics if cache.server.observability else None,
+            health=cache.healthy,
+        )
+
     # -- driving replication ---------------------------------------------------
 
     def tick(self, advance: float = 0.0) -> Dict[str, int]:
@@ -284,13 +326,23 @@ class MTCacheDeployment:
         if advance:
             self.clock.advance(advance)
         now = self.clock.now()
+        if self.fault_injector is not None:
+            self.fault_injector.tick(now)
+            now = self.clock.now()  # injected latency may have advanced it
         distributed = 0
         if now - self._last_logreader_poll >= self.logreader_interval:
             self._last_logreader_poll = now
             distributed = self.log_reader.poll()
         applied = 0
         for agent in self.distributor.agents:
-            applied += agent.run_due(now)
+            try:
+                applied += agent.run_due(now)
+            except ReplicationError:
+                # Contained: the subscription undid the failed transaction
+                # and its watermark still points at the last fully-applied
+                # one, so the next due poll re-delivers the unapplied
+                # suffix. The failure stays visible via agent counters.
+                self.apply_failures_contained += 1
         # Record sync points for freshness: a subscription that has
         # consumed the whole stream is current as of the reader's scan.
         frontier = self.distributor.distribution_db.last_sequence

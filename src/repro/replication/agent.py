@@ -57,6 +57,23 @@ class DistributionAgent:
         self.last_applied_commit_ts: Optional[float] = None
         self.last_applied_origin_id: Optional[int] = None
         self.last_apply_time: Optional[float] = None
+        # Resilience state: a stalled agent (fault injection, admin) skips
+        # applying but keeps its schedule; apply failures are counted and
+        # contained by the deployment loop — the watermark makes the next
+        # poll re-deliver the unapplied suffix.
+        self.stalled = False
+        self.apply_failures = 0
+
+    def stall(self) -> None:
+        self.stalled = True
+
+    def resume(self) -> None:
+        self.stalled = False
+
+    def subscriber_available(self) -> bool:
+        """False while the subscriber's server is crashed."""
+        server = getattr(self.subscription.subscriber_database, "owner_server", None)
+        return server is None or getattr(server, "available", True)
 
     def due(self, now: float) -> bool:
         return now - self.last_poll_time >= self.poll_interval
@@ -77,6 +94,13 @@ class DistributionAgent:
         """
         if now is not None:
             self.last_poll_time = now
+        if self.stalled or not self.subscriber_available():
+            # Outage: nothing is applied and the watermark stays put, so
+            # the distributor retains everything past it (its cleanup
+            # low-water mark is the min over subscriptions). Lag gauges
+            # keep climbing — the operator-visible symptom.
+            replication_metrics.update_lag_gauges(self, now=now)
+            return 0
         pending = self.distributor.distribution_db.read_after(
             self.subscription.last_sequence
         )
@@ -84,7 +108,15 @@ class DistributionAgent:
             # Idle poll: lag gauges still move (age keeps growing).
             replication_metrics.update_lag_gauges(self, now=now)
             return 0
-        self.commands_applied += self.subscription.apply_batch(pending)
+        try:
+            self.commands_applied += self.subscription.apply_batch(pending)
+        except Exception:
+            # The failed transaction was undone and the watermark points
+            # at the last fully-applied one; re-raise so the caller (the
+            # deployment tick) can count and contain the failure.
+            self.apply_failures += 1
+            replication_metrics.update_lag_gauges(self, now=now)
+            raise
         self.transactions_applied += len(pending)
         self.round_trips += 1
         newest = pending[-1]

@@ -75,6 +75,10 @@ class Subscription:
         self.commands_applied = 0
         # One round trip may carry many transactions (agent batching).
         self.batches_applied = 0
+        # Times an apply failed and was rolled back to the watermark.
+        self.apply_failures = 0
+        # Fault-injection hook (repro.faults); None is a true no-op.
+        self.injector = None
 
     def storage(self) -> Table:
         return self.subscriber_database.storage_table(self.target_table)
@@ -103,27 +107,52 @@ class Subscription:
     def apply_transaction(
         self, transaction, applier: Optional[PreparedApplier] = None
     ) -> int:
-        """Apply one replicated transaction's commands for this article."""
+        """Apply one replicated transaction's commands for this article.
+
+        Atomic per transaction: a failure partway through (a missing old
+        image, an injected fault, a subscriber crash) undoes the commands
+        already applied and leaves ``last_sequence`` at the previous
+        transaction — so the next poll's ``read_after(last_sequence)``
+        re-delivers exactly this transaction and its unapplied
+        successors. That is the exactly-once guarantee at transaction
+        granularity: a crash mid-batch never skips or double-applies.
+        """
         applied = 0
         if applier is None:
             applier = self.prepare_applier()
         table = applier.table
-        for command in transaction.commands:
-            if command.article_name.lower() != self.article_name.lower():
-                continue
-            if command.action == "insert":
-                table.insert(command.new_row)
-            elif command.action == "delete":
-                self._delete_row(applier, command.old_row)
-            else:
-                rid = applier.locate(command.old_row)
-                if rid is None:
-                    # The old image should exist; treat as insert to
-                    # converge rather than silently diverging.
-                    table.insert(command.new_row)
+        undo: List[Tuple] = []
+        try:
+            for command in transaction.commands:
+                if command.article_name.lower() != self.article_name.lower():
+                    continue
+                if self.injector is not None:
+                    self.injector.on_call(
+                        f"subscription:{self.name}:apply",
+                        subscription=self,
+                        command=command,
+                    )
+                if command.action == "insert":
+                    rid = table.insert(command.new_row)
+                    undo.append(("insert", rid, None))
+                elif command.action == "delete":
+                    rid = self._delete_row(applier, command.old_row)
+                    undo.append(("delete", rid, command.old_row))
                 else:
-                    table.update_rid(rid, command.new_row)
-            applied += 1
+                    rid = applier.locate(command.old_row)
+                    if rid is None:
+                        # The old image should exist; treat as insert to
+                        # converge rather than silently diverging.
+                        rid = table.insert(command.new_row)
+                        undo.append(("insert", rid, None))
+                    else:
+                        old_row, _ = table.update_rid(rid, command.new_row)
+                        undo.append(("update", rid, old_row))
+                applied += 1
+        except Exception:
+            self.apply_failures += 1
+            self._undo(table, undo)
+            raise
         now = self.subscriber_database.clock.now()
         self.last_sequence = transaction.sequence
         self.last_applied_commit_ts = max(
@@ -135,13 +164,25 @@ class Subscription:
             self.commands_applied += applied
         return applied
 
-    def _delete_row(self, applier: PreparedApplier, old_row: Tuple) -> None:
+    def _delete_row(self, applier: PreparedApplier, old_row: Tuple) -> int:
         rid = applier.locate(old_row)
         if rid is None:
             raise ReplicationError(
                 f"subscription {self.name!r}: row to delete not found in {self.target_table!r}"
             )
         applier.table.delete_rid(rid)
+        return rid
+
+    @staticmethod
+    def _undo(table: Table, undo: List[Tuple]) -> None:
+        """Reverse the applied prefix of a failed transaction, newest first."""
+        for action, rid, old_row in reversed(undo):
+            if action == "insert":
+                table.delete_rid(rid)
+            elif action == "delete":
+                table.insert_with_rid(rid, old_row)
+            else:
+                table.update_rid(rid, old_row)
 
     def average_latency(self) -> Optional[float]:
         """Mean commit-to-apply delay over recorded samples."""

@@ -1,0 +1,24 @@
+"""Resilience primitives: retries, circuit breakers, failover routing.
+
+The paper's availability story (§1: "the application keeps running when a
+cache goes down") is implemented here in three layers:
+
+* :class:`RetryPolicy` — bounded exponential backoff, in *virtual* time,
+  for transient linked-server failures (``repro.errors.is_transient``).
+* :class:`CircuitBreaker` — per-link closed→open→half-open state machine
+  that converts a down target from slow retry storms into fast failures,
+  exported as the ``resilience.breaker_state`` gauge.
+* :class:`FailoverRouter` — an application-tier connection wrapper that
+  reroutes statements from a failed cache to the backend and probes its
+  way back after recovery.
+
+Like ``repro.faults``, this package never reads the wall clock; backoff
+"sleeps" advance the injected :class:`~repro.common.clock.SimulatedClock`
+(selflint's ``resilience-determinism`` rule enforces it).
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.failover import FailoverRouter
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["CircuitBreaker", "FailoverRouter", "RetryPolicy"]

@@ -1,0 +1,156 @@
+"""Transparent cache→backend failover at the application tier.
+
+The paper's availability claim is that a mid-tier cache is an
+*optimization*, never a single point of failure: every cached table and
+view also exists on the backend, so any statement a cache can run, the
+backend can run too. :class:`FailoverRouter` operationalizes that — it
+wraps the application's connection (duck-compatible with
+``OdbcConnection``: ``execute(sql, params=...)``) and routes each
+statement to the primary (a cache) while healthy, to the fallback (the
+backend) while not.
+
+State machine::
+
+    NORMAL --(transient failure from primary)--> FAILED_OVER
+    FAILED_OVER --(probe_interval elapsed, health() true)--> NORMAL
+
+Failures that trigger failover are exactly the reroutable ones: the
+primary server is down (``ServerUnavailableError``), its link to the
+backend cannot be reached even after retries (``LinkUnavailableError``),
+or the link's breaker is open (``CircuitOpenError``). All three are
+raised *before* any statement effects, so re-running the statement on
+the fallback executes it exactly once. Deterministic errors (constraint
+violations, parse errors) propagate to the caller unchanged from
+whichever target ran the statement.
+
+Probing is virtual-time based: while failed over, at most one health
+check per ``probe_interval``; a passing check routes traffic back (where
+the link breaker's half-open machinery takes over if the recovery was
+illusory).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import CircuitOpenError, LinkUnavailableError, ServerUnavailableError
+
+_REROUTE_ERRORS = (LinkUnavailableError, ServerUnavailableError, CircuitOpenError)
+
+
+class FailoverRouter:
+    NORMAL = "normal"
+    FAILED_OVER = "failed_over"
+
+    def __init__(
+        self,
+        primary: Any,
+        fallback: Any,
+        clock: Any,
+        primary_database: Optional[str] = None,
+        fallback_database: Optional[str] = None,
+        probe_interval: float = 1.0,
+        principal: str = "dbo",
+        registry: Optional[Any] = None,
+        health: Optional[Callable[[], bool]] = None,
+    ):
+        from repro.engine.session import Session
+
+        self.primary = primary
+        self.fallback = fallback
+        self.clock = clock
+        self.probe_interval = probe_interval
+        self.health = health if health is not None else self._default_health
+        # Each target gets its own session so principal and session
+        # variables survive a mid-conversation reroute on both sides.
+        self._databases: Dict[int, Optional[str]] = {
+            id(primary): primary_database,
+            id(fallback): fallback_database,
+        }
+        self._sessions = {
+            id(primary): Session(principal=principal, database=primary_database),
+            id(fallback): Session(principal=principal, database=fallback_database),
+        }
+        self.state = self.NORMAL
+        self.failovers = 0
+        self.failbacks = 0
+        self.rerouted_statements = 0
+        self._next_probe = 0.0
+        self._registry = registry
+        self._gauge = None
+        if registry is not None:
+            self._gauge = registry.gauge("resilience.failover_state")
+            self._gauge.set(0.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def server(self) -> Any:
+        """The engine server behind the primary.
+
+        The TPC-W driver binds its metrics registry and tracer through
+        ``connection.server``; anchoring that to the primary keeps one
+        coherent observability stream across failovers.
+        """
+        inner = getattr(self.primary, "server", None)
+        return inner if inner is not None else self.primary
+
+    def _default_health(self) -> bool:
+        """Primary is healthy when its server is up and no link breaker
+        is open (an open-but-timed-out breaker counts as healthy: the
+        half-open probe happens on the first routed call)."""
+        server = self.server
+        if not getattr(server, "available", True):
+            return False
+        links = getattr(server, "linked_servers", None)
+        if links is not None:
+            for name in links.names():
+                breaker = getattr(links.get(name), "breaker", None)
+                if breaker is not None and not breaker.ready():
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _run(self, target: Any, sql: str, params: Optional[Dict[str, Any]]) -> Any:
+        session = self._sessions[id(target)]
+        database = self._databases[id(target)]
+        if database is None:
+            # CacheServer facade: it supplies its shadow database itself.
+            return target.execute(sql, params=params, session=session)
+        return target.execute(sql, params=params, session=session, database=database)
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        if self.state == self.FAILED_OVER:
+            now = self.clock.now()
+            if now >= self._next_probe:
+                if self.health():
+                    self._fail_back()
+                else:
+                    self._next_probe = now + self.probe_interval
+        if self.state == self.NORMAL:
+            try:
+                return self._run(self.primary, sql, params)
+            except _REROUTE_ERRORS:
+                self._fail_over()
+        self.rerouted_statements += 1
+        return self._run(self.fallback, sql, params)
+
+    # ------------------------------------------------------------------
+    def _fail_over(self) -> None:
+        self.state = self.FAILED_OVER
+        self.failovers += 1
+        self._next_probe = self.clock.now() + self.probe_interval
+        if self._registry is not None:
+            self._registry.counter("resilience.failovers").inc()
+        if self._gauge is not None:
+            self._gauge.set(1.0)
+
+    def _fail_back(self) -> None:
+        self.state = self.NORMAL
+        self.failbacks += 1
+        if self._registry is not None:
+            self._registry.counter("resilience.failbacks").inc()
+        if self._gauge is not None:
+            self._gauge.set(0.0)
+
+    def __repr__(self) -> str:
+        return f"<FailoverRouter {self.state} failovers={self.failovers}>"

@@ -1,0 +1,108 @@
+"""Retry policies for transient distributed failures.
+
+Backoff happens in virtual time: a "sleep" advances the shared
+:class:`~repro.common.clock.SimulatedClock`, so retries are visible to
+lag gauges and deadlines, deterministic under a fixed seed, and free of
+wall-clock reads. Jitter comes from an *injected* RNG; with no RNG the
+schedule is purely exponential and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.errors import ReproError, is_transient
+
+T = TypeVar("T")
+
+
+class RetryPolicy:
+    """Bounded exponential backoff with jitter and a deadline budget.
+
+    ``max_attempts`` counts the initial try; ``deadline`` caps the total
+    virtual time a single logical call may consume across retries (the
+    per-call budget — a retry is abandoned if its backoff would overrun
+    it). Only errors marked transient (``repro.errors.is_transient``) are
+    retried: transient faults raise *before* remote effects, so retrying
+    cannot double-apply work.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 1.0,
+        jitter: float = 0.25,
+        deadline: float = 5.0,
+        rng: Optional[random.Random] = None,
+    ):
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.deadline = deadline
+        self.rng = rng
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff delay after failed attempt number ``attempt`` (1-based).
+
+        Draws jitter from the injected RNG (one draw per call — callers
+        must not call this twice for the same retry decision).
+        """
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        return delay
+
+    def next_delay(self, attempt: int, started: float, now: float) -> Optional[float]:
+        """The delay before retrying, or None when the policy gives up.
+
+        ``attempt`` is the 1-based number of the attempt that just
+        failed; ``started`` is the virtual time of the first attempt.
+        Gives up when attempts are exhausted or the backoff would blow
+        the per-call deadline budget.
+        """
+        if attempt >= self.max_attempts:
+            return None
+        delay = self.backoff(attempt)
+        if (now - started) + delay > self.deadline:
+            return None
+        return delay
+
+    def run(
+        self,
+        fn: Callable[[], T],
+        clock: Any,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ) -> T:
+        """Call ``fn`` under this policy, backing off on the virtual clock."""
+        started = clock.now()
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except ReproError as exc:
+                if not is_transient(exc):
+                    raise
+                delay = self.next_delay(attempt, started, clock.now())
+                if delay is None:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                clock.advance(delay)
+                attempt += 1
+
+
+def default_link_policy(link_name: str) -> RetryPolicy:
+    """The retry policy links get by default.
+
+    Jitter is seeded from a stable digest of the link name (``hash()`` is
+    salted per process and would break determinism), so every link has
+    its own — but reproducible — jitter stream.
+    """
+    import zlib
+
+    return RetryPolicy(rng=random.Random(zlib.crc32(link_name.encode("utf-8"))))

@@ -22,7 +22,7 @@ from repro.simulation.calibrate import (
     calibrate,
 )
 from repro.simulation.analytic import ClusterModel, ClusterSpec, ScaleoutPoint
-from repro.simulation.des import DESConfig, DESResult, simulate_cluster
+from repro.simulation.des import ChaosSpec, DESConfig, DESResult, simulate_cluster
 
 __all__ = [
     "InteractionProfile",
@@ -31,6 +31,7 @@ __all__ = [
     "ClusterSpec",
     "ClusterModel",
     "ScaleoutPoint",
+    "ChaosSpec",
     "DESConfig",
     "DESResult",
     "simulate_cluster",

@@ -23,6 +23,22 @@ from repro.tpcw.workload import MIXES
 
 
 @dataclass
+class ChaosSpec:
+    """Kill one web/cache machine for a window of simulated time.
+
+    While down, its users' interactions fail over: the whole interaction
+    (cache work included) runs on the backend, and the machine's
+    distribution agent stops draining — replicated commands back up in
+    its apply queue and drain after restart. This is the availability
+    scenario: throughput dips, nothing is lost, lag converges.
+    """
+
+    server_index: int = 0
+    kill_at: float = 40.0
+    restart_at: float = 70.0
+
+
+@dataclass
 class DESConfig:
     """Simulation parameters."""
 
@@ -39,6 +55,7 @@ class DESConfig:
     agent_mode: str = "pull"  # "pull": apply CPU on cache; "push": on backend
     service_jitter: float = 0.25  # +- fraction of deterministic demand
     seed: int = 99
+    chaos: Optional[ChaosSpec] = None
 
 
 @dataclass
@@ -53,6 +70,10 @@ class DESResult:
     completed: int
     replication_latency: Optional[float]
     replication_samples: int
+    # Chaos scenario output (zeros when cfg.chaos is None).
+    failover_interactions: int = 0
+    chaos_backlog_peak: int = 0
+    replication_latency_max: float = 0.0
 
 
 class _Machine:
@@ -65,6 +86,10 @@ class _Machine:
         self.busy = 0
         self.queue: List[Tuple[float, Callable]] = []
         self.busy_time = 0.0
+        # Chaos: a down machine accepts no new work (in-flight jobs — work
+        # already on its CPUs or queued — still complete; the kill models
+        # new connections being refused, not the host vaporizing).
+        self.down = False
 
     def submit(self, demand: float, done: Callable) -> None:
         if demand <= 0:
@@ -116,6 +141,9 @@ class _Simulator:
         ]
         self.replication_latencies: List[float] = []
         self._measure_start = cfg.warmup
+        # Chaos bookkeeping.
+        self.failover_interactions = 0
+        self.chaos_backlog_peak = 0
 
     # -- event loop ----------------------------------------------------------
 
@@ -132,12 +160,20 @@ class _Simulator:
             self.schedule(cfg.logreader_interval, self._logreader_tick)
             for index in range(cfg.servers):
                 self.schedule(cfg.agent_interval, self._make_agent(index))
+        if cfg.chaos is not None:
+            chaos = cfg.chaos
+            target = self.webs[chaos.server_index]
+            self.schedule(chaos.kill_at, lambda: self._set_down(target, True))
+            self.schedule(chaos.restart_at, lambda: self._set_down(target, False))
         while self._events:
             time, _, callback = heapq.heappop(self._events)
             if time > cfg.duration:
                 break
             self.now = time
             callback()
+
+    def _set_down(self, machine: _Machine, down: bool) -> None:
+        machine.down = down
 
     # -- users -----------------------------------------------------------------
 
@@ -173,7 +209,15 @@ class _Simulator:
                 else:
                     backend_done()
 
-            web.submit(web_demand, web_done)
+            if web.down:
+                # Failover: the interaction runs start-to-finish on the
+                # backend — its share of cache work included — so users
+                # see degraded latency, never an error (the router's
+                # zero-failed-interactions property, in queueing terms).
+                self.failover_interactions += 1
+                self.backend.submit(web_demand + backend_demand, backend_done)
+            else:
+                web.submit(web_demand, web_done)
 
         return issue
 
@@ -200,6 +244,15 @@ class _Simulator:
 
     def _make_agent(self, index: int) -> Callable:
         def tick():
+            if self.webs[index].down:
+                # Dead subscriber: nothing drains; the distribution
+                # backlog (watermark-retained commands) builds until
+                # restart, then drains in one burst. The peak is the
+                # chaos scenario's headline number.
+                backlog = sum(count for _, count in self.pending_apply[index])
+                self.chaos_backlog_peak = max(self.chaos_backlog_peak, int(backlog))
+                self.schedule(self.cfg.agent_interval, tick)
+                return
             batch = self.pending_apply[index]
             self.pending_apply[index] = []
             if batch:
@@ -254,6 +307,11 @@ class _Simulator:
             completed=self.completed,
             replication_latency=repl_latency,
             replication_samples=len(self.replication_latencies),
+            failover_interactions=self.failover_interactions,
+            chaos_backlog_peak=self.chaos_backlog_peak,
+            replication_latency_max=(
+                max(self.replication_latencies) if self.replication_latencies else 0.0
+            ),
         )
 
 

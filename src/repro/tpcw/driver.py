@@ -31,6 +31,10 @@ class DriverStats:
     errors: int = 0
     virtual_seconds: float = 0.0
     by_interaction: Dict[str, int] = field(default_factory=dict)
+    # Failover activity observed on the connection (zero for plain
+    # connections; populated when driving through a FailoverRouter).
+    failovers: int = 0
+    failbacks: int = 0
 
     @property
     def wips(self) -> float:
@@ -125,6 +129,9 @@ class LoadDriver:
 
         stats.virtual_seconds = min(now, duration)
         stats.db_calls = self.application.db_calls - calls_before
+        connection = self.application.connection
+        stats.failovers = getattr(connection, "failovers", 0)
+        stats.failbacks = getattr(connection, "failbacks", 0)
         if self.deployment is not None:
             self.deployment.sync()
         return stats

@@ -1,0 +1,146 @@
+"""DTC commit-phase failures: in-doubt records and the recovery pass."""
+
+import pytest
+
+from repro import Server
+from repro.common.clock import SimulatedClock
+from repro.distributed.dtc import (
+    DistributedTransactionCoordinator,
+    recovery_log,
+)
+from repro.errors import DistributedError
+from repro.faults import FaultInjector
+from repro.obs.metrics import global_registry
+
+
+def make_server(name):
+    server = Server(name)
+    server.create_database(f"db_{name}")
+    server.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    return server
+
+
+def begin_with_row(dtc, server, row):
+    database = server.database(f"db_{server.name}")
+    txn = dtc.begin_on(database)
+    database.transactions.logged_insert(txn, database.storage_table("t"), row)
+    return database
+
+
+def row_count(server):
+    return server.execute("SELECT COUNT(*) FROM t").scalar
+
+
+@pytest.fixture(autouse=True)
+def clean_recovery_log():
+    recovery_log().clear()
+    yield
+    recovery_log().clear()
+
+
+@pytest.fixture
+def injector():
+    return FaultInjector(SimulatedClock(), seed=0)
+
+
+def test_between_phases_abort_leaves_an_in_doubt_record(injector):
+    a, b, c = make_server("a"), make_server("b"), make_server("c")
+    dtc = DistributedTransactionCoordinator()
+    for index, server in enumerate((a, b, c)):
+        begin_with_row(dtc, server, (index, index * 10))
+
+    in_doubt_before = global_registry().counter("dtc.in_doubt").value
+    injector.abort_participant_between_phases(dtc, index=1)
+    with pytest.raises(DistributedError):
+        dtc.commit()
+
+    # Participant a committed before the failure; b's branch died in the
+    # window; c was still active and must have been rolled back.
+    assert row_count(a) == 1
+    assert row_count(b) == 0
+    assert row_count(c) == 0
+
+    (record,) = dtc.in_doubt
+    assert record.participants == 3
+    assert record.committed == ["db_a"]
+    assert record.failed == "db_b"
+    assert record.rolled_back == ["db_c"]
+    assert not record.resolved
+    assert recovery_log().pending() == [record]
+    assert global_registry().counter("dtc.in_doubt").value == in_doubt_before + 1
+
+
+def test_abort_before_any_commit_is_a_clean_rollback(injector):
+    a, b = make_server("a"), make_server("b")
+    dtc = DistributedTransactionCoordinator()
+    begin_with_row(dtc, a, (1, 1))
+    begin_with_row(dtc, b, (2, 2))
+
+    in_doubt_before = global_registry().counter("dtc.in_doubt").value
+    injector.abort_participant_between_phases(dtc, index=0)
+    with pytest.raises(DistributedError):
+        dtc.commit()
+
+    # Nothing committed anywhere: globally consistent, nothing in doubt.
+    assert row_count(a) == 0
+    assert row_count(b) == 0
+    (record,) = dtc.in_doubt
+    assert record.committed == []
+    assert record.rolled_back == ["db_b"]
+    assert global_registry().counter("dtc.in_doubt").value == in_doubt_before
+
+
+def test_recovery_pass_resolves_records(injector):
+    a, b = make_server("a"), make_server("b")
+    dtc = DistributedTransactionCoordinator()
+    begin_with_row(dtc, a, (1, 1))
+    begin_with_row(dtc, b, (2, 2))
+    injector.abort_participant_between_phases(dtc, index=1)
+    heuristic_before = global_registry().counter("dtc.heuristic_outcomes").value
+    with pytest.raises(DistributedError):
+        dtc.commit()
+
+    resolved = recovery_log().resolve()
+    assert len(resolved) == 1
+    # a committed while b aborted: a heuristic (mixed) outcome.
+    assert resolved[0].resolution == "heuristic-damage"
+    assert resolved[0].resolved
+    assert (
+        global_registry().counter("dtc.heuristic_outcomes").value
+        == heuristic_before + 1
+    )
+    assert recovery_log().pending() == []
+    # Idempotent: a second pass has nothing to do.
+    assert recovery_log().resolve() == []
+
+
+def test_clean_rollback_resolution_is_not_heuristic(injector):
+    a, b = make_server("a"), make_server("b")
+    dtc = DistributedTransactionCoordinator()
+    begin_with_row(dtc, a, (1, 1))
+    begin_with_row(dtc, b, (2, 2))
+    injector.abort_participant_between_phases(dtc, index=0)
+    heuristic_before = global_registry().counter("dtc.heuristic_outcomes").value
+    with pytest.raises(DistributedError):
+        dtc.commit()
+
+    (resolved,) = recovery_log().resolve()
+    assert resolved.resolution == "rolled_back"
+    assert (
+        global_registry().counter("dtc.heuristic_outcomes").value == heuristic_before
+    )
+
+
+def test_hook_is_one_shot(injector):
+    a = make_server("a")
+    dtc = DistributedTransactionCoordinator()
+    begin_with_row(dtc, a, (1, 1))
+    injector.abort_participant_between_phases(dtc, index=0)
+    with pytest.raises(DistributedError):
+        dtc.commit()
+    assert dtc.on_before_commit_phase is None
+    # A fresh coordinator is unaffected by the spent hook.
+    dtc2 = DistributedTransactionCoordinator()
+    begin_with_row(dtc2, a, (5, 5))
+    dtc2.commit()
+    assert row_count(a) == 1

@@ -1,0 +1,156 @@
+"""FaultInjector unit tests: rules, schedules, determinism, no-op-ness."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.errors import LinkUnavailableError, ReplicationError
+from repro.faults import FaultInjector, FaultRule
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def injector(clock):
+    return FaultInjector(clock, seed=42)
+
+
+def test_rule_matches_exact_and_prefix():
+    rule = FaultRule("link:backend:query")
+    assert rule.matches("link:backend:query")
+    assert not rule.matches("link:backend:statement")
+    wild = FaultRule("link:backend:*")
+    assert wild.matches("link:backend:query")
+    assert wild.matches("link:backend:prepared")
+    assert not wild.matches("link:other:query")
+
+
+def test_fails_exactly_the_nth_call(injector):
+    injector.rule("site:x", skip=2, count=1)
+    injector.on_call("site:x")
+    injector.on_call("site:x")
+    with pytest.raises(LinkUnavailableError):
+        injector.on_call("site:x")
+    # Exhausted: the fourth call sails through.
+    injector.on_call("site:x")
+    assert injector.injected == 1
+
+
+def test_count_none_fires_forever(injector):
+    injector.rule("site:x", count=None)
+    for _ in range(5):
+        with pytest.raises(LinkUnavailableError):
+            injector.on_call("site:x")
+    assert injector.injected == 5
+
+
+def test_latency_action_advances_virtual_clock(injector, clock):
+    injector.rule("site:slow", action="latency", latency=0.75, count=2)
+    before = clock.now()
+    injector.on_call("site:slow")
+    assert clock.now() == pytest.approx(before + 0.75)
+    injector.on_call("site:slow")
+    injector.on_call("site:slow")  # exhausted: no further delay
+    assert clock.now() == pytest.approx(before + 1.5)
+
+
+def test_apply_error_action(injector):
+    injector.rule("subscription:s:apply", action="apply-error")
+    with pytest.raises(ReplicationError):
+        injector.on_call("subscription:s:apply")
+
+
+def test_callable_action_receives_context(injector):
+    seen = []
+    injector.rule("site:cb", action=lambda inj, site, ctx: seen.append((site, ctx)))
+    injector.on_call("site:cb", detail=7)
+    assert seen == [("site:cb", {"detail": 7})]
+
+
+def test_unknown_action_rejected(injector):
+    injector.rule("site:x", action="explode")
+    with pytest.raises(ValueError):
+        injector.on_call("site:x")
+
+
+def test_chance_draws_from_seeded_rng(clock):
+    def count_fired(seed):
+        injector = FaultInjector(clock, seed=seed)
+        injector.rule("site:x", action="latency", count=None, chance=0.5)
+        injector.on_call("site:x")  # latency=0 so nothing else observable
+        for _ in range(99):
+            injector.on_call("site:x")
+        return injector.injected
+
+    assert count_fired(7) == count_fired(7)  # deterministic
+    fired = count_fired(7)
+    assert 20 < fired < 80  # probabilistic, not all-or-nothing
+
+
+def test_idle_injector_is_a_true_noop(injector, clock):
+    """No rules armed: the RNG stream and clock must stay untouched."""
+    state_before = injector.rng.getstate()
+    for _ in range(100):
+        injector.on_call("site:anything", context=1)
+    assert injector.rng.getstate() == state_before
+    assert injector.tick(clock.now()) == 0
+    assert injector.injected == 0
+    assert injector.log == []
+
+
+def test_disabled_injector_fires_nothing(injector):
+    injector.rule("site:x")
+    injector.enabled = False
+    injector.on_call("site:x")
+    assert injector.injected == 0
+
+
+def test_schedule_fires_in_time_order(injector, clock):
+    fired = []
+    injector.at(2.0, lambda: fired.append("b"))
+    injector.at(1.0, lambda: fired.append("a"))
+    injector.at(1.0, lambda: fired.append("a2"))  # tie: insertion order
+    assert injector.pending == 3
+    assert injector.tick(0.5) == 0
+    assert injector.tick(1.0) == 2
+    assert fired == ["a", "a2"]
+    assert injector.tick(5.0) == 1
+    assert fired == ["a", "a2", "b"]
+    assert injector.pending == 0
+
+
+def test_schedule_accepts_method_names(injector, clock):
+    class FakeServer:
+        name = "srv"
+
+        def __init__(self):
+            self.crashed = False
+
+        def crash(self):
+            self.crashed = True
+
+        def restart(self):
+            self.crashed = False
+
+    server = FakeServer()
+    injector.at(1.0, "crash_server", server)
+    injector.at(2.0, "restart_server", server)
+    clock.advance(1.0)
+    injector.tick(clock.now())
+    assert server.crashed
+    clock.advance(1.0)
+    injector.tick(clock.now())
+    assert not server.crashed
+
+
+def test_log_records_virtual_timestamps(injector, clock):
+    clock.advance(3.5)
+    injector.rule("site:x", count=1)
+    with pytest.raises(LinkUnavailableError):
+        injector.on_call("site:x")
+    ((when, site, action),) = injector.log
+    assert when == pytest.approx(3.5)
+    assert site == "site:x"
+    assert action == "unavailable"

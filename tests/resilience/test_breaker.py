@@ -1,0 +1,91 @@
+"""CircuitBreaker unit tests: the closed→open→half-open machine."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import CircuitBreaker
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+def make_breaker(clock, registry=None):
+    return CircuitBreaker(
+        clock, failure_threshold=3, reset_timeout=2.0, name="backend", registry=registry
+    )
+
+
+def test_trips_after_consecutive_failures(clock):
+    breaker = make_breaker(clock)
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+    assert breaker.rejections == 1
+
+
+def test_success_resets_the_failure_count(clock):
+    breaker = make_breaker(clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_half_open_probe_after_reset_timeout(clock):
+    breaker = make_breaker(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    assert not breaker.allow()
+    clock.advance(2.0)
+    assert breaker.ready()
+    assert breaker.allow()  # the half-open probe
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_half_open_failure_reopens(clock):
+    breaker = make_breaker(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(2.0)
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()  # timeout restarted
+    clock.advance(2.0)
+    assert breaker.allow()
+
+
+def test_ready_is_read_only(clock):
+    breaker = make_breaker(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(2.0)
+    assert breaker.ready()
+    assert breaker.state == CircuitBreaker.OPEN  # ready() did not transition
+
+
+def test_state_exported_as_gauge(clock):
+    registry = MetricsRegistry(namespace="test")
+    breaker = make_breaker(clock, registry=registry)
+    gauge = registry.gauge("resilience.breaker_state", labels={"link": "backend"})
+    assert gauge.value == 0.0
+    for _ in range(3):
+        breaker.record_failure()
+    assert gauge.value == 2.0
+    assert registry.counter("resilience.breaker_opens", labels={"link": "backend"}).value == 1
+    clock.advance(2.0)
+    breaker.allow()
+    assert gauge.value == 1.0
+    breaker.record_success()
+    assert gauge.value == 0.0

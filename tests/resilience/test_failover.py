@@ -1,0 +1,128 @@
+"""FailoverRouter + CacheServer read fallback: the availability layer."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.faults import FaultInjector
+from repro.resilience import FailoverRouter
+
+
+@pytest.fixture
+def injector(deployment):
+    inj = FaultInjector(deployment.clock, seed=3)
+    deployment.attach_fault_injector(inj)
+    return inj
+
+
+@pytest.fixture
+def router(deployment, cache):
+    return deployment.failover_connection(cache, probe_interval=1.0)
+
+
+class TestRouter:
+    def test_normal_operation_routes_to_the_cache(self, router, cache):
+        result = router.execute("SELECT COUNT(*) FROM Cust1000")
+        assert result.scalar == 100
+        assert router.state == FailoverRouter.NORMAL
+        assert router.failovers == 0
+        assert router.rerouted_statements == 0
+
+    def test_write_fails_over_when_cache_is_down(
+        self, injector, router, cache, backend
+    ):
+        injector.crash_cache(cache)
+        result = router.execute(
+            "INSERT INTO orders VALUES (9001, 1, 10.0, 'OPEN')"
+        )
+        assert result is not None
+        assert router.state == FailoverRouter.FAILED_OVER
+        assert router.failovers == 1
+        # The write landed on the backend, exactly once.
+        count = backend.execute(
+            "SELECT COUNT(*) FROM orders WHERE oid = 9001", database="shop"
+        ).scalar
+        assert count == 1
+
+    def test_fails_back_after_recovery_and_probe_interval(
+        self, injector, router, cache, deployment
+    ):
+        injector.crash_cache(cache)
+        # Reads are absorbed by the cache facade's own fallback; a write
+        # is what flips the router.
+        router.execute("UPDATE customer SET cname = 'f1' WHERE cid = 1")
+        assert router.state == FailoverRouter.FAILED_OVER
+
+        # Restart alone is not enough: the next probe has to come due.
+        injector.restart_cache(cache)
+        routed_before = router.rerouted_statements
+        router.execute("SELECT COUNT(*) FROM customer")
+        assert router.rerouted_statements == routed_before + 1
+
+        deployment.clock.advance(router.probe_interval)
+        result = router.execute("SELECT COUNT(*) FROM Cust1000")
+        assert result.scalar == 100
+        assert router.state == FailoverRouter.NORMAL
+        assert router.failbacks == 1
+
+    def test_reads_never_fail_during_the_outage(self, injector, router, cache):
+        injector.crash_cache(cache)
+        for _ in range(5):
+            assert router.execute("SELECT COUNT(*) FROM customer").scalar == 200
+        assert router.execute("SELECT COUNT(*) FROM orders").scalar == 400
+
+    def test_deterministic_errors_are_not_rerouted(self, injector, router, cache):
+        # A duplicate key is the application's bug on any server: the
+        # router must surface it, not mask it by retrying elsewhere.
+        with pytest.raises(ConstraintError):
+            router.execute("INSERT INTO customer VALUES (1, 'dup', 'a', 'base')")
+        assert router.state == FailoverRouter.NORMAL
+        assert router.failovers == 0
+
+    def test_counters_exported_on_the_cache_registry(
+        self, injector, router, cache
+    ):
+        injector.crash_cache(cache)
+        router.execute("UPDATE customer SET cname = 'f2' WHERE cid = 2")
+        registry = cache.server.metrics
+        assert registry.counter("resilience.failovers").value == 1
+        assert registry.gauge("resilience.failover_state").value == 1.0
+
+
+class TestCacheReadFallback:
+    def test_link_outage_falls_back_for_reads(self, injector, cache, deployment):
+        link = cache.server.linked_servers.get("backend")
+        injector.wound_link(link, count=None)
+        # orders is not cached: the plan needs the link, the link is
+        # dead, the cache answers from the backend instead.
+        result = cache.execute("SELECT COUNT(*) FROM orders")
+        assert result.scalar == 400
+        assert cache.fallback_reads >= 1
+
+    def test_link_outage_does_not_mask_write_failures(self, injector, cache):
+        from repro.errors import CircuitOpenError, LinkUnavailableError
+
+        link = cache.server.linked_servers.get("backend")
+        injector.wound_link(link, count=None)
+        # Forwarded DML is not a read: silently running it on the backend
+        # is the router's job (with its own session), not the cache's.
+        with pytest.raises((LinkUnavailableError, CircuitOpenError)):
+            cache.execute("INSERT INTO orders VALUES (9002, 1, 5.0, 'OPEN')")
+
+    def test_healthy_reflects_server_and_breakers(self, injector, cache, deployment):
+        assert cache.healthy()
+        link = cache.server.linked_servers.get("backend")
+        injector.wound_link(link, count=None)
+        for _ in range(2):
+            try:
+                cache.execute("SELECT COUNT(*) FROM orders")
+            except Exception:
+                pass
+        assert link.breaker.state == link.breaker.OPEN
+        assert not cache.healthy()
+        # An open-but-timed-out breaker counts as healthy again: the
+        # half-open probe happens on the first routed statement.
+        injector.heal_link(link)
+        deployment.clock.advance(link.breaker.reset_timeout)
+        assert cache.healthy()
+        cache.server.crash()
+        assert not cache.healthy()

@@ -1,0 +1,95 @@
+"""RetryPolicy unit tests: backoff shape, budgets, transient gating."""
+
+import random
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.errors import ConstraintError, LinkUnavailableError
+from repro.resilience import RetryPolicy
+from repro.resilience.retry import default_link_policy
+
+
+def test_backoff_is_exponential_and_capped():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0)
+    assert policy.backoff(1) == pytest.approx(0.1)
+    assert policy.backoff(2) == pytest.approx(0.2)
+    assert policy.backoff(3) == pytest.approx(0.4)
+    assert policy.backoff(4) == pytest.approx(0.5)  # capped
+    assert policy.backoff(9) == pytest.approx(0.5)
+
+
+def test_next_delay_exhausts_attempts():
+    policy = RetryPolicy(max_attempts=3, jitter=0.0)
+    assert policy.next_delay(1, started=0.0, now=0.0) is not None
+    assert policy.next_delay(2, started=0.0, now=0.0) is not None
+    assert policy.next_delay(3, started=0.0, now=0.0) is None
+
+
+def test_next_delay_respects_deadline_budget():
+    policy = RetryPolicy(
+        max_attempts=10, base_delay=1.0, multiplier=1.0, max_delay=1.0,
+        jitter=0.0, deadline=2.5,
+    )
+    # 1.8s already burned + 1.0s backoff > 2.5s budget: give up.
+    assert policy.next_delay(1, started=0.0, now=1.0) is not None
+    assert policy.next_delay(1, started=0.0, now=1.8) is None
+
+
+def test_run_retries_transient_until_success():
+    clock = SimulatedClock()
+    policy = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.0)
+    calls = []
+
+    def flaky():
+        calls.append(clock.now())
+        if len(calls) < 3:
+            raise LinkUnavailableError("down")
+        return "ok"
+
+    assert policy.run(flaky, clock) == "ok"
+    assert len(calls) == 3
+    # Backoff advanced the virtual clock: 0.1 + 0.2.
+    assert clock.now() == pytest.approx(0.3)
+
+
+def test_run_does_not_retry_deterministic_errors():
+    clock = SimulatedClock()
+    policy = RetryPolicy(jitter=0.0)
+    calls = []
+
+    def broken():
+        calls.append(1)
+        raise ConstraintError("duplicate key")
+
+    with pytest.raises(ConstraintError):
+        policy.run(broken, clock)
+    assert len(calls) == 1
+    assert clock.now() == 0.0  # no backoff burned
+
+
+def test_run_raises_after_exhausting_attempts():
+    clock = SimulatedClock()
+    policy = RetryPolicy(max_attempts=3, base_delay=0.05, jitter=0.0)
+    calls = []
+
+    def always_down():
+        calls.append(1)
+        raise LinkUnavailableError("down")
+
+    with pytest.raises(LinkUnavailableError):
+        policy.run(always_down, clock)
+    assert len(calls) == 3
+
+
+def test_jitter_comes_from_injected_rng():
+    a = RetryPolicy(jitter=0.5, rng=random.Random(11))
+    b = RetryPolicy(jitter=0.5, rng=random.Random(11))
+    assert [a.backoff(i) for i in range(1, 5)] == [b.backoff(i) for i in range(1, 5)]
+    plain = RetryPolicy(jitter=0.0)
+    jittered = RetryPolicy(jitter=0.5, rng=random.Random(11))
+    assert jittered.backoff(1) != plain.backoff(1)
+
+
+def test_default_link_policy_is_stable_per_name():
+    assert default_link_policy("backend").backoff(1) == default_link_policy("backend").backoff(1)

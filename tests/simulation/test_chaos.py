@@ -1,0 +1,66 @@
+"""DES chaos scenario: kill one cache machine, measure the availability story."""
+
+import dataclasses
+
+import pytest
+
+from repro.simulation import ChaosSpec, DESConfig, calibrate, simulate_cluster
+from repro.tpcw import TPCWConfig
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate(
+        "cached",
+        TPCWConfig(num_items=60, num_ebs=10, bestseller_window=60),
+        repetitions=3,
+    )
+
+
+def chaos_config(**overrides):
+    base = dict(
+        users=120,
+        mix_name="Shopping",
+        servers=2,
+        duration=100,
+        warmup=10,
+        chaos=ChaosSpec(server_index=0, kill_at=40.0, restart_at=70.0),
+    )
+    base.update(overrides)
+    return DESConfig(**base)
+
+
+@pytest.mark.chaos
+def test_chaos_run_completes_interactions_via_failover(calibration):
+    result = simulate_cluster(calibration, chaos_config())
+    # The dead machine's users kept completing interactions — on the
+    # backend — for the 30 simulated seconds of the outage.
+    assert result.failover_interactions > 0
+    assert result.completed > 0
+    assert result.wips > 0
+
+    # Its apply queue backed up during the outage and drained after the
+    # restart: a visible backlog peak, and a worst-case replication
+    # latency far above the healthy sub-second figure.
+    assert result.chaos_backlog_peak > 0
+    assert result.replication_latency_max > 5.0
+    assert result.replication_latency is not None
+
+
+@pytest.mark.chaos
+def test_chaos_costs_throughput_but_not_correctness(calibration):
+    healthy = simulate_cluster(calibration, chaos_config(chaos=None))
+    chaotic = simulate_cluster(calibration, chaos_config())
+    # Failing a whole interaction over to the backend is strictly more
+    # expensive, so chaos can only cost throughput — never interactions.
+    assert chaotic.wips <= healthy.wips * 1.05
+    assert chaotic.completed > 0
+    assert healthy.failover_interactions == 0
+    assert healthy.chaos_backlog_peak == 0
+
+
+@pytest.mark.chaos
+def test_chaos_simulation_is_deterministic(calibration):
+    first = simulate_cluster(calibration, chaos_config())
+    second = simulate_cluster(calibration, chaos_config())
+    assert dataclasses.asdict(first) == dataclasses.asdict(second)
