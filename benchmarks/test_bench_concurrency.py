@@ -1,0 +1,143 @@
+"""Concurrent-client benchmark: threaded TPC-W over the connection pool.
+
+The virtual-time drivers measure *work*; this file measures *wall-clock*
+behavior of the concurrent execution core: worker threads checking pooled
+connections out per interaction, the engine serializing them through the
+database latch and table locks. Two experiments:
+
+1. Scaling: the same cache-enabled TPC-W deployment driven for the same
+   wall time by 1 worker and by 4 workers. Think time is real, so workers
+   overlap their sleeps; with locking correct and uncontended reads
+   sharing the latch, 4 workers must deliver at least twice the
+   single-worker throughput (the acceptance criterion — in practice it is
+   close to 4x at this think-time/work ratio).
+2. Isolation under contention: 8 workers hammer read-modify-write
+   increments of one shared row through the pool, three seeded runs. A
+   lost update — two increments interleaving between read and write —
+   would leave the final total short. Locking makes each autocommit
+   statement atomic, so the total must be exact and the error count zero.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.client import ConnectionPool, connect
+from repro.engine.server import Server
+from repro.tpcw.config import TPCWConfig
+from repro.tpcw.driver import ThreadedLoadDriver
+from repro.tpcw.setup import build_backend, enable_caching
+from repro.tpcw.workload import MIXES
+
+from benchmarks.conftest import emit
+
+DURATION = 1.0
+THINK_TIME = 0.02
+
+
+def build_cached_env(tag: str):
+    backend, config = build_backend(TPCWConfig(num_items=60, num_ebs=10))
+    deployment, caches = enable_caching(backend, [f"conc_{tag}"], config)
+    return deployment, caches[0], config
+
+
+def run_threaded(workers: int, tag: str, seed: int = 17):
+    deployment, cache, config = build_cached_env(tag)
+    pool = ConnectionPool(
+        lambda: connect(cache.server, database="tpcw"), size=workers
+    )
+    driver = ThreadedLoadDriver(
+        pool,
+        config,
+        MIXES["Shopping"],
+        workers=workers,
+        think_time=THINK_TIME,
+        deployment=deployment,
+        seed=seed,
+    )
+    stats = driver.run(DURATION)
+    pool.close()
+    return stats
+
+
+def test_bench_threaded_scaling(capsys):
+    single = run_threaded(1, "w1")
+    quad = run_threaded(4, "w4")
+
+    emit(
+        capsys,
+        "Threaded TPC-W scaling (Shopping mix, cache-enabled, wall clock)",
+        [
+            f"{'workers':>8s} {'interactions':>13s} {'errors':>7s} {'ints/s':>8s}",
+            f"{1:8d} {single.interactions:13d} {single.errors:7d} {single.throughput:8.1f}",
+            f"{4:8d} {quad.interactions:13d} {quad.errors:7d} {quad.throughput:8.1f}",
+        ],
+    )
+
+    assert single.errors == 0
+    assert quad.errors == 0
+    assert single.interactions > 0
+    # Acceptance: 4 workers sustain at least 2x single-worker throughput.
+    assert quad.throughput >= 2 * single.throughput
+
+
+def test_bench_threaded_stress_no_lost_updates(capsys):
+    workers = 8
+    increments = 25
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(1e-4)  # force frequent preemption
+    try:
+        rows_report = []
+        for seed in (3, 11, 42):
+            backend = Server("stress")
+            backend.create_database("bench")
+            backend.execute(
+                "CREATE TABLE counters (cid INT PRIMARY KEY, total INT NOT NULL)",
+                database="bench",
+            )
+            backend.execute(
+                "INSERT INTO counters (cid, total) VALUES (1, 0)", database="bench"
+            )
+            pool = ConnectionPool(
+                lambda: connect(backend, database="bench"), size=workers
+            )
+
+            import threading
+
+            def hammer(index: int) -> None:
+                for step in range(increments):
+                    with pool.connection() as connection:
+                        cursor = connection.cursor()
+                        cursor.execute(
+                            "UPDATE counters SET total = total + 1 WHERE cid = 1"
+                        )
+                        if (index + step) % 3 == 0:
+                            cursor.execute(
+                                "SELECT total FROM counters WHERE cid = 1"
+                            )
+                            assert cursor.fetchone()[0] >= 1
+
+            threads = [
+                threading.Thread(target=hammer, args=(index,), daemon=True)
+                for index in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            total = backend.execute(
+                "SELECT total FROM counters WHERE cid = 1", database="bench"
+            ).scalar
+            pool.close()
+            rows_report.append(f"seed {seed:3d}: total={total} expected={workers * increments}")
+            # A lost update would leave the counter short of exact.
+            assert total == workers * increments
+    finally:
+        sys.setswitchinterval(old_interval)
+
+    emit(
+        capsys,
+        f"Threaded stress: {workers} writers x {increments} increments, shared row",
+        rows_report,
+    )

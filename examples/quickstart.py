@@ -8,10 +8,13 @@ view, and demonstrates the three headline behaviours:
    time (the paper's Cust1000 example);
 3. updates forward transparently and replication refreshes the cache.
 
+The application-facing surface is the DBAPI-style client: ``connect()``
+returns a :class:`repro.client.Connection`, cursors execute and fetch.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import MTCacheDeployment, Server
+from repro import MTCacheDeployment, Server, connect
 
 
 def main() -> None:
@@ -50,23 +53,25 @@ def main() -> None:
     print("Dynamic plan for the parameterized query:")
     print(cache.plan(query).explain(), "\n")
 
-    local = cache.execute(query, params={"cid": 500})
-    remote = cache.execute(query, params={"cid": 1500})
-    print(f"@cid=500  -> {len(local.rows):5d} rows (answered from the cached view)")
-    print(f"@cid=1500 -> {len(remote.rows):5d} rows (answered by the backend)\n")
+    connection = connect(cache)
+    cursor = connection.cursor()
+    local = cursor.execute(query, {"cid": 500}).fetchall()
+    remote = cursor.execute(query, {"cid": 1500}).fetchall()
+    print(f"@cid=500  -> {len(local):5d} rows (answered from the cached view)")
+    print(f"@cid=1500 -> {len(remote):5d} rows (answered by the backend)\n")
 
     # --- 5. Transparent updates + replication --------------------------------
-    cache.execute("UPDATE customer SET cname = 'RENAMED' WHERE cid = 42")
+    cursor.execute("UPDATE customer SET cname = 'RENAMED' WHERE cid = 42")
     print("After forwarding the update to the backend:")
     print("  backend sees:", backend.execute(
         "SELECT cname FROM customer WHERE cid = 42", database="shop").scalar)
-    print("  cache (stale):", cache.execute(
-        "SELECT cname FROM Cust1000 WHERE cid = 42").scalar)
+    print("  cache (stale):", cursor.execute(
+        "SELECT cname FROM Cust1000 WHERE cid = 42").fetchone()[0])
 
     deployment.clock.advance(1.0)
     deployment.sync()
-    print("  cache (after replication):", cache.execute(
-        "SELECT cname FROM Cust1000 WHERE cid = 42").scalar)
+    print("  cache (after replication):", cursor.execute(
+        "SELECT cname FROM Cust1000 WHERE cid = 42").fetchone()[0])
     print(f"  average propagation latency: {deployment.average_replication_latency():.2f}s")
 
 

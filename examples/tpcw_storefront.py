@@ -7,6 +7,10 @@ read-dominated stored procedures) and *redirects the application's ODBC
 source* — no application change — and shows how much database work moved
 to the cache tier.
 
+The registry hands out DBAPI-style connections (``connection.cursor()``
+works the same against either tier), which is what makes the redirect
+invisible to application code.
+
 Run:  python examples/tpcw_storefront.py
 """
 
@@ -73,6 +77,11 @@ def main() -> None:
     latency = deployment.average_replication_latency()
     if latency is not None:
         print(f"  average replication latency: {latency:.2f}s")
+
+    # --- The same cursor code works against either tier ----------------------
+    cursor = registry.connect("tpcw").cursor()
+    cursor.execute("SELECT i_title FROM item WHERE i_id = @id", {"id": 1})
+    print("\nDBAPI cursor through the redirected source:", cursor.fetchone()[0])
 
     # --- Show a plan: the bestseller query runs on cached views --------------
     print("\nBestseller query plan on the cache server:")

@@ -22,6 +22,7 @@ Quickstart::
     result = cache.execute("SELECT cname FROM customer WHERE cid = @cid", params={"cid": 7})
 """
 
+from repro.client import Connection, ConnectionPool, Cursor, connect
 from repro.common.clock import SimulatedClock
 from repro.engine import Database, Result, Server, Session
 from repro.faults import FaultInjector
@@ -32,6 +33,10 @@ from repro.resilience import CircuitBreaker, FailoverRouter, RetryPolicy
 __version__ = "1.0.0"
 
 __all__ = [
+    "Connection",
+    "ConnectionPool",
+    "Cursor",
+    "connect",
     "SimulatedClock",
     "Database",
     "Result",

@@ -24,6 +24,16 @@ own source (``python -m repro analyze --self``):
   on the injected SimulatedClock, or fault runs stop being reproducible)
   nor use bare ``except:`` (which would swallow the very faults being
   injected).
+* ``session-construction`` — only ``repro/client`` and ``repro/engine``
+  may construct a raw ``Session``. Everything else goes through the
+  client API (``connect()``/``Connection``), which owns session
+  lifecycle; hand-made sessions bypass transaction cleanup and the pool's
+  rollback-on-release guarantee.
+* ``raw-threading-lock`` — ``threading.Lock``/``RLock``/``Condition``
+  may only be constructed in ``repro/common/locks.py`` and
+  ``repro/engine/locks.py``. Concurrency primitives funnel through that
+  chokepoint so the locking hierarchy (database latch above table locks)
+  stays auditable and ad-hoc locks cannot introduce new deadlock edges.
 """
 
 from __future__ import annotations
@@ -240,12 +250,63 @@ def _check_resilience_determinism(tree: ast.AST, path: str) -> Iterator[Analysis
             )
 
 
+def _check_session_construction(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
+    if _in_subtree(path, "client", "engine"):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_name(node.func)
+        if dotted is not None and dotted.split(".")[-1] == "Session":
+            yield AnalysisError(
+                "session-construction",
+                "raw Session construction outside repro.client/repro.engine; "
+                "go through repro.client.connect() — connections own their "
+                "sessions (transaction cleanup, pool rollback-on-release)",
+                location=f"{path}:{node.lineno}",
+            )
+
+
+#: Files allowed to construct threading primitives directly.
+_LOCK_CHOKEPOINTS = ("repro/common/locks.py", "repro/engine/locks.py")
+
+_RAW_LOCK_CALLS = frozenset({"threading.Lock", "threading.RLock", "threading.Condition"})
+
+_RAW_LOCK_NAMES = frozenset({"Lock", "RLock", "Condition"})
+
+
+def _check_raw_threading_lock(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
+    normalized = path.replace(os.sep, "/")
+    if normalized.endswith(_LOCK_CHOKEPOINTS):
+        return
+    imported_locks = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "threading":
+            for alias in node.names:
+                if alias.name in _RAW_LOCK_NAMES:
+                    imported_locks.add(alias.asname or alias.name)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_name(node.func)
+        if dotted in _RAW_LOCK_CALLS or dotted in imported_locks:
+            yield AnalysisError(
+                "raw-threading-lock",
+                f"direct {dotted}() construction; use repro.common.locks "
+                "(mutex/rmutex/condition/RWLock) so every lock sits inside "
+                "the audited locking hierarchy",
+                location=f"{path}:{node.lineno}",
+            )
+
+
 _ALL_CHECKS = (
     _check_wall_clock,
     _check_bare_except,
     _check_metric_names,
     _check_operator_children,
     _check_resilience_determinism,
+    _check_session_construction,
+    _check_raw_threading_lock,
 )
 
 

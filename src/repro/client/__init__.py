@@ -1,0 +1,28 @@
+"""The unified client API (DBAPI-2.0 flavoured).
+
+This package is the one sanctioned way for application code to talk to
+the engine. Historically there were three overlapping entrypoints —
+``Server.execute`` with a hand-made :class:`~repro.engine.session.Session`,
+``OdbcConnection.execute``, and the resilience router's ``execute`` —
+each with a slightly different signature. They all still work (as thin
+delegating shims), but new code goes through:
+
+    connection = connect(server_or_cache, database="tpcw")
+    cursor = connection.cursor()
+    cursor.execute("SELECT cname FROM customer WHERE cid = @cid", {"cid": 7})
+    for row in cursor:
+        ...
+    connection.commit()
+
+and under load, through a bounded :class:`ConnectionPool` whose checkout
+health-checks each connection via the engine's ``healthy()`` probes.
+
+The selflint rule ``session-construction`` enforces the funnel: outside
+this package and ``repro.engine`` itself, nothing constructs a raw
+``Session`` — connections own their sessions.
+"""
+
+from repro.client.connection import Connection, Cursor, connect
+from repro.client.pool import ConnectionPool
+
+__all__ = ["Connection", "ConnectionPool", "Cursor", "connect"]

@@ -1,0 +1,250 @@
+"""Connection and Cursor: the DBAPI-2.0-flavoured facade.
+
+A :class:`Connection` wraps any execution target — an engine
+:class:`~repro.engine.server.Server`, a
+:class:`~repro.mtcache.cache_server.CacheServer` facade, or a
+:class:`~repro.resilience.failover.FailoverRouter` — and owns the
+:class:`~repro.engine.session.Session` that carries principal, variables
+and transaction state across statements. Targets differ in which keyword
+arguments their ``execute`` accepts (a cache supplies its own shadow
+database; a router manages its own per-target sessions), so the
+connection sniffs the signature once at construction and adapts.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.results import Result
+from repro.engine.session import Session
+from repro.errors import ClientError
+
+
+def connect(target: Any, database: Optional[str] = None, principal: str = "dbo") -> "Connection":
+    """Open a connection to an execution target (DBAPI ``connect``)."""
+    return Connection(target, database=database, principal=principal)
+
+
+class Connection:
+    """One client connection: a session plus an execution target."""
+
+    def __init__(self, target: Any, database: Optional[str] = None, principal: str = "dbo"):
+        self.target = target
+        self.database = database
+        self.session = Session(principal=principal, database=database)
+        self.closed = False
+        self._bind_target(target)
+
+    def _bind_target(self, target: Any) -> None:
+        """Sniff which keywords the target's ``execute`` accepts."""
+        execute_params = inspect.signature(target.execute).parameters
+        self._accepts_session = "session" in execute_params
+        self._accepts_database = "database" in execute_params
+
+    def _reset_session(self, database: Optional[str] = None) -> None:
+        """Replace the session (same principal) after a target rebind.
+
+        Subclasses that re-point a live connection (ODBC redirection) go
+        through this instead of constructing a raw Session — connections
+        own their sessions (the ``session-construction`` lint rule).
+        """
+        self.session = Session(principal=self.session.principal, database=database)
+
+    # -- target plumbing ---------------------------------------------------
+
+    @property
+    def server(self) -> Any:
+        """The engine server behind the target (metrics, clock, tracer).
+
+        Unwraps facades: a CacheServer's ``.server`` is the engine server;
+        a FailoverRouter's ``.server`` unwraps its primary the same way.
+        """
+        inner = getattr(self.target, "server", None)
+        return inner if inner is not None else self.target
+
+    def _raw_execute(self, sql: str, params: Optional[Dict[str, Any]]) -> Result:
+        if self.closed:
+            raise ClientError("connection is closed")
+        kwargs: Dict[str, Any] = {"params": params}
+        if self._accepts_session:
+            kwargs["session"] = self.session
+        if self._accepts_database and self.database is not None:
+            kwargs["database"] = self.database
+        return self.target.execute(sql, **kwargs)
+
+    # -- DBAPI surface -----------------------------------------------------
+
+    def cursor(self) -> "Cursor":
+        if self.closed:
+            raise ClientError("connection is closed")
+        return Cursor(self)
+
+    def begin(self) -> None:
+        """Start an explicit transaction (``BEGIN TRANSACTION``)."""
+        self._raw_execute("BEGIN TRANSACTION", None)
+
+    def commit(self) -> None:
+        """Commit the session's transaction; no-op outside one (DBAPI
+        autocommit-compatible behavior for this engine)."""
+        if self.session.in_transaction:
+            self._raw_execute("COMMIT", None)
+
+    def rollback(self) -> None:
+        """Roll back the session's transaction; no-op outside one."""
+        if self.session.in_transaction:
+            self._raw_execute("ROLLBACK", None)
+
+    def close(self) -> None:
+        """Close the connection, rolling back any open transaction.
+
+        Rolling back matters beyond tidiness: an explicit transaction
+        holds the database latch exclusively, so an abandoned connection
+        must release it or every other session blocks forever.
+        """
+        if self.closed:
+            return
+        try:
+            self.rollback()
+        finally:
+            self.closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- health ------------------------------------------------------------
+
+    def healthy(self) -> bool:
+        """Probe the target (pool checkout health check).
+
+        Uses the target's own ``healthy()`` when it has one (Server,
+        CacheServer); otherwise falls back to the unwrapped server's
+        ``available`` flag; a router with neither is assumed healthy —
+        it reroutes internally.
+        """
+        probe = getattr(self.target, "healthy", None)
+        if probe is not None:
+            return bool(probe())
+        return bool(getattr(self.server, "available", True))
+
+    # -- deprecated shim ---------------------------------------------------
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Result:
+        """Execute a batch and return the raw :class:`Result`.
+
+        .. deprecated:: use :meth:`cursor` and the fetch protocol; this
+           shim exists so pre-cursor call sites keep working unchanged.
+        """
+        return self._raw_execute(sql, params)
+
+    def __repr__(self) -> str:
+        target = getattr(self.target, "name", None) or type(self.target).__name__
+        state = "closed" if self.closed else "open"
+        return f"<Connection {target} db={self.database} {state}>"
+
+
+class Cursor:
+    """A DBAPI-style cursor over one connection.
+
+    ``description`` follows the DBAPI 7-tuple shape
+    ``(name, type_code, display_size, internal_size, precision, scale,
+    null_ok)`` with the engine's SQL type as the type code. ``rowcount``
+    is the affected-row count for DML and the fetched-row count for
+    queries, -1 before any execute.
+    """
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self.closed = False
+        self._result: Optional[Result] = None
+        self._position = 0
+
+    # -- execute -----------------------------------------------------------
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> "Cursor":
+        if self.closed:
+            raise ClientError("cursor is closed")
+        self._result = self.connection._raw_execute(sql, params)
+        self._position = 0
+        return self
+
+    def executemany(self, sql: str, param_seq) -> "Cursor":
+        for params in param_seq:
+            self.execute(sql, params)
+        return self
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def result(self) -> Result:
+        """The last statement's raw :class:`Result` (engine extension)."""
+        if self._result is None:
+            raise ClientError("no statement has been executed on this cursor")
+        return self._result
+
+    @property
+    def rowcount(self) -> int:
+        if self._result is None:
+            return -1
+        return self._result.rowcount
+
+    @property
+    def description(self) -> Optional[List[Tuple]]:
+        if self._result is None or self._result.schema is None:
+            return None
+        return [
+            (column.name, column.sql_type, None, None, None, None, None)
+            for column in self._result.schema
+        ]
+
+    def fetchone(self) -> Optional[Tuple]:
+        rows = self.result.rows
+        if self._position >= len(rows):
+            return None
+        row = rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple]:
+        count = size if size is not None else self.arraysize
+        rows = self.result.rows[self._position : self._position + count]
+        self._position += len(rows)
+        return rows
+
+    def fetchall(self) -> List[Tuple]:
+        rows = self.result.rows[self._position :]
+        self._position = len(self.result.rows)
+        return rows
+
+    def mappings(self) -> List[Dict[str, Any]]:
+        """Remaining rows as dicts keyed by column name."""
+        names = [entry[0] for entry in (self.description or [])]
+        return [dict(zip(names, row)) for row in self.fetchall()]
+
+    def __iter__(self) -> Iterator[Tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self.closed = True
+        self._result = None
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<Cursor {state} rowcount={self.rowcount}>"

@@ -1,0 +1,166 @@
+"""Lock primitives for the whole repository.
+
+Every lock in the engine is created here. That single chokepoint is what
+makes the locking hierarchy auditable: the ``selflint`` rule
+``raw-threading-lock`` forbids calling ``threading.Lock``/``RLock``
+directly anywhere else in the package, so grepping this module (and
+:mod:`repro.engine.locks`, which composes these primitives into the
+database latch and table lock manager) shows every synchronization
+point in the system.
+
+The primitives:
+
+* :func:`mutex` / :func:`condition` — thin factories over the stdlib
+  primitives, for leaf-level state protection (metric values, cache
+  entries, WAL appends, pool bookkeeping).
+* :class:`RWLock` — a writer-preferring reader/writer lock with
+  per-thread exclusive reentrancy. Readers share; a waiting writer
+  blocks new readers so a steady read stream cannot starve DDL or an
+  explicit transaction.
+
+Timeouts are wall-clock (they bound how long a *real* thread waits);
+simulated time never appears here.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+
+def mutex() -> threading.Lock:
+    """A plain mutual-exclusion lock (the only sanctioned way to get one)."""
+    return threading.Lock()
+
+
+def rmutex() -> threading.RLock:
+    """A reentrant mutual-exclusion lock."""
+    return threading.RLock()
+
+
+def condition(lock: Optional[threading.Lock] = None) -> threading.Condition:
+    """A condition variable (over ``lock``, or a fresh mutex)."""
+    return threading.Condition(lock if lock is not None else mutex())
+
+
+class RWLock:
+    """A writer-preferring reader/writer lock.
+
+    * ``acquire_shared`` admits any number of concurrent readers, but
+      blocks while a writer holds the lock **or is waiting for it** —
+      writer preference, so writers cannot starve under a continuous
+      stream of readers.
+    * ``acquire_exclusive`` waits for all readers to drain and is
+      **reentrant per thread**: the owning thread may re-acquire (DDL
+      executed inside an explicit transaction, nested statement
+      dispatch), and a thread that owns the lock exclusively passes
+      straight through ``acquire_shared``.
+    """
+
+    def __init__(self) -> None:
+        self._cond = condition()
+        self._readers = 0
+        self._writer: Optional[int] = None  # owning thread ident
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    # -- shared (readers) ------------------------------------------------
+
+    def acquire_shared(self, timeout: Optional[float] = None) -> bool:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                return True  # exclusive owner reads freely
+            while self._writer is not None or self._writers_waiting:
+                if not self._cond.wait(timeout):
+                    return False
+            self._readers += 1
+            return True
+
+    def release_shared(self) -> None:
+        with self._cond:
+            if self._writer == threading.get_ident():
+                return  # matching no-op for the owner fast path
+            if self._readers <= 0:
+                raise RuntimeError("release_shared without a matching acquire")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- exclusive (writers) ---------------------------------------------
+
+    def acquire_exclusive(self, timeout: Optional[float] = None) -> bool:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return True
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    if not self._cond.wait(timeout):
+                        return False
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+            return True
+
+    def release_exclusive(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError("release_exclusive by a non-owning thread")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- introspection ----------------------------------------------------
+
+    def owns_exclusive(self) -> bool:
+        """True when the calling thread holds the lock exclusively."""
+        return self._writer == threading.get_ident()
+
+    @property
+    def readers(self) -> int:
+        return self._readers
+
+    # -- context managers --------------------------------------------------
+
+    class _Shared:
+        __slots__ = ("_lock",)
+
+        def __init__(self, lock: "RWLock"):
+            self._lock = lock
+
+        def __enter__(self) -> "RWLock":
+            self._lock.acquire_shared()
+            return self._lock
+
+        def __exit__(self, *exc) -> None:
+            self._lock.release_shared()
+
+    class _Exclusive:
+        __slots__ = ("_lock",)
+
+        def __init__(self, lock: "RWLock"):
+            self._lock = lock
+
+        def __enter__(self) -> "RWLock":
+            self._lock.acquire_exclusive()
+            return self._lock
+
+        def __exit__(self, *exc) -> None:
+            self._lock.release_exclusive()
+
+    def shared(self) -> "RWLock._Shared":
+        return RWLock._Shared(self)
+
+    def exclusive(self) -> "RWLock._Exclusive":
+        return RWLock._Exclusive(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RWLock readers={self._readers} writer={self._writer} "
+            f"waiting={self._writers_waiting}>"
+        )

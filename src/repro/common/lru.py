@@ -14,6 +14,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
+from repro.common.locks import rmutex
+
 
 @dataclass
 class CacheStats:
@@ -49,6 +51,12 @@ class LRUCache:
     ``get`` counts a hit or miss and refreshes recency; ``peek`` does
     neither (for tests and introspection). Setting an existing key
     refreshes recency without counting anything.
+
+    Every operation runs under one internal reentrant mutex, so the
+    parse/plan/prepared-handle caches can be shared by concurrent worker
+    threads without external locking. The mutex is reentrant because
+    ``on_evict`` callbacks (e.g. closing a remote prepared handle) may
+    touch the cache again.
     """
 
     def __init__(self, capacity: int = 512, on_evict: Optional[Any] = None):
@@ -60,6 +68,7 @@ class LRUCache:
         # invalidations) — e.g. closing a remote prepared handle.
         self.on_evict = on_evict
         self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = rmutex()
 
     def get(self, key: Any, default: Any = None, valid: Optional[Any] = None) -> Any:
         """Look up ``key``; optionally validate the entry before counting.
@@ -68,66 +77,78 @@ class LRUCache:
         check). A present-but-invalid entry is dropped and counted as an
         invalidation plus a miss — never a hit.
         """
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return default
-        if valid is not None and not valid(value):
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return default
+            if valid is not None and not valid(value):
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def peek(self, key: Any, default: Any = None) -> Any:
-        return self._entries.get(key, default)
+        with self._lock:
+            return self._entries.get(key, default)
 
     def __setitem__(self, key: Any, value: Any) -> None:
-        if key in self._entries:
+        with self._lock:
+            if key in self._entries:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                return
+            if len(self._entries) >= self.capacity:
+                _, evicted = self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                if self.on_evict is not None:
+                    self.on_evict(evicted)
             self._entries[key] = value
-            self._entries.move_to_end(key)
-            return
-        if len(self._entries) >= self.capacity:
-            _, evicted = self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            if self.on_evict is not None:
-                self.on_evict(evicted)
-        self._entries[key] = value
 
     def pop(self, key: Any, default: Any = None) -> Any:
-        return self._entries.pop(key, default)
+        with self._lock:
+            return self._entries.pop(key, default)
 
     def invalidate(self, key: Any) -> bool:
         """Drop one entry, counting it as an invalidation."""
-        if self._entries.pop(key, _MISSING) is _MISSING:
-            return False
-        self.stats.invalidations += 1
-        return True
+        with self._lock:
+            if self._entries.pop(key, _MISSING) is _MISSING:
+                return False
+            self.stats.invalidations += 1
+            return True
 
     def clear(self) -> None:
-        self.stats.invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __iter__(self) -> Iterator[Any]:
-        return iter(self._entries)
+        with self._lock:
+            return iter(list(self._entries))
 
     def keys(self):
-        return self._entries.keys()
+        with self._lock:
+            return list(self._entries.keys())
 
     def values(self):
-        return self._entries.values()
+        with self._lock:
+            return list(self._entries.values())
 
     def items(self):
-        return self._entries.items()
+        with self._lock:
+            return list(self._entries.items())
 
     def __repr__(self) -> str:
         return (

@@ -14,6 +14,7 @@ from repro.catalog import Catalog
 from repro.catalog.objects import TableDef
 from repro.common.clock import SimulatedClock
 from repro.common.schema import Schema
+from repro.engine.locks import DatabaseLatch, TableLockManager
 from repro.engine.transactions import TransactionManager
 from repro.errors import CatalogError
 from repro.storage.statistics import TableStatistics
@@ -32,6 +33,11 @@ class Database:
         self.statistics: Dict[str, TableStatistics] = {}
         self.wal = WriteAheadLog()
         self.transactions = TransactionManager(self.wal, self.clock)
+        # Concurrency control (see repro.engine.locks): statements take the
+        # latch shared plus per-table locks; DDL and explicit transactions
+        # take the latch exclusive.
+        self.latch = DatabaseLatch()
+        self.lock_manager = TableLockManager()
         # MTCache configuration: which catalog tables have no local data
         # (their queries must go to the backend), and the linked-server
         # name of that backend.

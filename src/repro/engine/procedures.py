@@ -45,6 +45,7 @@ class ProcedureInterpreter:
         # statements do not re-check the caller's table permissions.
         self.session = Session(principal="dbo", database=session.database)
         self.session.in_transaction = session.in_transaction
+        self.session.transaction = getattr(session, "transaction", None)
         self._caller_session = session
         self._blank = ExpressionCompiler(Schema(()))
 

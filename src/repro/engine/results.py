@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.schema import Schema
 
@@ -45,3 +45,16 @@ class Result:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        """Iterate the result rows directly (``for row in result``)."""
+        return iter(self.rows)
+
+    def mappings(self) -> List[Dict[str, Any]]:
+        """Rows as dicts keyed by output column name."""
+        if self.schema is None:
+            if self.rows:
+                raise ValueError("result has rows but no schema")
+            return []
+        names = list(self.schema.names)
+        return [dict(zip(names, row)) for row in self.rows]

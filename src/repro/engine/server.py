@@ -28,6 +28,7 @@ from repro.engine.ddl import (
     execute_grant,
 )
 from repro.engine.dml import execute_delete, execute_insert, execute_update
+from repro.engine.locks import LockMode, statement_lock_plan
 from repro.engine.procedures import ProcedureInterpreter
 from repro.engine.results import Result
 from repro.engine.session import Session
@@ -183,9 +184,14 @@ class Server:
         self._prepared.clear()
         self._dml_forward_cache.clear()
         for database in self.databases.values():
-            transaction = database.transactions.current
-            if transaction is not None and transaction.active:
+            for transaction in database.transactions.active_transactions():
                 database.transactions.rollback(transaction)
+            # A crash on the thread holding the latch (single-threaded
+            # chaos runs) must not leak the exclusive hold; latches held
+            # by *other* threads are released by their sessions'
+            # _end_transaction_scope when COMMIT/ROLLBACK fails.
+            while database.latch.owns_exclusive():
+                database.latch.release_exclusive()
         if self.observability:
             self.metrics.counter("faults.server_crashes").inc()
 
@@ -194,6 +200,10 @@ class Server:
         self.available = True
         if self.observability:
             self.metrics.counter("faults.server_restarts").inc()
+
+    def healthy(self) -> bool:
+        """Health probe used by pool checkout (parallels CacheServer.healthy)."""
+        return self.available
 
     def _check_available(self) -> None:
         if not self.available:
@@ -310,6 +320,88 @@ class Server:
         database: Database,
         session: Session,
     ) -> Result:
+        """Acquire the statement's locks, then dispatch.
+
+        The locking hierarchy (see :mod:`repro.engine.locks`): transaction
+        control manages the database latch across statements (an explicit
+        transaction holds it exclusively for its whole span); DDL takes
+        the latch exclusive for one statement; everything else takes it
+        shared plus sorted per-table locks. A thread already holding the
+        latch exclusively — explicit transaction, or a nested dispatch
+        from a procedure body — skips both levels.
+        """
+        if isinstance(statement, ast.BeginTransaction):
+            return self._begin_transaction(database, session)
+        if isinstance(statement, ast.CommitTransaction):
+            return self._commit_transaction(database, session)
+        if isinstance(statement, ast.RollbackTransaction):
+            return self._rollback_transaction(database, session)
+        plan = statement_lock_plan(statement, database.catalog)
+        if plan is None or database.latch.owns_exclusive():
+            return self._dispatch_unlocked(statement, merged, database, session)
+        if plan.latch is LockMode.EXCLUSIVE:
+            with database.latch.exclusive():
+                return self._dispatch_unlocked(statement, merged, database, session)
+        with database.latch.shared():
+            with database.lock_manager.locking(plan.tables):
+                return self._dispatch_unlocked(statement, merged, database, session)
+
+    # -- transaction control ----------------------------------------------
+
+    def _begin_transaction(self, database: Database, session: Session) -> Result:
+        """BEGIN TRANSACTION: coarse 2PL — the session owns the database.
+
+        The latch is taken exclusively *before* the transaction starts and
+        held until COMMIT/ROLLBACK, so everything the transaction reads or
+        writes is isolated without finer-grained locks, and concurrent
+        sessions simply queue behind it.
+        """
+        if session.in_transaction:
+            raise TransactionError("a transaction is already active")
+        database.latch.acquire_exclusive()
+        try:
+            transaction = database.transactions.begin()
+        except BaseException:
+            database.latch.release_exclusive()
+            raise
+        session.in_transaction = True
+        session.transaction = transaction
+        return Result(messages=["transaction started"])
+
+    def _commit_transaction(self, database: Database, session: Session) -> Result:
+        try:
+            database.transactions.commit(session.transaction)
+        finally:
+            self._end_transaction_scope(database, session)
+        return Result(messages=["transaction committed"])
+
+    def _rollback_transaction(self, database: Database, session: Session) -> Result:
+        try:
+            database.transactions.rollback(session.transaction)
+        finally:
+            self._end_transaction_scope(database, session)
+        return Result(messages=["transaction rolled back"])
+
+    def _end_transaction_scope(self, database: Database, session: Session) -> None:
+        """Detach the session's transaction and drop its latch ownership.
+
+        Runs even when commit/rollback raises (e.g. the transaction was
+        already rolled back by a crash), so the latch can never leak from
+        a session that went through BEGIN.
+        """
+        had_transaction = session.in_transaction
+        session.in_transaction = False
+        session.transaction = None
+        if had_transaction and database.latch.owns_exclusive():
+            database.latch.release_exclusive()
+
+    def _dispatch_unlocked(
+        self,
+        statement: ast.Statement,
+        merged: Dict[str, Any],
+        database: Database,
+        session: Session,
+    ) -> Result:
         if isinstance(statement, ast.Select):
             return self._execute_select(statement, merged, database, session)
         if isinstance(statement, ast.UnionAll):
@@ -343,18 +435,6 @@ class Server:
             return execute_drop(database, statement)
         if isinstance(statement, ast.Grant):
             return execute_grant(database, statement)
-        if isinstance(statement, ast.BeginTransaction):
-            database.transactions.begin()
-            session.in_transaction = True
-            return Result(messages=["transaction started"])
-        if isinstance(statement, ast.CommitTransaction):
-            database.transactions.commit()
-            session.in_transaction = False
-            return Result(messages=["transaction committed"])
-        if isinstance(statement, ast.RollbackTransaction):
-            database.transactions.rollback()
-            session.in_transaction = False
-            return Result(messages=["transaction rolled back"])
         if isinstance(statement, ast.Declare):
             value = None
             if statement.initial is not None:
@@ -561,7 +641,7 @@ class Server:
         transaction = (
             database.transactions.begin()
             if autocommit
-            else database.transactions.current
+            else (session.transaction or database.transactions.current)
         )
         if transaction is None:
             raise TransactionError("no active transaction for DML")

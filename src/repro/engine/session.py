@@ -21,6 +21,10 @@ class Session:
         self.database = database
         self.variables: Dict[str, Any] = {}
         self.in_transaction = False
+        # The explicit transaction this session began (None in autocommit).
+        # With multiple sessions active on one database, DML must commit
+        # against *its own* transaction, not whichever began last.
+        self.transaction = None
         self.statistics_profile = False
 
     def merged_params(self, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:

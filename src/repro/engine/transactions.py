@@ -9,8 +9,9 @@ timestamp to the subscriber-side apply time.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common.locks import mutex
 from repro.errors import TransactionError
 from repro.storage.table import Table
 from repro.storage.wal import LogRecordType, WriteAheadLog
@@ -57,18 +58,40 @@ class Transaction:
 
 
 class TransactionManager:
-    """Serialized transaction manager for one database."""
+    """Transaction manager for one database.
+
+    Supports multiple concurrently active transactions (one per session
+    or DTC participant); the engine's latch protocol decides which of
+    them may actually run side by side. ``current`` is kept as a legacy
+    accessor — the most recently begun still-active transaction — for
+    call sites (DTC recovery, fault injection, single-session shims)
+    that predate explicit transaction handles.
+    """
 
     def __init__(self, wal: WriteAheadLog, clock):
         self.wal = wal
         self.clock = clock
-        self.current: Optional[Transaction] = None
+        self._mutex = mutex()
+        self._active: Dict[int, Transaction] = {}
+
+    @property
+    def current(self) -> Optional[Transaction]:
+        """The most recently begun still-active transaction, if any."""
+        with self._mutex:
+            for transaction in reversed(list(self._active.values())):
+                if transaction.active:
+                    return transaction
+            return None
+
+    def active_transactions(self) -> List[Transaction]:
+        """Every still-active transaction, oldest first (crash recovery)."""
+        with self._mutex:
+            return [t for t in self._active.values() if t.active]
 
     def begin(self) -> Transaction:
-        if self.current is not None and self.current.active:
-            raise TransactionError("a transaction is already active")
         transaction = Transaction(self)
-        self.current = transaction
+        with self._mutex:
+            self._active[transaction.id] = transaction
         self.wal.append(LogRecordType.BEGIN, transaction.id)
         return transaction
 
@@ -80,7 +103,8 @@ class TransactionManager:
         timestamp = self.clock.now()
         self.wal.append(LogRecordType.COMMIT, transaction.id, timestamp=timestamp)
         transaction.active = False
-        self.current = None
+        with self._mutex:
+            self._active.pop(transaction.id, None)
         return timestamp
 
     def rollback(self, transaction: Optional[Transaction] = None) -> None:
@@ -90,7 +114,8 @@ class TransactionManager:
         transaction.undo_all()
         self.wal.append(LogRecordType.ABORT, transaction.id)
         transaction.active = False
-        self.current = None
+        with self._mutex:
+            self._active.pop(transaction.id, None)
 
     # -- logged storage operations ---------------------------------------
 

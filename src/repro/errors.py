@@ -128,6 +128,21 @@ class CircuitOpenError(DistributedError):
     """
 
 
+class ClientError(ReproError):
+    """Raised for client-API misuse (``repro.client``): operations on a
+    closed connection or cursor, fetches before any execute."""
+
+
+class PoolTimeoutError(ClientError):
+    """Raised when a pool checkout cannot get a connection in time.
+
+    Transient: the pool may free up; retrying (or shedding load) is the
+    correct response.
+    """
+
+    transient = True
+
+
 def is_transient(exc: BaseException) -> bool:
     """True when ``exc`` is a retry-safe transient failure."""
     return bool(getattr(exc, "transient", False))

@@ -22,9 +22,10 @@ either hold on to the object (hot paths) or re-look it up (cold paths).
 
 from __future__ import annotations
 
-import threading
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.common.locks import mutex
 
 #: Default histogram buckets for statement/operation latencies (seconds).
 LATENCY_BUCKETS: Tuple[float, ...] = (
@@ -48,7 +49,7 @@ class Counter:
     def __init__(self, name: str):
         self.name = name
         self._value = 0
-        self._lock = threading.Lock()
+        self._lock = mutex()
 
     def inc(self, amount: int = 1) -> None:
         with self._lock:
@@ -78,7 +79,7 @@ class Gauge:
     def __init__(self, name: str):
         self.name = name
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = mutex()
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -118,7 +119,7 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)
         self.count = 0
         self.sum = 0.0
-        self._lock = threading.Lock()
+        self._lock = mutex()
 
     def observe(self, value: float) -> None:
         position = bisect_left(self.buckets, value)
@@ -155,7 +156,7 @@ class MetricsRegistry:
 
     def __init__(self, namespace: str = ""):
         self.namespace = namespace
-        self._lock = threading.Lock()
+        self._lock = mutex()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -247,7 +248,7 @@ class CounterGroupView:
         counters = {name: registry.counter(f"{prefix}.{name}") for name in fields}
         object.__setattr__(self, "_counters", counters)
         object.__setattr__(self, "_pending", dict.fromkeys(counters, 0))
-        object.__setattr__(self, "_lock", threading.Lock())
+        object.__setattr__(self, "_lock", mutex())
         registry.register_flush(self.flush)
 
     def flush(self) -> None:

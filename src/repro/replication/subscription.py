@@ -17,8 +17,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.engine.locks import LockMode
 from repro.errors import ReplicationError
 from repro.storage.table import Table
+
+_EXCLUSIVE = LockMode.EXCLUSIVE
 
 
 class PreparedApplier:
@@ -116,7 +119,25 @@ class Subscription:
         re-delivers exactly this transaction and its unapplied
         successors. That is the exactly-once guarantee at transaction
         granularity: a crash mid-batch never skips or double-applies.
+
+        The whole apply (including the undo of a failed prefix) runs
+        under the subscriber database's latch (shared) plus an exclusive
+        lock on the target table — the same protocol as a local DML
+        statement — so a threaded driver reading the cached view never
+        observes a half-applied transaction.
         """
+        latch = getattr(self.subscriber_database, "latch", None)
+        if latch is not None and not latch.owns_exclusive():
+            with latch.shared():
+                with self.subscriber_database.lock_manager.locking(
+                    [(self.target_table, _EXCLUSIVE)]
+                ):
+                    return self._apply_locked(transaction, applier)
+        return self._apply_locked(transaction, applier)
+
+    def _apply_locked(
+        self, transaction, applier: Optional[PreparedApplier] = None
+    ) -> int:
         applied = 0
         if applier is None:
             applier = self.prepare_applier()

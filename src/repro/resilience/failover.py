@@ -54,23 +54,29 @@ class FailoverRouter:
         registry: Optional[Any] = None,
         health: Optional[Callable[[], bool]] = None,
     ):
-        from repro.engine.session import Session
+        from repro.client.connection import Connection
 
         self.primary = primary
         self.fallback = fallback
         self.clock = clock
         self.probe_interval = probe_interval
         self.health = health if health is not None else self._default_health
-        # Each target gets its own session so principal and session
-        # variables survive a mid-conversation reroute on both sides.
-        self._databases: Dict[int, Optional[str]] = {
-            id(primary): primary_database,
-            id(fallback): fallback_database,
+        # Each target gets its own client Connection (and therefore its
+        # own session), so principal and session variables survive a
+        # mid-conversation reroute on both sides. Connections also adapt
+        # to the target's execute signature (CacheServer facades supply
+        # their own shadow database).
+        self._connections: Dict[int, Connection] = {
+            id(primary): Connection(
+                primary, database=primary_database, principal=principal
+            ),
+            id(fallback): Connection(
+                fallback, database=fallback_database, principal=principal
+            ),
         }
-        self._sessions = {
-            id(primary): Session(principal=principal, database=primary_database),
-            id(fallback): Session(principal=principal, database=fallback_database),
-        }
+        # A connection over the router itself, so applications written
+        # against the DBAPI cursor surface can drive a router directly.
+        self._facade = Connection(self)
         self.state = self.NORMAL
         self.failovers = 0
         self.failbacks = 0
@@ -111,12 +117,7 @@ class FailoverRouter:
 
     # ------------------------------------------------------------------
     def _run(self, target: Any, sql: str, params: Optional[Dict[str, Any]]) -> Any:
-        session = self._sessions[id(target)]
-        database = self._databases[id(target)]
-        if database is None:
-            # CacheServer facade: it supplies its shadow database itself.
-            return target.execute(sql, params=params, session=session)
-        return target.execute(sql, params=params, session=session, database=database)
+        return self._connections[id(target)]._raw_execute(sql, params)
 
     def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Any:
         if self.state == self.FAILED_OVER:
@@ -133,6 +134,10 @@ class FailoverRouter:
                 self._fail_over()
         self.rerouted_statements += 1
         return self._run(self.fallback, sql, params)
+
+    def cursor(self):
+        """A DBAPI-style cursor; each execute still reroutes as above."""
+        return self._facade.cursor()
 
     # ------------------------------------------------------------------
     def _fail_over(self) -> None:

@@ -16,6 +16,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+from repro.common.locks import mutex
+
 
 class LogRecordType(enum.Enum):
     BEGIN = "begin"
@@ -46,11 +48,18 @@ class LogRecord:
 
 
 class WriteAheadLog:
-    """An append-only log with LSN-addressed reads for log sniffing."""
+    """An append-only log with LSN-addressed reads for log sniffing.
+
+    ``append``/``truncate_through`` serialize on an internal mutex so the
+    LSN sequence stays dense when concurrent sessions log changes; reads
+    snapshot the record list under the same mutex so the log-sniffing
+    reader never sees a half-appended tail.
+    """
 
     def __init__(self):
         self._records: List[LogRecord] = []
         self._next_lsn = 1
+        self._lock = mutex()
 
     def __len__(self) -> int:
         return len(self._records)
@@ -70,32 +79,35 @@ class WriteAheadLog:
         timestamp: float = 0.0,
     ) -> LogRecord:
         """Append a record; returns it with its assigned LSN."""
-        record = LogRecord(
-            lsn=self._next_lsn,
-            record_type=record_type,
-            transaction_id=transaction_id,
-            table=table,
-            old_row=old_row,
-            new_row=new_row,
-            timestamp=timestamp,
-        )
-        self._records.append(record)
-        self._next_lsn += 1
-        return record
+        with self._lock:
+            record = LogRecord(
+                lsn=self._next_lsn,
+                record_type=record_type,
+                transaction_id=transaction_id,
+                table=table,
+                old_row=old_row,
+                new_row=new_row,
+                timestamp=timestamp,
+            )
+            self._records.append(record)
+            self._next_lsn += 1
+            return record
 
     def read_from(self, after_lsn: int) -> List[LogRecord]:
         """Return all records with ``lsn > after_lsn`` (the sniffing read)."""
-        if after_lsn >= self.last_lsn or not self._records:
-            return []
-        # Records are dense, so the slice offset is a direct computation
-        # even after truncation shifted the first LSN.
-        first_lsn = self._records[0].lsn
-        offset = max(0, after_lsn - first_lsn + 1)
-        return self._records[offset:]
+        with self._lock:
+            if after_lsn >= self._next_lsn - 1 or not self._records:
+                return []
+            # Records are dense, so the slice offset is a direct computation
+            # even after truncation shifted the first LSN.
+            first_lsn = self._records[0].lsn
+            offset = max(0, after_lsn - first_lsn + 1)
+            return self._records[offset:]
 
     def records(self) -> Iterator[LogRecord]:
         """Iterate every record from the start of the log."""
-        return iter(self._records)
+        with self._lock:
+            return iter(list(self._records))
 
     def truncate_through(self, lsn: int) -> int:
         """Discard records with ``lsn <= lsn`` after they are distributed.
@@ -103,10 +115,11 @@ class WriteAheadLog:
         Returns the number of records discarded. A real system checkpoints;
         here truncation only matters for bounding memory in long runs.
         """
-        kept = [record for record in self._records if record.lsn > lsn]
-        discarded = len(self._records) - len(kept)
-        self._records = kept
-        return discarded
+        with self._lock:
+            kept = [record for record in self._records if record.lsn > lsn]
+            discarded = len(self._records) - len(kept)
+            self._records = kept
+            return discarded
 
     def committed_transactions(self, after_lsn: int) -> List[Tuple[LogRecord, List[LogRecord]]]:
         """Group records after ``after_lsn`` into complete committed txns.

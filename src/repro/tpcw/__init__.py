@@ -25,7 +25,7 @@ from repro.tpcw.workload import (
     browse_order_split,
 )
 from repro.tpcw.application import TPCWApplication
-from repro.tpcw.driver import DriverStats, LoadDriver
+from repro.tpcw.driver import DriverStats, LoadDriver, ThreadedLoadDriver
 from repro.tpcw.setup import CACHED_VIEW_DDL, build_backend, enable_caching
 
 __all__ = [
@@ -46,6 +46,7 @@ __all__ = [
     "browse_order_split",
     "TPCWApplication",
     "LoadDriver",
+    "ThreadedLoadDriver",
     "DriverStats",
     "build_backend",
     "enable_caching",

@@ -1,10 +1,12 @@
 """The TPC-W application tier: fourteen interactions over stored procedures.
 
 Plays the role of the paper's ISAPI extension: each web interaction issues
-one or more ``EXEC`` calls against its database connection. The connection
-is an :class:`~repro.mtcache.odbc.OdbcConnection`, so the same application
-code runs against the backend directly or against an MTCache server — the
-transparency the paper is about.
+one or more ``EXEC`` calls through the DBAPI-style cursor surface of its
+connection — an :class:`~repro.mtcache.odbc.OdbcConnection`, a plain
+:class:`repro.client.Connection`, or a
+:class:`~repro.resilience.failover.FailoverRouter` — so the same
+application code runs against the backend directly or against an MTCache
+server: the transparency the paper is about.
 
 Interactions keep lightweight per-user session state (current customer,
 shopping-cart id, last detail item) the way the real benchmark's session
@@ -47,7 +49,7 @@ class TPCWApplication:
         arguments = ", ".join(f"@{name} = @{name}" for name in params)
         sql = f"EXEC {procedure} {arguments}" if params else f"EXEC {procedure}"
         self.db_calls += 1
-        return self.connection.execute(sql, params=params)
+        return self.connection.cursor().execute(sql, params)
 
     def _now(self) -> datetime.datetime:
         return _NOW_BASE + datetime.timedelta(seconds=self.rng.randint(0, 86_400))
@@ -102,8 +104,8 @@ class TPCWApplication:
 
     def _ensure_cart(self, session: UserSession) -> int:
         if session.cart_id is None:
-            result = self._exec("createEmptyCart", now=self._now())
-            session.cart_id = int(result.scalar)
+            cursor = self._exec("createEmptyCart", now=self._now())
+            session.cart_id = int(cursor.fetchone()[0])
         return session.cart_id
 
     def shopping_cart(self, session: UserSession) -> None:
@@ -129,10 +131,10 @@ class TPCWApplication:
                 passwd="pw",
                 fname="New",
                 lname="Customer",
-                addr_id=int(result.scalar),
+                addr_id=int(result.fetchone()[0]),
                 now=self._now(),
             )
-            session.customer_id = int(created.scalar)
+            session.customer_id = int(created.fetchone()[0])
         else:
             self._exec("getCustomer", uname=f"user{session.customer_id}")
             self._exec("refreshSession", c_id=session.customer_id, now=self._now())
@@ -145,12 +147,12 @@ class TPCWApplication:
 
     def buy_confirm(self, session: UserSession) -> None:
         cart = self._ensure_cart(session)
-        addr = self._exec("getCAddr", c_id=session.customer_id)
-        addr_id = addr.scalar or 1
-        cart_rows = self._exec("getCart", sc_id=cart).rows
+        addr_row = self._exec("getCAddr", c_id=session.customer_id).fetchone()
+        addr_id = (addr_row[0] if addr_row else None) or 1
+        cart_rows = self._exec("getCart", sc_id=cart).fetchall()
         if not cart_rows:
             self._exec("addItem", sc_id=cart, i_id=self._random_item(), qty=1)
-            cart_rows = self._exec("getCart", sc_id=cart).rows
+            cart_rows = self._exec("getCart", sc_id=cart).fetchall()
         order = self._exec(
             "enterOrder",
             c_id=session.customer_id,
@@ -160,7 +162,7 @@ class TPCWApplication:
             ship_addr=int(addr_id),
             now=self._now(),
         )
-        order_id = int(order.scalar)
+        order_id = int(order.fetchone()[0])
         for line_number, row in enumerate(cart_rows, start=1):
             self._exec(
                 "addOrderLine",
@@ -187,11 +189,11 @@ class TPCWApplication:
         self._exec("getPassword", uname=f"user{session.customer_id}")
 
     def order_display(self, session: UserSession) -> None:
-        result = self._exec(
+        rows = self._exec(
             "getMostRecentOrderId", uname=f"user{session.customer_id}"
-        )
-        if result.rows:
-            order_id = int(result.scalar)
+        ).fetchall()
+        if rows:
+            order_id = int(rows[0][0])
             self._exec("getMostRecentOrderInfo", o_id=order_id)
             self._exec("getMostRecentOrderLines", o_id=order_id)
 

@@ -1,13 +1,21 @@
-"""The TPC-W load driver: emulated browsers in virtual time.
+"""The TPC-W load drivers: emulated browsers in virtual and real time.
 
-Plays the role of the benchmark's remote browser emulators (§6.1): a set
-of user sessions, each cycling through think time (fixed at one second in
-the paper) and a next interaction drawn from the workload mix. Time is
-virtual — the driver advances the deployment clock and ticks replication
-— so runs are deterministic and fast.
+:class:`LoadDriver` plays the role of the benchmark's remote browser
+emulators (§6.1) in *virtual* time: a set of user sessions, each cycling
+through think time (fixed at one second in the paper) and a next
+interaction drawn from the workload mix, with the driver advancing the
+deployment clock and ticking replication — deterministic and fast.
 
-This is the functional traffic generator used by tests and examples; the
-*performance* experiments use :mod:`repro.simulation`, which adds CPU
+:class:`ThreadedLoadDriver` runs the same interactions from real worker
+threads over a bounded :class:`~repro.client.ConnectionPool`, measuring
+*wall-clock* throughput. Each worker checks a connection out per
+interaction and sleeps real think time between interactions, so this is
+the mode that actually exercises the engine's latches, table locks and
+thread-safe caches. A ticker thread keeps the deployment's virtual clock
+tracking wall time (``clock.advance_to(start + elapsed)``) and drives
+replication, so cached deployments stay fresh while the workers run.
+
+The *performance* experiments use :mod:`repro.simulation`, which adds CPU
 queueing on simulated machines.
 """
 
@@ -15,9 +23,13 @@ from __future__ import annotations
 
 import heapq
 import random
+import threading
+import time
+import traceback
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional
 
+from repro.common.locks import mutex
 from repro.tpcw.application import TPCWApplication
 from repro.tpcw.workload import WorkloadMix
 
@@ -30,11 +42,15 @@ class DriverStats:
     db_calls: int = 0
     errors: int = 0
     virtual_seconds: float = 0.0
+    # Wall-clock run length; zero for the virtual-time LoadDriver.
+    wall_seconds: float = 0.0
     by_interaction: Dict[str, int] = field(default_factory=dict)
     # Failover activity observed on the connection (zero for plain
     # connections; populated when driving through a FailoverRouter).
     failovers: int = 0
     failbacks: int = 0
+    # First few error tracebacks (threaded driver), for diagnosis.
+    error_samples: List[str] = field(default_factory=list)
 
     @property
     def wips(self) -> float:
@@ -43,6 +59,22 @@ class DriverStats:
         if self.virtual_seconds <= 0:
             return 0.0
         return self.interactions / self.virtual_seconds
+
+    @property
+    def throughput(self) -> float:
+        """Interactions per wall-clock second (threaded driver only)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.interactions / self.wall_seconds
+
+    def merge(self, other: "DriverStats") -> None:
+        """Fold another worker's counters into this one."""
+        self.interactions += other.interactions
+        self.db_calls += other.db_calls
+        self.errors += other.errors
+        self.error_samples = (self.error_samples + other.error_samples)[:5]
+        for name, count in other.by_interaction.items():
+            self.by_interaction[name] = self.by_interaction.get(name, 0) + count
 
 
 class LoadDriver:
@@ -135,3 +167,178 @@ class LoadDriver:
         if self.deployment is not None:
             self.deployment.sync()
         return stats
+
+
+class ThreadedLoadDriver:
+    """Drives TPC-W traffic from real threads over a connection pool.
+
+    Each of ``workers`` threads is one emulated browser: it owns a
+    deterministic RNG, a :class:`~repro.tpcw.application.TPCWApplication`
+    and a user session, checks a pooled connection out for each
+    interaction (health-checked by the pool), and sleeps ``think_time``
+    *wall-clock* seconds between interactions. Because the engine work is
+    short and the think time real, workers overlap their sleeps — which
+    is exactly where threaded throughput comes from.
+
+    When a ``deployment`` is given, a ticker thread advances its virtual
+    clock to track elapsed wall time and calls ``deployment.tick()`` so
+    replication keeps flowing to the caches during the run. Clock
+    advancement and ticking happen under one mutex so the deployment sees
+    a consistent timeline.
+    """
+
+    def __init__(
+        self,
+        pool,
+        config,
+        mix: WorkloadMix,
+        workers: int = 4,
+        think_time: float = 0.05,
+        deployment=None,
+        seed: int = 17,
+        tick_interval: float = 0.01,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, not {workers}")
+        self.pool = pool
+        self.config = config
+        self.mix = mix
+        self.workers = workers
+        self.think_time = think_time
+        self.deployment = deployment
+        self.seed = seed
+        self.tick_interval = tick_interval
+        self._tick_mutex = mutex()
+
+    # -- worker / ticker bodies -------------------------------------------
+
+    def _worker(self, index: int, stop_at: float, out: List[Optional[DriverStats]]) -> None:
+        rng = random.Random(self.seed * 7919 + index)
+        application = TPCWApplication(None, self.config, rng)
+        session = application.new_session()
+        local = DriverStats()
+        while time.perf_counter() < stop_at:
+            interaction = self.mix.sample(rng)
+            try:
+                with self.pool.connection() as connection:
+                    application.connection = connection
+                    try:
+                        application.run(interaction, session)
+                    finally:
+                        application.connection = None
+                local.interactions += 1
+                local.by_interaction[interaction] = (
+                    local.by_interaction.get(interaction, 0) + 1
+                )
+            except Exception:
+                local.errors += 1
+                if len(local.error_samples) < 5:
+                    local.error_samples.append(traceback.format_exc())
+            time.sleep(self.think_time)
+        local.db_calls = application.db_calls
+        out[index] = local
+
+    def _tick(self, virtual_start: float, wall_start: float) -> None:
+        with self._tick_mutex:
+            self.deployment.clock.advance_to(
+                virtual_start + (time.perf_counter() - wall_start)
+            )
+            self.deployment.tick()
+
+    def _ticker(self, stop: threading.Event, virtual_start: float, wall_start: float) -> None:
+        while not stop.wait(self.tick_interval):
+            self._tick(virtual_start, wall_start)
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self, duration: float) -> DriverStats:
+        """Run for ``duration`` wall-clock seconds; returns merged stats."""
+        wall_start = time.perf_counter()
+        stop_at = wall_start + duration
+        out: List[Optional[DriverStats]] = [None] * self.workers
+        threads = [
+            threading.Thread(
+                target=self._worker, args=(index, stop_at, out), daemon=True
+            )
+            for index in range(self.workers)
+        ]
+        stop_ticker = threading.Event()
+        ticker = None
+        if self.deployment is not None:
+            virtual_start = self.deployment.clock.now()
+            ticker = threading.Thread(
+                target=self._ticker,
+                args=(stop_ticker, virtual_start, wall_start),
+                daemon=True,
+            )
+            ticker.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if ticker is not None:
+            stop_ticker.set()
+            ticker.join()
+        stats = DriverStats()
+        for local in out:
+            if local is not None:
+                stats.merge(local)
+        stats.wall_seconds = time.perf_counter() - wall_start
+        if self.deployment is not None:
+            self._tick(virtual_start, wall_start)
+            self.deployment.sync()
+        return stats
+
+
+def main(argv=None) -> int:
+    """``python -m repro.tpcw.driver``: threaded TPC-W against a cache."""
+    import argparse
+
+    from repro.client import ConnectionPool, connect
+    from repro.tpcw.config import TPCWConfig
+    from repro.tpcw.setup import build_backend, enable_caching
+    from repro.tpcw.workload import MIXES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tpcw.driver",
+        description="Multi-threaded TPC-W load against a cache-enabled deployment",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=2.0, help="wall-clock seconds")
+    parser.add_argument("--think-time", type=float, default=0.05)
+    parser.add_argument("--mix", choices=sorted(MIXES), default="Shopping")
+    parser.add_argument("--items", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args(argv)
+
+    backend, config = build_backend(TPCWConfig(num_items=args.items, num_ebs=20))
+    deployment, caches = enable_caching(backend, ["cache1"], config)
+    pool = ConnectionPool(
+        lambda: connect(caches[0].server, database="tpcw"), size=args.workers
+    )
+    driver = ThreadedLoadDriver(
+        pool,
+        config,
+        MIXES[args.mix],
+        workers=args.workers,
+        think_time=args.think_time,
+        deployment=deployment,
+        seed=args.seed,
+    )
+    stats = driver.run(args.duration)
+    pool.close()
+    print(
+        f"workers: {args.workers}  interactions: {stats.interactions}  "
+        f"errors: {stats.errors}  db calls: {stats.db_calls}"
+    )
+    print(
+        f"wall seconds: {stats.wall_seconds:.2f}  "
+        f"throughput: {stats.throughput:.1f} interactions/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -167,3 +167,92 @@ def test_non_operator_classes_ignored():
 
 def test_syntax_error_reported_as_parse():
     assert _rules(lint_source("def broken(:\n", "repro/engine/fake.py")) == ["parse"]
+
+
+# -- session-construction ----------------------------------------------------
+
+
+def test_session_construction_flagged_outside_client():
+    source = dedent(
+        """
+        from repro.engine.session import Session
+
+        def make():
+            return Session(principal="dbo")
+        """
+    )
+    diagnostics = lint_source(source, "repro/tpcw/fake.py")
+    assert _rules(diagnostics) == ["session-construction"]
+    assert "repro.client.connect" in diagnostics[0].message
+
+
+def test_dotted_session_construction_flagged():
+    source = dedent(
+        """
+        import repro.engine.session
+
+        def make():
+            return repro.engine.session.Session()
+        """
+    )
+    assert _rules(lint_source(source, "repro/mtcache/fake.py")) == [
+        "session-construction"
+    ]
+
+
+def test_session_construction_allowed_in_client_and_engine():
+    source = "from repro.engine.session import Session\n\ns = Session()\n"
+    assert lint_source(source, "repro/client/fake.py") == []
+    assert lint_source(source, "repro/engine/fake.py") == []
+
+
+def test_other_session_like_names_ignored():
+    source = "s = UserSession(customer_id=1)\n"
+    assert lint_source(source, "repro/tpcw/fake.py") == []
+
+
+# -- raw-threading-lock ------------------------------------------------------
+
+
+def test_threading_lock_flagged():
+    source = dedent(
+        """
+        import threading
+
+        lock = threading.Lock()
+        """
+    )
+    diagnostics = lint_source(source, "repro/storage/fake.py")
+    assert _rules(diagnostics) == ["raw-threading-lock"]
+    assert "repro.common.locks" in diagnostics[0].message
+
+
+def test_imported_rlock_flagged():
+    source = dedent(
+        """
+        from threading import RLock
+
+        lock = RLock()
+        """
+    )
+    assert _rules(lint_source(source, "repro/engine/fake.py")) == [
+        "raw-threading-lock"
+    ]
+
+
+def test_lock_chokepoints_are_exempt():
+    source = "import threading\n\nlock = threading.Lock()\n"
+    assert lint_source(source, "repro/common/locks.py") == []
+    assert lint_source(source, "repro/engine/locks.py") == []
+
+
+def test_lock_helpers_are_clean():
+    source = dedent(
+        """
+        from repro.common.locks import condition, mutex
+
+        a = mutex()
+        b = condition()
+        """
+    )
+    assert lint_source(source, "repro/client/fake.py") == []

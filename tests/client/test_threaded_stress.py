@@ -1,0 +1,169 @@
+"""Threaded stress: real workers, shared rows, zero isolation violations.
+
+These tests are the correctness half of the concurrent execution core
+(the scaling half lives in ``benchmarks/test_bench_concurrency.py``).
+They lower the interpreter's thread switch interval so the scheduler
+preempts aggressively — without the database latch and table locks, the
+read-modify-write increments here lose updates within a handful of
+iterations.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.client import ConnectionPool, connect
+from repro.engine.server import Server
+from repro.tpcw.driver import ThreadedLoadDriver
+from repro.tpcw.setup import build_backend, enable_caching
+from repro.tpcw.workload import MIXES
+from repro.tpcw.config import TPCWConfig
+
+WORKERS = 8
+INCREMENTS = 20
+
+pytestmark = pytest.mark.concurrency
+
+
+@pytest.fixture(autouse=True)
+def aggressive_preemption():
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-4)
+    yield
+    sys.setswitchinterval(old)
+
+
+def make_counter_backend() -> Server:
+    server = Server("stress")
+    server.create_database("bench")
+    server.execute(
+        "CREATE TABLE counters (cid INT PRIMARY KEY, total INT NOT NULL)",
+        database="bench",
+    )
+    server.execute(
+        "INSERT INTO counters (cid, total) VALUES (1, 0)", database="bench"
+    )
+    return server
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_no_lost_updates_on_shared_row(seed):
+    """8 writers x 20 read-modify-write increments: the total is exact."""
+    backend = make_counter_backend()
+    pool = ConnectionPool(lambda: connect(backend, database="bench"), size=WORKERS)
+    barrier = threading.Barrier(WORKERS)
+    failures = []
+
+    def hammer(index: int) -> None:
+        try:
+            barrier.wait(timeout=10.0)
+            for step in range(INCREMENTS):
+                with pool.connection() as connection:
+                    cursor = connection.cursor()
+                    cursor.execute(
+                        "UPDATE counters SET total = total + 1 WHERE cid = 1"
+                    )
+                    if (index + step + seed) % 2 == 0:
+                        cursor.execute("SELECT total FROM counters WHERE cid = 1")
+                        assert cursor.fetchone()[0] >= 1
+        except BaseException as exc:  # pragma: no cover - only on regression
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(index,), daemon=True)
+        for index in range(WORKERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    pool.close()
+
+    assert failures == []
+    total = backend.execute(
+        "SELECT total FROM counters WHERE cid = 1", database="bench"
+    ).scalar
+    assert total == WORKERS * INCREMENTS
+
+
+@pytest.mark.parametrize("seed", [5, 23, 91])
+def test_explicit_transactions_are_serialized(seed):
+    """Competing BEGIN..COMMIT blocks never interleave their statements."""
+    backend = make_counter_backend()
+    pool = ConnectionPool(lambda: connect(backend, database="bench"), size=4)
+    failures = []
+
+    def transact(index: int) -> None:
+        try:
+            for _ in range(5):
+                with pool.connection() as connection:
+                    connection.begin()
+                    cursor = connection.cursor()
+                    cursor.execute("SELECT total FROM counters WHERE cid = 1")
+                    seen = cursor.fetchone()[0]
+                    # Under the exclusive latch no other writer can slip
+                    # between this read and the dependent write.
+                    cursor.execute(
+                        "UPDATE counters SET total = @next WHERE cid = 1",
+                        {"next": seen + 1},
+                    )
+                    connection.commit()
+        except BaseException as exc:  # pragma: no cover - only on regression
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=transact, args=(index,), daemon=True)
+        for index in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    pool.close()
+
+    assert failures == []
+    total = backend.execute(
+        "SELECT total FROM counters WHERE cid = 1", database="bench"
+    ).scalar
+    assert total == 4 * 5
+    # No latch leaked: a fresh writer proceeds immediately.
+    latch = backend.database("bench").latch
+    assert latch.readers == 0
+    assert not latch.owns_exclusive()
+
+
+@pytest.mark.parametrize("seed", [7, 19, 77])
+def test_threaded_tpcw_mix_clean_with_checked_plans(seed):
+    """Mixed read/write TPC-W through the pool: no errors, plans checked."""
+    backend, config = build_backend(TPCWConfig(num_items=40, num_ebs=8))
+    deployment, caches = enable_caching(backend, [f"stress{seed}"], config)
+    cache = caches[0]
+    assert cache.server.checked_plans  # stays on under threading
+    pool = ConnectionPool(
+        lambda: connect(cache.server, database="tpcw"), size=WORKERS
+    )
+    driver = ThreadedLoadDriver(
+        pool,
+        config,
+        MIXES["Shopping"],
+        workers=WORKERS,
+        think_time=0.002,
+        deployment=deployment,
+        seed=seed,
+    )
+    stats = driver.run(0.5)
+    pool.close()
+
+    assert stats.errors == 0
+    assert stats.interactions > 0
+    assert cache.server.checked_plans
+    assert cache.server.metrics.counter("analysis.plans_checked").value > 0
+    # Every latch quiesced on both tiers.
+    for server in (backend, cache.server):
+        for name in server.databases:
+            latch = server.database(name).latch
+            assert latch.readers == 0
+            assert not latch.owns_exclusive()
