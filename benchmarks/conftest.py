@@ -4,14 +4,43 @@ Calibration is expensive relative to a single bench, so the calibrated
 service demands (real executions of the TPC-W procedures on the repro
 engine, backend-only and through MTCache) are computed once per session at
 the bench scale and shared by every experiment.
+
+``--bench-record [PATH]`` turns on the perf trajectory: benches that take
+the ``bench_recorder`` fixture have their numbers written to PATH
+(default ``BENCH_pr6.json`` at the repo root) when the session ends.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from benchmarks.record import DEFAULT_RECORD_PATH, BenchRecorder
 from repro.simulation import ClusterModel, ClusterSpec, calibrate
 from repro.tpcw import TPCWConfig
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-record",
+        nargs="?",
+        const=str(DEFAULT_RECORD_PATH),
+        default=None,
+        metavar="PATH",
+        help="write recorded bench numbers to PATH "
+        f"(default: {DEFAULT_RECORD_PATH.name} at the repo root)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_recorder(request):
+    """Session-wide BenchRecorder; writes on teardown when recording."""
+    path = request.config.getoption("--bench-record")
+    smoke = bool(request.config.getoption("--benchmark-disable", default=False))
+    recorder = BenchRecorder(path=path, smoke=smoke)
+    yield recorder
+    written = recorder.write()
+    if written is not None:
+        print(f"\nbench trajectory written to {written}")
 
 #: The bench scale: larger than unit tests so relative interaction costs
 #: resemble the paper's (bestseller dominating the Browse class, etc.).

@@ -1,0 +1,62 @@
+"""Bench trajectory recording: persist bench numbers to ``BENCH_pr6.json``.
+
+ROADMAP asks for a recorded perf trajectory — numbers committed alongside
+the code that produced them, so a later PR can show its speedup against
+this one instead of against folklore. The :class:`BenchRecorder` collects
+named measurements from bench tests (via the session-scoped
+``bench_recorder`` fixture in ``conftest.py``) and, when pytest runs with
+``--bench-record``, writes them as one JSON document at the repo root.
+
+The document is environment-stamped (Python version, platform, smoke
+flag) because absolute numbers only compare within one environment;
+ratios (speedups, savings) travel better and the benches record both.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: The trajectory tag this PR records under, and the default output file.
+BENCH_TAG = "pr6"
+DEFAULT_RECORD_PATH = Path(__file__).resolve().parents[1] / f"BENCH_{BENCH_TAG}.json"
+
+
+class BenchRecorder:
+    """Collects named bench measurements and writes them as JSON.
+
+    ``path=None`` makes the recorder a collector without a sink: benches
+    always record (it is cheap), and the session only writes a file when
+    ``--bench-record`` asked for one.
+    """
+
+    def __init__(self, path: Optional[Path] = None, smoke: bool = False):
+        self.path = Path(path) if path is not None else None
+        self.smoke = smoke
+        self.benches: Dict[str, Dict[str, Any]] = {}
+
+    def record(self, bench: str, **values: Any) -> None:
+        """Merge measurements for one bench (repeat calls accumulate)."""
+        self.benches.setdefault(bench, {}).update(values)
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "bench_tag": BENCH_TAG,
+            "smoke": self.smoke,
+            "python": platform.python_version(),
+            "implementation": sys.implementation.name,
+            "platform": platform.platform(),
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "benches": self.benches,
+        }
+
+    def write(self) -> Optional[Path]:
+        """Write the document; returns the path, or None when disabled."""
+        if self.path is None or not self.benches:
+            return None
+        self.path.write_text(json.dumps(self.payload(), indent=2, sort_keys=True) + "\n")
+        return self.path

@@ -24,7 +24,7 @@ PAPER = {
 }
 
 
-def test_bench_summary_table(cached_model, nocache_model, benchmark, capsys):
+def test_bench_summary_table(cached_model, nocache_model, benchmark, capsys, bench_recorder):
     lines = [
         f"{'Workload':10s} {'no-cache':>9s} {'cached@5':>9s} {'b.load@5':>9s}"
         f"   paper: base/cached/load"
@@ -40,6 +40,15 @@ def test_bench_summary_table(cached_model, nocache_model, benchmark, capsys):
             f"   {paper_base}/{paper_cached}/{paper_load:.1%}"
         )
     emit(capsys, "E1d: no-cache vs five web/cache servers", lines)
+    for mix, (base_wips, cached_wips, backend_load) in measured.items():
+        bench_recorder.record(
+            "summary_table",
+            **{
+                f"{mix.lower()}_nocache_wips": round(base_wips, 1),
+                f"{mix.lower()}_cached5_wips": round(cached_wips, 1),
+                f"{mix.lower()}_backend_load": round(backend_load, 4),
+            },
+        )
 
     # Observability snapshot from the calibration run that produced the
     # demands above: plan shapes and cache hit rates next to the numbers

@@ -1,0 +1,202 @@
+"""E7 — vectorized batch execution vs row-at-a-time Volcano iteration.
+
+Two gates for the batch execution mode (``REPRO_BATCH_EXEC``):
+
+* the scan+filter+aggregate microbenchmark (bestseller/search-shaped:
+  one big table, a selective predicate with a LIKE, GROUP BY with
+  COUNT/SUM/AVG) must run **at least 2x faster** in batch mode than in
+  row mode, with identical result rows;
+* the **full TPC-W mix** (Browsing, Shopping, Ordering) must return
+  identical per-statement results in both modes, with checked plans on —
+  so the batch kernels are held to scalar semantics by the actual
+  workload, not just by unit tests.
+
+Timing uses best-of-N-rounds wall time on a warmed plan cache, so the
+comparison isolates execution (both modes share parse/plan/kernel
+caches).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Dict, List
+
+from benchmarks.conftest import emit
+from repro.engine import Server
+from repro.mtcache.odbc import OdbcSourceRegistry
+from repro.tpcw import MIXES, TPCWApplication, TPCWConfig, build_backend, enable_caching
+
+#: Microbench scale: enough rows that per-row interpretation dominates.
+MICRO_ROWS = 24_000
+
+MICRO_QUERY = (
+    "SELECT status, COUNT(*), SUM(total), AVG(total) "
+    "FROM orders WHERE total > @t AND status LIKE 'OP%' GROUP BY status"
+)
+MICRO_PARAMS = {"t": 100.0}
+
+
+def _build_micro_server() -> Server:
+    server = Server("vecbench", observability=False, checked_plans=True)
+    server.create_database("shop")
+    server.execute(
+        "CREATE TABLE orders (oid INT PRIMARY KEY, o_cid INT, "
+        "total FLOAT, status VARCHAR(10))"
+    )
+    database = server.database("shop")
+    database.bulk_load(
+        "orders",
+        [
+            (i, i % 997, round(i * 1.5, 2), "OPEN" if i % 3 else "SHIPPED")
+            for i in range(1, MICRO_ROWS + 1)
+        ],
+    )
+    database.analyze_all()
+    return server
+
+
+def _time_mode(server: Server, batch: bool, repetitions: int = 15, rounds: int = 3) -> float:
+    """Best-of-rounds mean seconds per statement in the given mode."""
+    server.batch_exec = batch
+    server.execute(MICRO_QUERY, params=MICRO_PARAMS)  # warm plan + kernels
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(repetitions):
+            server.execute(MICRO_QUERY, params=MICRO_PARAMS)
+        best = min(best, time.perf_counter() - started)
+    return best / repetitions
+
+
+def test_bench_vectorized_speedup(benchmark, capsys, bench_recorder):
+    server = _build_micro_server()
+
+    server.batch_exec = False
+    row_rows = server.execute(MICRO_QUERY, params=MICRO_PARAMS).rows
+    server.batch_exec = True
+    batch_rows = server.execute(MICRO_QUERY, params=MICRO_PARAMS).rows
+    assert batch_rows == row_rows, "batch mode must return identical rows"
+    assert row_rows, "microbench query must produce rows"
+
+    row_seconds = _time_mode(server, batch=False)
+    batch_seconds = _time_mode(server, batch=True)
+    speedup = row_seconds / batch_seconds
+
+    emit(
+        capsys,
+        "E7: vectorized batch execution (scan+filter+aggregate)",
+        [
+            f"rows scanned        {MICRO_ROWS:10,d}",
+            f"row mode            {row_seconds * 1e3:10.2f} ms/stmt",
+            f"batch mode          {batch_seconds * 1e3:10.2f} ms/stmt",
+            f"speedup             {speedup:10.2f}x  (gate: >= 2.0x)",
+        ],
+    )
+    bench_recorder.record(
+        "vectorized_micro",
+        rows=MICRO_ROWS,
+        row_ms_per_stmt=round(row_seconds * 1e3, 3),
+        batch_ms_per_stmt=round(batch_seconds * 1e3, 3),
+        speedup=round(speedup, 3),
+    )
+    assert speedup >= 2.0, (
+        f"batch execution must be at least 2x faster on the "
+        f"scan+filter+aggregate microbench, measured {speedup:.2f}x"
+    )
+
+    server.batch_exec = True
+    benchmark(lambda: server.execute(MICRO_QUERY, params=MICRO_PARAMS))
+
+
+# -- full TPC-W mix identity --------------------------------------------------
+
+_MIX_NAMES = ("Browsing", "Shopping", "Ordering")
+_MIX_CONFIG = dict(num_items=60, num_ebs=10)
+_INTERACTIONS_PER_MIX = 60
+
+
+def _mix_traces(batch_on: bool) -> Dict[str, List[List[tuple]]]:
+    """Run all three TPC-W mixes, capturing every statement's result rows.
+
+    The capture hooks ``Server.execute_statement`` at class level, so it
+    sees every statement on every server — the cache's local executions
+    *and* what the backend runs for forwarded/remote work. Identical
+    traces therefore mean the two modes agree statement-for-statement
+    across the whole deployment, not just at the application boundary.
+    """
+    saved_env = {
+        name: os.environ.get(name)
+        for name in ("REPRO_BATCH_EXEC", "REPRO_CHECKED_PLANS")
+    }
+    os.environ["REPRO_BATCH_EXEC"] = "1" if batch_on else "0"
+    os.environ["REPRO_CHECKED_PLANS"] = "1"
+    captured: List[List[tuple]] = []
+    original = Server.execute_statement
+
+    def capturing(self, statement, params=None, session=None, database=None):
+        result = original(
+            self, statement, params=params, session=session, database=database
+        )
+        captured.append([tuple(row) for row in result.rows])
+        return result
+
+    Server.execute_statement = capturing
+    try:
+        backend, config = build_backend(TPCWConfig(**_MIX_CONFIG))
+        deployment, caches = enable_caching(backend, ["cache1"], config)
+        assert backend.batch_exec is batch_on
+        assert caches[0].server.batch_exec is batch_on
+        assert backend.checked_plans and caches[0].server.checked_plans
+        registry = OdbcSourceRegistry()
+        registry.register("tpcw", caches[0].server, "tpcw")
+        application = TPCWApplication(registry.connect("tpcw"), config)
+        traces: Dict[str, List[List[tuple]]] = {}
+        for seed, mix_name in enumerate(_MIX_NAMES, start=11):
+            rng = random.Random(seed)
+            sessions = [application.new_session() for _ in range(4)]
+            start = len(captured)
+            mix = MIXES[mix_name]
+            for step in range(_INTERACTIONS_PER_MIX):
+                application.run(mix.sample(rng), sessions[step % 4])
+                deployment.tick(0.02)
+            deployment.sync()
+            traces[mix_name] = captured[start:]
+        return traces
+    finally:
+        Server.execute_statement = original
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def test_bench_tpcw_mix_identical_across_modes(capsys, bench_recorder):
+    row_traces = _mix_traces(batch_on=False)
+    batch_traces = _mix_traces(batch_on=True)
+    lines = []
+    for mix_name in _MIX_NAMES:
+        row_trace = row_traces[mix_name]
+        batch_trace = batch_traces[mix_name]
+        assert len(row_trace) == len(batch_trace), (
+            f"{mix_name}: modes executed different statement counts "
+            f"({len(row_trace)} vs {len(batch_trace)})"
+        )
+        for position, (row_result, batch_result) in enumerate(
+            zip(row_trace, batch_trace)
+        ):
+            assert row_result == batch_result, (
+                f"{mix_name}: statement {position} returned different rows "
+                "in batch mode"
+            )
+        lines.append(
+            f"{mix_name:10s} {len(row_trace):5d} statements, "
+            f"{sum(len(result) for result in row_trace):6d} rows — identical"
+        )
+        bench_recorder.record(
+            "tpcw_mix_identity",
+            **{f"{mix_name.lower()}_statements": len(row_trace)},
+        )
+    emit(capsys, "E7: TPC-W mix identity across execution modes", lines)

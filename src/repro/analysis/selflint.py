@@ -34,6 +34,13 @@ own source (``python -m repro analyze --self``):
   ``repro/engine/locks.py``. Concurrency primitives funnel through that
   chokepoint so the locking hierarchy (database latch above table locks)
   stays auditable and ad-hoc locks cannot introduce new deadlock edges.
+* ``compile-at-build-time`` — operator execution bodies (``execute``,
+  ``execute_batches``, ``__next__``, ``next_batch``) may not call
+  ``compile_scalar``/``compile_predicate`` or construct an
+  ``ExpressionCompiler``. Expressions compile once when the plan is
+  built and the closures are cached with it; compiling inside the row
+  or batch loop silently reintroduces per-execution (or per-row) parse
+  cost that the plan cache exists to eliminate.
 """
 
 from __future__ import annotations
@@ -299,6 +306,38 @@ def _check_raw_threading_lock(tree: ast.AST, path: str) -> Iterator[AnalysisErro
             )
 
 
+#: Method names that form an operator's execution body.
+_EXECUTION_METHODS = frozenset({"execute", "execute_batches", "__next__", "next_batch"})
+
+#: Call targets that compile expressions (forbidden inside execution bodies).
+_COMPILE_CALLS = frozenset({"compile_scalar", "compile_predicate", "ExpressionCompiler"})
+
+
+def _check_compile_at_build_time(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        base_names = [b for b in (_dotted_name(base) for base in node.bases) if b]
+        last_parts = [name.split(".")[-1] for name in base_names]
+        if not any(part.endswith(("Op", "Operator")) for part in last_parts):
+            continue
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef) or item.name not in _EXECUTION_METHODS:
+                continue
+            for call in ast.walk(item):
+                if not isinstance(call, ast.Call):
+                    continue
+                dotted = _dotted_name(call.func)
+                if dotted is not None and dotted.split(".")[-1] in _COMPILE_CALLS:
+                    yield AnalysisError(
+                        "compile-at-build-time",
+                        f"{node.name}.{item.name} calls {dotted}() at execution "
+                        "time; expressions compile once at plan build and the "
+                        "closures are cached with the plan",
+                        location=f"{path}:{call.lineno}",
+                    )
+
+
 _ALL_CHECKS = (
     _check_wall_clock,
     _check_bare_except,
@@ -307,6 +346,7 @@ _ALL_CHECKS = (
     _check_resilience_determinism,
     _check_session_construction,
     _check_raw_threading_lock,
+    _check_compile_at_build_time,
 )
 
 

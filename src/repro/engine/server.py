@@ -39,7 +39,13 @@ from repro.errors import (
     TransactionError,
     TypeCheckError,
 )
-from repro.exec.context import ExecutionContext, WorkCounters
+from repro.exec.context import (
+    DEFAULT_BATCH_ROWS,
+    ExecutionContext,
+    WorkCounters,
+    batch_exec_default,
+)
+from repro.exec.operators import BatchCursor, PhysicalOperator
 from repro.obs.metrics import CounterGroupView, MetricsRegistry
 from repro.obs.tracing import NULL_SPAN as _NULL_SPAN
 from repro.obs.tracing import Tracer, active_span
@@ -99,6 +105,8 @@ class Server:
         plan_cache_size: int = 512,
         observability: bool = True,
         checked_plans: Optional[bool] = None,
+        batch_exec: Optional[bool] = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
     ):
         from repro.distributed.linked_server import LinkedServerRegistry
 
@@ -117,6 +125,16 @@ class Server:
         self.metrics = MetricsRegistry(namespace=name)
         self.tracer = Tracer(service=name, enabled=observability)
         self._statement_seconds = self.metrics.histogram("engine.statement_seconds")
+        # Vectorized execution (REPRO_BATCH_EXEC, default on): plans are
+        # drained through BatchCursor in fixed-size row chunks instead of
+        # one row per generator resumption. Instruments are created
+        # eagerly so ``exec.*`` always appears in metrics exports.
+        self.batch_exec = batch_exec_default() if batch_exec is None else batch_exec
+        self.batch_rows = batch_rows
+        self._exec_batches = self.metrics.counter("exec.batches")
+        self._exec_batch_rows = self.metrics.histogram("exec.batch_rows")
+        self._compiled_cache_hits = self.metrics.counter("exec.compiled_cache_hits")
+        self._compiled_cache_misses = self.metrics.counter("exec.compiled_cache_misses")
         #: Opt-in per-operator profiling for every SELECT on this server
         #: (per-session opt-in: ``Session.statistics_profile``).
         self.profile_statements = False
@@ -508,9 +526,9 @@ class Server:
             from repro.obs.profile import profiled
 
             with profiled(planned.root) as profile:
-                rows = list(planned.root.execute(ctx))
+                rows = self._run_plan(planned.root, ctx)
         else:
-            rows = list(planned.root.execute(ctx))
+            rows = self._run_plan(planned.root, ctx)
         ctx.work.rows_returned = len(rows)
         self.total_work.merge(ctx.work)
         result = Result(rows=rows, schema=planned.schema, rowcount=len(rows))
@@ -583,8 +601,31 @@ class Server:
     ) -> List[Tuple]:
         planned = self.plan_select(select, database)
         ctx = self._make_context(params, database, session)
-        rows = list(planned.root.execute(ctx))
+        rows = self._run_plan(planned.root, ctx)
         self.total_work.merge(ctx.work)
+        return rows
+
+    def _run_plan(self, root: PhysicalOperator, ctx: ExecutionContext) -> List[Tuple]:
+        """Drain a plan to a row list — BatchCursor in vectorized mode.
+
+        The single chokepoint where both execution modes meet: batch mode
+        pulls fixed-size chunks via the batch protocol and records the
+        ``exec.*`` instruments; row mode is the classic Volcano loop.
+        """
+        if not getattr(ctx, "batch_exec", False):
+            return list(root.execute(ctx))
+        rows: List[Tuple] = []
+        cursor = BatchCursor(root, ctx)
+        batches = 0
+        while (chunk := cursor.next_batch()) is not None:
+            batches += 1
+            rows.extend(chunk)
+            if self.observability:
+                self._exec_batch_rows.observe(len(chunk))
+        if self.observability:
+            self._exec_batches.inc(batches)
+            self._compiled_cache_hits.inc(ctx.compiled_cache_hits)
+            self._compiled_cache_misses.inc(ctx.compiled_cache_misses)
         return rows
 
     def _make_context(
@@ -597,6 +638,8 @@ class Server:
             clock=self.clock,
             fastpath=self.statement_fastpath,
             tracer=self.tracer if self.observability else None,
+            batch_exec=self.batch_exec,
+            batch_rows=self.batch_rows,
         )
         ctx.subquery_executor = lambda select, sub_params: self.run_subquery(
             select, sub_params, database, session

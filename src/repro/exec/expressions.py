@@ -9,19 +9,49 @@ the compiled closure returns exactly ``True``.
 Guard predicates for dynamic plans (paper §5.1) reference only parameters,
 so they compile to closures that ignore the row — the FilterOp startup
 predicate evaluates them once per execution.
+
+**Batch forms.** Every compiled closure additionally carries a ``batch``
+attribute: a function ``(rows, ctx) -> list`` returning one scalar result
+per input row (for predicates, a selection vector the batch operators test
+element-wise with ``is True``). Batch forms are built at compile time —
+never per execution — and live on the closure, so they are cached inside
+the plan-cache entry alongside the plan itself and only recompile when a
+schema bump invalidates the plan. Where the expression shape allows it the
+batch form is a specialized kernel rather than a row loop:
+
+* column references become position reads, literals/parameters are
+  hoisted once per chunk;
+* comparisons of a column against a hoistable operand pick their
+  type-coercion dispatch once per chunk (numeric/string columns compare
+  with the raw Python operator; temporal columns parse an ISO string
+  operand once, not per row) and fall back to :func:`sql_compare`
+  element-wise otherwise;
+* AND/OR/NOT combine child selection vectors with Kleene logic;
+* constant LIKE patterns compile their regex at closure-build time, and
+  non-constant patterns go through a bounded process-wide memo instead of
+  recompiling per row.
+
+The generic fallback (``batch_from_scalar``) simply maps the scalar
+closure over the chunk, so batch semantics are scalar semantics
+row-for-row by construction.
 """
 
 from __future__ import annotations
 
 import datetime
+import operator as _operator
 import re
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.common.lru import LRUCache
 from repro.common.schema import Schema
+from repro.common.types import is_numeric, is_string, is_temporal
 from repro.errors import ExecutionError, TypeCheckError
 from repro.sql import ast
 
 Scalar = Callable[[Tuple, "object"], Any]
+#: Batch form of a scalar: ``(rows, ctx) -> [value, ...]`` (one per row).
+BatchScalar = Callable[[Sequence[Tuple], "object"], List[Any]]
 
 
 def sql_equal(left: Any, right: Any) -> Optional[bool]:
@@ -128,6 +158,109 @@ def like_to_regex(pattern: str) -> "re.Pattern":
     return re.compile("^" + "".join(out) + "$", re.IGNORECASE | re.DOTALL)
 
 
+#: Process-wide bounded memo of compiled LIKE patterns. Non-constant
+#: patterns (column/parameter-valued) hit this instead of recompiling per
+#: row; constant patterns bypass it entirely (compiled at closure build).
+_like_pattern_memo: LRUCache = LRUCache(256)
+
+
+def compiled_like_pattern(pattern: str) -> "re.Pattern":
+    """Fetch (or build and memoize) the regex for a LIKE pattern."""
+    regex = _like_pattern_memo.get(pattern)
+    if regex is None:
+        regex = like_to_regex(pattern)
+        _like_pattern_memo[pattern] = regex
+    return regex
+
+
+def batch_from_scalar(scalar: Scalar) -> BatchScalar:
+    """Generic batch form: map the scalar closure over the chunk."""
+
+    def run(rows: Sequence[Tuple], ctx: object) -> List[Any]:
+        return [scalar(row, ctx) for row in rows]
+
+    return run
+
+
+def batch_form(scalar: Scalar) -> BatchScalar:
+    """The scalar's batch form, falling back to the generic row map.
+
+    Compiler-produced closures always carry ``.batch``; hand-built makers
+    (and test doubles) may not, so batch operators funnel through here.
+    """
+    existing = getattr(scalar, "batch", None)
+    if existing is not None:
+        return existing
+    return batch_from_scalar(scalar)
+
+
+def column_maker(position: int) -> Scalar:
+    """A Scalar reading one row position, with its batch form attached.
+
+    The planner uses this for pure column-projection makers so the batch
+    projection kernel can recognize them (``column_position``) and fuse
+    them into a single ``itemgetter``.
+    """
+
+    def maker(row: Tuple, ctx: object) -> Any:
+        return row[position]
+
+    maker.column_position = position  # type: ignore[attr-defined]
+    maker.batch = lambda rows, ctx: [row[position] for row in rows]  # type: ignore[attr-defined]
+    return maker
+
+
+def tuple_kernel(makers: Sequence[Scalar]) -> BatchScalar:
+    """Batch kernel producing one tuple per row from a list of makers.
+
+    Used for projections, group keys and hash-join key extraction. When
+    every maker is a plain column reference the kernel collapses to an
+    ``itemgetter``; otherwise each maker's batch form computes a column
+    vector and the vectors are zipped back into rows.
+    """
+    if not makers:
+        # No extractors (e.g. GROUP BY-less aggregation): every row keys
+        # to the empty tuple, same as row mode's ``tuple()`` over nothing.
+        return lambda rows, ctx: [()] * len(rows)
+    positions = [getattr(maker, "column_position", None) for maker in makers]
+    if all(position is not None for position in positions):
+        if len(positions) == 1:
+            first = positions[0]
+            return lambda rows, ctx: [(row[first],) for row in rows]
+        getter = _operator.itemgetter(*positions)
+        return lambda rows, ctx: [getter(row) for row in rows]
+    forms = [batch_form(maker) for maker in makers]
+
+    def run(rows: Sequence[Tuple], ctx: object) -> List[Any]:
+        if not rows:
+            return []
+        columns = [form(rows, ctx) for form in forms]
+        return list(zip(*columns))
+
+    return run
+
+
+#: Python comparators for the batch fast path (dispatch picked per chunk).
+_COMPARATORS = {
+    "=": _operator.eq,
+    "<>": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+
+
+#: Mirror of each comparator for normalizing ``const OP col`` to
+#: ``col OP' const`` in the batch fast path (``5 < col`` ≡ ``col > 5``).
+_FLIPPED = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _is_row_independent(fn: Scalar) -> bool:
+    """True when the closure ignores the row (literal or parameter)."""
+    return hasattr(fn, "constant_value") or hasattr(fn, "parameter_name")
+
+
 class ExpressionCompiler:
     """Compiles AST expressions to closures over a fixed input schema."""
 
@@ -135,27 +268,47 @@ class ExpressionCompiler:
         self.schema = schema or Schema(())
 
     def compile(self, expression: ast.Expression) -> Scalar:
-        """Compile a scalar expression."""
+        """Compile a scalar expression (batch form always attached)."""
         method = getattr(self, f"_compile_{type(expression).__name__.lower()}", None)
         if method is None:
             raise ExecutionError(
                 f"cannot compile expression of type {type(expression).__name__}"
             )
-        return method(expression)
+        fn = method(expression)
+        if not hasattr(fn, "batch"):
+            fn.batch = batch_from_scalar(fn)
+        return fn
 
     # -- leaves ---------------------------------------------------------------
 
     def _compile_literal(self, node: ast.Literal) -> Scalar:
         value = node.value
-        return lambda row, ctx: value
+
+        def literal(row, ctx):
+            return value
+
+        literal.constant_value = value
+        literal.batch = lambda rows, ctx: [value] * len(rows)
+        return literal
 
     def _compile_columnref(self, node: ast.ColumnRef) -> Scalar:
         position = self.schema.resolve(node.name, node.qualifier)
-        return lambda row, ctx: row[position]
+        return column_maker(position)
 
     def _compile_parameter(self, node: ast.Parameter) -> Scalar:
         name = node.name
-        return lambda row, ctx: ctx.param(name)
+
+        def parameter(row, ctx):
+            return ctx.param(name)
+
+        parameter.parameter_name = name
+
+        def batch(rows, ctx):
+            value = ctx.param(name)
+            return [value] * len(rows)
+
+        parameter.batch = batch
+        return parameter
 
     def _compile_star(self, node: ast.Star) -> Scalar:
         raise ExecutionError("'*' is only valid in select lists and COUNT(*)")
@@ -166,33 +319,150 @@ class ExpressionCompiler:
         left = self.compile(node.left)
         right = self.compile(node.right)
         op = node.op
-        if op == "AND":
-            return lambda row, ctx: sql_and(_as_bool(left(row, ctx)), _as_bool(right(row, ctx)))
-        if op == "OR":
-            return lambda row, ctx: sql_or(_as_bool(left(row, ctx)), _as_bool(right(row, ctx)))
-        if op in ("=", "<>", "<", "<=", ">", ">="):
-            return lambda row, ctx: sql_compare(op, left(row, ctx), right(row, ctx))
+        if op in ("AND", "OR"):
+            combine = sql_and if op == "AND" else sql_or
+
+            def logical(row, ctx):
+                return combine(_as_bool(left(row, ctx)), _as_bool(right(row, ctx)))
+
+            left_batch = batch_form(left)
+            right_batch = batch_form(right)
+
+            def logical_batch(rows, ctx):
+                # Both sides evaluate eagerly in row mode too, so combining
+                # whole child vectors preserves semantics exactly.
+                return [
+                    combine(_as_bool(lhs), _as_bool(rhs))
+                    for lhs, rhs in zip(left_batch(rows, ctx), right_batch(rows, ctx))
+                ]
+
+            logical.batch = logical_batch
+            return logical
+        if op in _COMPARATORS:
+            def compare(row, ctx):
+                return sql_compare(op, left(row, ctx), right(row, ctx))
+
+            compare.batch = self._batch_compare(op, left, right)
+            return compare
         if op in ("+", "-", "*", "/", "%"):
             return _compile_arithmetic(op, left, right)
         raise ExecutionError(f"unknown binary operator {op!r}")
 
+    def _batch_compare(self, op: str, left: Scalar, right: Scalar) -> BatchScalar:
+        """Batch form of a comparison, specializing column-vs-hoistable.
+
+        When one side is a plain column reference and the other is
+        row-independent (literal or parameter), the hoistable side is
+        evaluated once per chunk and the coercion dispatch is chosen once
+        from the column's declared type plus the hoisted value's runtime
+        type — the inner loop then runs a raw Python comparator. Any row
+        whose value falls outside the specialized case (or any shape the
+        specializer does not recognize) drops to element-wise
+        :func:`sql_compare`, so results match row mode exactly.
+        """
+        left_position = getattr(left, "column_position", None)
+        right_position = getattr(right, "column_position", None)
+        if left_position is not None and _is_row_independent(right):
+            position, hoisted, effective_op = left_position, right, op
+        elif right_position is not None and _is_row_independent(left):
+            position, hoisted, effective_op = right_position, left, _FLIPPED[op]
+        else:
+            left_batch = batch_form(left)
+            right_batch = batch_form(right)
+
+            def generic(rows, ctx):
+                return [
+                    sql_compare(op, lhs, rhs)
+                    for lhs, rhs in zip(left_batch(rows, ctx), right_batch(rows, ctx))
+                ]
+
+            return generic
+
+        columns = self.schema.columns
+        sql_type = columns[position].sql_type if position < len(columns) else None
+        numeric = sql_type is not None and is_numeric(sql_type)
+        stringy = sql_type is not None and is_string(sql_type)
+        temporal = sql_type is not None and is_temporal(sql_type)
+        comparator = _COMPARATORS[effective_op]
+
+        def fast(rows, ctx):
+            if not rows:
+                return []
+            other = hoisted((), ctx)
+            if other is None:
+                return [None] * len(rows)
+            if isinstance(other, bool):
+                other = int(other)
+            if numeric and isinstance(other, (int, float)):
+                return [
+                    None if (v := row[position]) is None
+                    else (comparator(v, other) if isinstance(v, (int, float))
+                          else sql_compare(effective_op, v, other))
+                    for row in rows
+                ]
+            if stringy and isinstance(other, str):
+                return [
+                    None if (v := row[position]) is None
+                    else (comparator(v, other) if isinstance(v, str)
+                          else sql_compare(effective_op, v, other))
+                    for row in rows
+                ]
+            if temporal and isinstance(other, str):
+                sample = next(
+                    (row[position] for row in rows if row[position] is not None), None
+                )
+                if isinstance(sample, (datetime.date, datetime.datetime)):
+                    parsed = _parse_temporal(other, sample)
+                    sample_type = type(sample)
+                    return [
+                        None if (v := row[position]) is None
+                        else (comparator(v, parsed) if type(v) is sample_type
+                              else sql_compare(effective_op, v, other))
+                        for row in rows
+                    ]
+            return [sql_compare(effective_op, row[position], other) for row in rows]
+
+        return fast
+
     def _compile_unaryop(self, node: ast.UnaryOp) -> Scalar:
         operand = self.compile(node.operand)
+        operand_batch = batch_form(operand)
         if node.op == "NOT":
-            return lambda row, ctx: sql_not(_as_bool(operand(row, ctx)))
+            def negation(row, ctx):
+                return sql_not(_as_bool(operand(row, ctx)))
+
+            negation.batch = lambda rows, ctx: [
+                sql_not(_as_bool(v)) for v in operand_batch(rows, ctx)
+            ]
+            return negation
         if node.op == "-":
             def negate(row, ctx):
                 value = operand(row, ctx)
                 return None if value is None else -value
 
+            negate.batch = lambda rows, ctx: [
+                None if v is None else -v for v in operand_batch(rows, ctx)
+            ]
             return negate
         raise ExecutionError(f"unknown unary operator {node.op!r}")
 
     def _compile_isnull(self, node: ast.IsNull) -> Scalar:
         operand = self.compile(node.operand)
+        operand_batch = batch_form(operand)
         if node.negated:
-            return lambda row, ctx: operand(row, ctx) is not None
-        return lambda row, ctx: operand(row, ctx) is None
+            def not_null(row, ctx):
+                return operand(row, ctx) is not None
+
+            not_null.batch = lambda rows, ctx: [
+                v is not None for v in operand_batch(rows, ctx)
+            ]
+            return not_null
+
+        def null_test(row, ctx):
+            return operand(row, ctx) is None
+
+        null_test.batch = lambda rows, ctx: [v is None for v in operand_batch(rows, ctx)]
+        return null_test
 
     def _compile_inlist(self, node: ast.InList) -> Scalar:
         operand = self.compile(node.operand)
@@ -256,20 +526,62 @@ class ExpressionCompiler:
     def _compile_like(self, node: ast.Like) -> Scalar:
         operand = self.compile(node.operand)
         pattern_fn = self.compile(node.pattern)
-        cache: dict = {}
+        negated = node.negated
+        operand_batch = batch_form(operand)
+        constant = getattr(pattern_fn, "constant_value", None)
+        if constant is not None:
+            # Constant pattern: the regex is compiled exactly once, at
+            # closure-build time — never inside the row loop.
+            regex_match = compiled_like_pattern(str(constant)).match
+
+            def match_constant(row, ctx):
+                value = operand(row, ctx)
+                if value is None:
+                    return None
+                matched = bool(regex_match(str(value)))
+                return (not matched) if negated else matched
+
+            def match_constant_batch(rows, ctx):
+                out = []
+                for value in operand_batch(rows, ctx):
+                    if value is None:
+                        out.append(None)
+                        continue
+                    matched = bool(regex_match(str(value)))
+                    out.append((not matched) if negated else matched)
+                return out
+
+            match_constant.batch = match_constant_batch
+            return match_constant
 
         def evaluate(row, ctx):
             value = operand(row, ctx)
             pattern = pattern_fn(row, ctx)
             if value is None or pattern is None:
                 return None
-            regex = cache.get(pattern)
-            if regex is None:
-                regex = like_to_regex(str(pattern))
-                cache[pattern] = regex
-            matched = bool(regex.match(str(value)))
-            return (not matched) if node.negated else matched
+            matched = bool(compiled_like_pattern(str(pattern)).match(str(value)))
+            return (not matched) if negated else matched
 
+        if _is_row_independent(pattern_fn):
+            # Parameter-valued pattern: unknown until run time, but fixed
+            # within an execution — compile once per chunk via the memo.
+            def parameter_batch(rows, ctx):
+                if not rows:
+                    return []
+                pattern = pattern_fn((), ctx)
+                if pattern is None:
+                    return [None] * len(rows)
+                regex_match = compiled_like_pattern(str(pattern)).match
+                out = []
+                for value in operand_batch(rows, ctx):
+                    if value is None:
+                        out.append(None)
+                        continue
+                    matched = bool(regex_match(str(value)))
+                    out.append((not matched) if negated else matched)
+                return out
+
+            evaluate.batch = parameter_batch
         return evaluate
 
     def _compile_casewhen(self, node: ast.CaseWhen) -> Scalar:

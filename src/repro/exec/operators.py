@@ -1,4 +1,4 @@
-"""Volcano-style physical operators.
+"""Volcano-style physical operators, with a batch-at-a-time fast path.
 
 Each operator exposes an output :class:`Schema` and an ``execute(ctx)``
 generator producing tuples. Plans are re-executable: ``execute`` may be
@@ -9,18 +9,33 @@ which is exactly what dynamic plans need.
 to implement ChoosePlan: the predicate references only parameters, is
 evaluated once when the operator is opened, and when false the operator's
 input is never opened (its branch of the plan costs nothing at run time).
+
+**Batch protocol.** ``execute_batches(ctx)`` is the vectorized
+counterpart: a generator of *non-empty* lists of rows, ``ctx.batch_rows``
+per chunk at the source. Converted operators (scan, filter, project,
+aggregate, hash join, sort/top, distinct, union-all) override it to move
+whole chunks through compiled batch kernels (see
+``exec/expressions.py``); everything else inherits the base fallback
+shim, which chunks its own row-mode ``execute`` so converted and
+unconverted operators compose freely in one tree. Batch kernels are
+memoized per operator instance (:meth:`PhysicalOperator._kernel`) — and
+since cached plans *are* operator trees, the kernels live in the plan
+cache entry and die with it on a schema bump. Work counters are bumped
+identically in both modes (``rows_processed`` per input row), so batch
+execution is observably equivalent, not just result-equivalent.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.schema import Schema
 from repro.errors import ExecutionError
-from repro.exec.context import ExecutionContext
-from repro.exec.expressions import Scalar
+from repro.exec.context import DEFAULT_BATCH_ROWS, ExecutionContext
+from repro.exec.expressions import Scalar, batch_form, tuple_kernel
 
 Row = Tuple
+Batch = List[Row]
 
 
 class PhysicalOperator:
@@ -35,6 +50,46 @@ class PhysicalOperator:
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Volcano-compatible fallback shim: chunk the row-mode stream.
+
+        Operators without a native batch implementation interoperate with
+        batch consumers through this adapter. The class-level ``execute``
+        call deliberately bypasses any per-instance profiling patch, so a
+        profiled fallback operator counts its rows once (in the batch
+        instrumentation), not twice.
+        """
+        size = getattr(ctx, "batch_rows", DEFAULT_BATCH_ROWS)
+        chunk: Batch = []
+        for row in type(self).execute(self, ctx):
+            chunk.append(row)
+            if len(chunk) >= size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def _kernel(self, name: str, ctx: ExecutionContext, builder: Callable[[], Any]) -> Any:
+        """Fetch (or build once) a named batch kernel for this operator.
+
+        Kernels are pure closures derived from the operator's compiled
+        expressions, so memoizing them on the instance is safe across
+        executions and threads (a lost race just rebuilds an identical
+        closure). Hit/miss counts land on the context for the
+        ``exec.compiled_cache_*`` metrics.
+        """
+        cache = self.__dict__.get("_batch_kernels")
+        if cache is None:
+            cache = self.__dict__.setdefault("_batch_kernels", {})
+        kernel = cache.get(name)
+        if kernel is None:
+            kernel = builder()
+            cache[name] = kernel
+            ctx.compiled_cache_misses = getattr(ctx, "compiled_cache_misses", 0) + 1
+        else:
+            ctx.compiled_cache_hits = getattr(ctx, "compiled_cache_hits", 0) + 1
+        return kernel
 
     @property
     def label(self) -> str:
@@ -76,6 +131,14 @@ class ValuesOp(PhysicalOperator):
             ctx.work.rows_processed += 1
             yield tuple(maker((), ctx) for maker in makers)
 
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        rows = []
+        for makers in self.row_makers:
+            ctx.work.rows_processed += 1
+            rows.append(tuple(maker((), ctx) for maker in makers))
+        if rows:
+            yield rows
+
     def describe(self) -> str:
         return f"Values({len(self.row_makers)} rows)"
 
@@ -92,6 +155,13 @@ class SeqScanOp(PhysicalOperator):
         for _, row in table.scan():
             ctx.work.rows_processed += 1
             yield row
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        table = ctx.database.storage_table(self.table_name)
+        size = getattr(ctx, "batch_rows", DEFAULT_BATCH_ROWS)
+        for chunk in table.scan_batches(size):
+            ctx.work.rows_processed += len(chunk)
+            yield chunk
 
     def describe(self) -> str:
         return f"SeqScan({self.table_name})"
@@ -247,6 +317,22 @@ class FilterOp(PhysicalOperator):
             if self.predicate(row, ctx) is True:
                 yield row
 
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        if self.startup_predicate is not None:
+            if self.startup_predicate((), ctx) is not True:
+                return
+        child = self.children[0]
+        if self.predicate is None:
+            yield from child.execute_batches(ctx)
+            return
+        kernel = self._kernel("predicate", ctx, lambda: batch_form(self.predicate))
+        for chunk in child.execute_batches(ctx):
+            ctx.work.rows_processed += len(chunk)
+            selection = kernel(chunk, ctx)
+            passed = [row for row, keep in zip(chunk, selection) if keep is True]
+            if passed:
+                yield passed
+
     def describe(self) -> str:
         parts = ["Filter"]
         if self.startup_predicate is not None:
@@ -267,6 +353,12 @@ class ProjectOp(PhysicalOperator):
         for row in self.children[0].execute(ctx):
             ctx.work.rows_processed += 1
             yield tuple(maker(row, ctx) for maker in self.makers)
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        kernel = self._kernel("project", ctx, lambda: tuple_kernel(self.makers))
+        for chunk in self.children[0].execute_batches(ctx):
+            ctx.work.rows_processed += len(chunk)
+            yield kernel(chunk, ctx)
 
     def describe(self) -> str:
         return f"Project({', '.join(self.schema.names)})"
@@ -350,6 +442,41 @@ class HashJoinOp(PhysicalOperator):
                     yield combined
             if self.kind == "LEFT" and not matched:
                 yield left_row + null_right
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        left, right = self.children
+        right_kernel = self._kernel("right-keys", ctx, lambda: tuple_kernel(self.right_keys))
+        left_kernel = self._kernel("left-keys", ctx, lambda: tuple_kernel(self.left_keys))
+        build: dict = {}
+        for chunk in right.execute_batches(ctx):
+            ctx.work.rows_processed += len(chunk)
+            for right_row, key in zip(chunk, right_kernel(chunk, ctx)):
+                if any(part is None for part in key):
+                    continue  # NULL never equi-joins
+                build.setdefault(key, []).append(right_row)
+        null_right = (None,) * len(right.schema)
+        size = getattr(ctx, "batch_rows", DEFAULT_BATCH_ROWS)
+        out: Batch = []
+        for chunk in left.execute_batches(ctx):
+            ctx.work.rows_processed += len(chunk)
+            for left_row, key in zip(chunk, left_kernel(chunk, ctx)):
+                matches = build.get(key, ()) if not any(part is None for part in key) else ()
+                matched = False
+                for right_row in matches:
+                    combined = left_row + right_row
+                    if self.residual is None or self.residual(combined, ctx) is True:
+                        matched = True
+                        out.append(combined)
+                        if len(out) >= size:
+                            yield out
+                            out = []
+                if self.kind == "LEFT" and not matched:
+                    out.append(left_row + null_right)
+                    if len(out) >= size:
+                        yield out
+                        out = []
+        if out:
+            yield out
 
     def describe(self) -> str:
         return f"HashJoin({self.kind})"
@@ -526,7 +653,20 @@ class _AggState:
         if spec.argument is None:  # COUNT(*)
             self.count += 1
             return
-        value = spec.argument(row, ctx)
+        self.add_value(spec.argument(row, ctx))
+
+    def add_value(self, value: Any) -> None:
+        """Accumulate one pre-extracted argument value.
+
+        The batch path extracts the argument column for a whole chunk in
+        one kernel call, then feeds values here in row order — so SUM/AVG
+        accumulate in exactly the same sequence (and float associativity)
+        as row mode.
+        """
+        spec = self.spec
+        if spec.argument is None:  # COUNT(*) counts rows, not values
+            self.count += 1
+            return
         if value is None:
             return
         if self.seen is not None:
@@ -597,6 +737,50 @@ class AggregateOp(PhysicalOperator):
             states = groups[key]
             yield key + tuple(state.result() for state in states)
 
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        groups: dict = {}
+        order: List[Tuple] = []
+        key_kernel = self._kernel(
+            "group-keys", ctx, lambda: tuple_kernel(self.group_makers)
+        )
+        argument_kernels = self._kernel(
+            "agg-args",
+            ctx,
+            lambda: [
+                None if spec.argument is None else batch_form(spec.argument)
+                for spec in self.aggregates
+            ],
+        )
+        for chunk in self.children[0].execute_batches(ctx):
+            ctx.work.rows_processed += len(chunk)
+            keys = key_kernel(chunk, ctx)
+            # Columnar argument extraction: one kernel call per aggregate
+            # per chunk instead of one closure call per row.
+            columns = [
+                None if kernel is None else kernel(chunk, ctx)
+                for kernel in argument_kernels
+            ]
+            for i, key in enumerate(keys):
+                states = groups.get(key)
+                if states is None:
+                    states = [_AggState(spec) for spec in self.aggregates]
+                    groups[key] = states
+                    order.append(key)
+                for state, column in zip(states, columns):
+                    state.add_value(None if column is None else column[i])
+        if not groups and not self.group_makers:
+            yield [tuple(_AggState(spec).result() for spec in self.aggregates)]
+            return
+        size = getattr(ctx, "batch_rows", DEFAULT_BATCH_ROWS)
+        out: Batch = []
+        for key in order:
+            out.append(key + tuple(state.result() for state in groups[key]))
+            if len(out) >= size:
+                yield out
+                out = []
+        if out:
+            yield out
+
     def describe(self) -> str:
         names = [spec.function for spec in self.aggregates]
         return f"Aggregate(groups={len(self.group_makers)}, aggs={names})"
@@ -629,6 +813,32 @@ class SortOp(PhysicalOperator):
             rows.sort(key=key_fn, reverse=descending)
         yield from rows
 
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        rows: Batch = []
+        for chunk in self.children[0].execute_batches(ctx):
+            rows.extend(chunk)
+        ctx.work.rows_processed += len(rows)
+        kernels = self._kernel(
+            "sort-keys",
+            ctx,
+            lambda: [batch_form(maker) for maker, _ in self.sort_makers],
+        )
+        # Same stable multi-pass sort as row mode, but each pass extracts
+        # its whole key column with one kernel call, then reorders by
+        # index (``sorted`` with a key is stable, like ``list.sort``).
+        for (maker, descending), kernel in zip(
+            reversed(self.sort_makers), reversed(kernels)
+        ):
+            values = kernel(rows, ctx)
+            keyed = [(0, 0) if value is None else (1, value) for value in values]
+            positions = sorted(
+                range(len(rows)), key=keyed.__getitem__, reverse=descending
+            )
+            rows = [rows[i] for i in positions]
+        size = getattr(ctx, "batch_rows", DEFAULT_BATCH_ROWS)
+        for start in range(0, len(rows), size):
+            yield rows[start : start + size]
+
     def describe(self) -> str:
         return f"Sort({len(self.sort_makers)} keys)"
 
@@ -653,6 +863,20 @@ class TopOp(PhysicalOperator):
             if remaining == 0:
                 return
 
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        limit = self.count_maker((), ctx)
+        if limit is None:
+            raise ExecutionError("TOP count evaluated to NULL")
+        remaining = int(limit)
+        if remaining <= 0:
+            return
+        for chunk in self.children[0].execute_batches(ctx):
+            if len(chunk) >= remaining:
+                yield chunk[:remaining]
+                return
+            remaining -= len(chunk)
+            yield chunk
+
     def describe(self) -> str:
         return "Top"
 
@@ -670,6 +894,18 @@ class DistinctOp(PhysicalOperator):
             if row not in seen:
                 seen.add(row)
                 yield row
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        seen: set = set()
+        for chunk in self.children[0].execute_batches(ctx):
+            ctx.work.rows_processed += len(chunk)
+            fresh: Batch = []
+            for row in chunk:
+                if row not in seen:
+                    seen.add(row)
+                    fresh.append(row)
+            if fresh:
+                yield fresh
 
     def describe(self) -> str:
         return "Distinct"
@@ -691,6 +927,10 @@ class UnionAllOp(PhysicalOperator):
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         for child in self.children:
             yield from child.execute(ctx)
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        for child in self.children:
+            yield from child.execute_batches(ctx)
 
     def describe(self) -> str:
         return "ChoosePlan(UnionAll)" if self.choose_plan else "UnionAll"
@@ -745,3 +985,22 @@ class RemoteQueryOp(PhysicalOperator):
     def describe(self) -> str:
         text = self.sql_text if len(self.sql_text) <= 60 else self.sql_text[:57] + "..."
         return f"RemoteQuery[{self.server_name}]({text})"
+
+
+class BatchCursor:
+    """Pull-based handle over a plan's batch stream.
+
+    ``next_batch()`` returns the next non-empty chunk of rows, or ``None``
+    once the plan is exhausted. This is the driver-facing face of the
+    batch protocol (the server's execution loop uses it); operators
+    themselves compose through ``execute_batches`` generators.
+    """
+
+    def __init__(self, root: PhysicalOperator, ctx: ExecutionContext):
+        self._batches = root.execute_batches(ctx)
+
+    def next_batch(self) -> Optional[Batch]:
+        return next(self._batches, None)
+
+    def close(self) -> None:
+        self._batches.close()

@@ -7,12 +7,16 @@ optimizer's estimates, which is exactly what you need to see where a
 dynamic plan's cost went wrong.
 
 Implementation: :func:`profiled` wraps each operator *instance* in the
-plan with an instrumented ``execute`` (an instance attribute shadowing the
-class method) for the duration of one execution, then removes the shims.
-Timing is taken around each ``next()`` on the operator's generator, so an
-operator's recorded time is inclusive of its children but excludes time
-the consumer spends between rows; the renderer derives exclusive ("self")
-time by subtracting the children's inclusive time.
+plan with instrumented ``execute`` *and* ``execute_batches`` (instance
+attributes shadowing the class methods) for the duration of one
+execution, then removes the shims — whichever mode the driver runs in,
+the profile fills. Timing is taken around each ``next()`` on the
+operator's generator, so an operator's recorded time is inclusive of its
+children but excludes time the consumer spends between rows; the renderer
+derives exclusive ("self") time by subtracting the children's inclusive
+time. Batch mode reports rows (summed over chunks) and ``actual_batches``;
+the base-class fallback shim calls ``execute`` at class level, so a
+shimmed operator's rows are counted once, by the batch instrumentation.
 
 Profiling is opt-in per execution (a session flag or
 ``Server.profile_statements``): the instrumented path costs a timer call
@@ -33,13 +37,14 @@ class OperatorProfile:
     """Actuals for one operator in one profiled execution."""
 
     __slots__ = ("operator", "description", "estimated_rows", "actual_rows",
-                 "opens", "wall_seconds", "children")
+                 "actual_batches", "opens", "wall_seconds", "children")
 
     def __init__(self, operator: PhysicalOperator):
         self.operator = operator
         self.description = operator.describe()
         self.estimated_rows = operator.estimated_rows
         self.actual_rows = 0
+        self.actual_batches = 0
         self.opens = 0
         self.wall_seconds = 0.0
         self.children: List["OperatorProfile"] = []
@@ -59,6 +64,7 @@ class OperatorProfile:
             "operator": self.description,
             "estimated_rows": self.estimated_rows,
             "actual_rows": self.actual_rows,
+            "actual_batches": self.actual_batches,
             "opens": self.opens,
             "wall_ms": self.wall_seconds * 1e3,
             "self_ms": self.self_seconds * 1e3,
@@ -86,9 +92,12 @@ class ExecutionProfile:
         lines: List[str] = []
 
         def render_node(node: OperatorProfile, indent: int) -> None:
+            batches = (
+                f" batches={node.actual_batches}" if node.actual_batches else ""
+            )
             lines.append(
                 "  " * indent + node.description
-                + f"  [actual rows={node.actual_rows} opens={node.opens}"
+                + f"  [actual rows={node.actual_rows}{batches} opens={node.opens}"
                 + f" time={node.wall_seconds * 1e3:.3f}ms"
                 + f" self={node.self_seconds * 1e3:.3f}ms"
                 + f" est rows={node.estimated_rows:.0f}]"
@@ -133,6 +142,28 @@ def _instrumented_execute(operator: PhysicalOperator, node: OperatorProfile):
     return execute
 
 
+def _instrumented_execute_batches(operator: PhysicalOperator, node: OperatorProfile):
+    original = type(operator).execute_batches
+    perf_counter = time.perf_counter
+
+    def execute_batches(ctx):
+        node.opens += 1
+        iterator = original(operator, ctx)
+        while True:
+            started = perf_counter()
+            try:
+                chunk = next(iterator)
+            except StopIteration:
+                node.wall_seconds += perf_counter() - started
+                return
+            node.wall_seconds += perf_counter() - started
+            node.actual_batches += 1
+            node.actual_rows += len(chunk)
+            yield chunk
+
+    return execute_batches
+
+
 @contextmanager
 def profiled(root: PhysicalOperator):
     """Instrument a plan tree for one execution.
@@ -146,8 +177,12 @@ def profiled(root: PhysicalOperator):
     try:
         for node in profile.root.walk():
             node.operator.execute = _instrumented_execute(node.operator, node)
+            node.operator.execute_batches = _instrumented_execute_batches(
+                node.operator, node
+            )
             patched.append(node.operator)
         yield profile
     finally:
         for operator in patched:
             operator.__dict__.pop("execute", None)
+            operator.__dict__.pop("execute_batches", None)

@@ -38,7 +38,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.common.schema import Column, Schema
 from repro.common.types import BIGINT, FLOAT, INT, VARCHAR, SqlType
 from repro.errors import BindError, OptimizerError
-from repro.exec.expressions import ExpressionCompiler, Scalar
+from repro.exec.expressions import ExpressionCompiler, Scalar, column_maker
 from repro.exec.operators import (
     AggregateOp,
     AggregateSpec,
@@ -593,9 +593,7 @@ class Optimizer:
         positions = [
             aliased_schema.resolve(column, leaf.source.alias) for column in leaf.required
         ]
-        makers: List[Scalar] = [
-            (lambda row, ctx, position=position: row[position]) for position in positions
-        ]
+        makers: List[Scalar] = [column_maker(position) for position in positions]
         project = ProjectOp(relabeled, leaf.schema, makers)
         cost += self.cost.project(rows)
         return _Plan(project, rows, cost).attach()
@@ -752,9 +750,7 @@ class Optimizer:
         positions = [
             full_schema.resolve(column, leaf.source.alias) for column in leaf.required
         ]
-        makers = [
-            (lambda row, ctx, position=position: row[position]) for position in positions
-        ]
+        makers = [column_maker(position) for position in positions]
         return ProjectOp(op, leaf.schema, makers)
 
     def _leaf_remote_plan(
@@ -1835,6 +1831,9 @@ class _RelabelOp(PhysicalOperator):
 
     def execute(self, ctx):
         return self.children[0].execute(ctx)
+
+    def execute_batches(self, ctx):
+        return self.children[0].execute_batches(ctx)
 
     def describe(self) -> str:
         return f"Relabel({', '.join(c.qualified_name for c in self.schema)})"

@@ -225,6 +225,21 @@ class Table:
             self.rows_read += 1
             yield rid, row
 
+    def scan_batches(self, size: int) -> Iterator[List[Tuple]]:
+        """Yield rows in insertion-order chunks of at most ``size``.
+
+        The batch-mode SeqScan source: one slice per chunk instead of one
+        generator resumption per row. ``rows_read`` advances by whole
+        chunks so the counter matches :meth:`scan` exactly.
+        """
+        if size <= 0:
+            raise ExecutionError(f"scan batch size must be positive, got {size}")
+        values = list(self.rows.values())
+        for start in range(0, len(values), size):
+            chunk = values[start : start + size]
+            self.rows_read += len(chunk)
+            yield chunk
+
     def get(self, rid: int) -> Tuple:
         """Fetch one row by rid."""
         row = self.rows.get(rid)

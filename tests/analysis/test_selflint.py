@@ -162,6 +162,82 @@ def test_non_operator_classes_ignored():
     assert lint_source(source, "repro/exec/fake.py") == []
 
 
+# -- compile-at-build-time ---------------------------------------------------
+
+
+def test_compile_in_execute_flagged():
+    source = dedent(
+        """
+        class LazyOp(PhysicalOperator):
+            def execute(self, ctx):
+                predicate = compile_predicate(self.schema, self.expr)
+                for row in self.children[0].execute(ctx):
+                    if predicate(row, ctx) is True:
+                        yield row
+        """
+    )
+    diagnostics = lint_source(source, "repro/exec/fake.py")
+    assert _rules(diagnostics) == ["compile-at-build-time"]
+    assert "compile_predicate" in diagnostics[0].message
+
+
+def test_compile_in_execute_batches_flagged():
+    source = dedent(
+        """
+        class LazyOp(PhysicalOperator):
+            def execute_batches(self, ctx):
+                kernel = ExpressionCompiler(self.schema).compile(self.expr)
+                yield [kernel(row, ctx) for row in self.rows]
+        """
+    )
+    assert _rules(lint_source(source, "repro/exec/fake.py")) == [
+        "compile-at-build-time"
+    ]
+
+
+def test_compile_in_next_methods_flagged():
+    source = dedent(
+        """
+        class CursorOperator(PhysicalOperator):
+            def __next__(self):
+                return compile_scalar(self.schema, self.expr)
+
+            def next_batch(self):
+                return compile_scalar(self.schema, self.expr)
+        """
+    )
+    diagnostics = lint_source(source, "repro/exec/fake.py")
+    assert _rules(diagnostics) == ["compile-at-build-time"] * 2
+
+
+def test_compile_in_init_is_clean():
+    source = dedent(
+        """
+        class EagerOp(PhysicalOperator):
+            def __init__(self, schema, expr):
+                super().__init__(schema)
+                self.predicate = compile_predicate(schema, expr)
+
+            def execute(self, ctx):
+                for row in self.children[0].execute(ctx):
+                    if self.predicate(row, ctx) is True:
+                        yield row
+        """
+    )
+    assert lint_source(source, "repro/exec/fake.py") == []
+
+
+def test_compile_outside_operator_classes_ignored():
+    source = dedent(
+        """
+        class PlanBuilder:
+            def execute(self, ctx):
+                return compile_scalar(self.schema, self.expr)
+        """
+    )
+    assert lint_source(source, "repro/exec/fake.py") == []
+
+
 # -- parse errors ------------------------------------------------------------
 
 

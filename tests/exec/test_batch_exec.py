@@ -1,0 +1,286 @@
+"""Batch (vectorized) execution mode: equivalence, chunking, caching.
+
+Batch mode moves chunks of rows between operators instead of one row at
+a time (``PhysicalOperator.execute_batches``); anything not answerable
+from these tests lives next to the expression-level checks in
+``test_expressions.py``. The invariant everything here leans on: for
+every query, batch mode must produce the same rows, the same work
+counters, and the same observable side effects as row mode.
+"""
+
+import os
+
+import pytest
+
+from repro.common.schema import Column, Schema
+from repro.common.types import FLOAT, INT, VARCHAR
+from repro.catalog.objects import TableDef
+from repro.engine.database import Database
+from repro.exec.context import (
+    DEFAULT_BATCH_ROWS,
+    ExecutionContext,
+    batch_exec_default,
+)
+from repro.exec.expressions import ExpressionCompiler, compiled_like_pattern
+from repro.exec.operators import (
+    BatchCursor,
+    FilterOp,
+    NestedLoopJoinOp,
+    SeqScanOp,
+    ValuesOp,
+)
+from repro.sql import parse_expression
+from tests.conftest import make_shop_backend
+
+#: Queries spanning every batch-capable operator plus the fallbacks:
+#: scans, filters (LIKE/AND/OR/IS NULL/params), projection arithmetic,
+#: aggregation with and without GROUP BY, hash and index-lookup joins,
+#: sorting, TOP, DISTINCT, UNION ALL, and subqueries.
+EQUIVALENCE_QUERIES = [
+    "SELECT * FROM customer",
+    "SELECT cid, cname FROM customer WHERE cid <= 25",
+    "SELECT cname FROM customer WHERE segment = 'gold' AND cid > 50",
+    "SELECT cname FROM customer WHERE segment = 'gold' OR cid < 5",
+    "SELECT cname FROM customer WHERE cname LIKE 'cust1%'",
+    "SELECT cid FROM customer WHERE caddress IS NOT NULL AND cid % 7 = 0",
+    "SELECT oid, total * 2 + 1 FROM orders WHERE status = 'OPEN'",
+    "SELECT COUNT(*), SUM(total), AVG(total), MIN(total), MAX(total) FROM orders",
+    "SELECT status, COUNT(*), SUM(total) FROM orders GROUP BY status",
+    "SELECT segment, COUNT(*) FROM customer GROUP BY segment HAVING COUNT(*) > 10",
+    "SELECT c.cname, o.total FROM customer c JOIN orders o ON c.cid = o.o_cid "
+    "WHERE o.total > 500 ORDER BY o.total DESC",
+    "SELECT TOP 7 cname FROM customer ORDER BY cid DESC",
+    "SELECT DISTINCT status FROM orders",
+    "SELECT cid FROM customer WHERE cid <= 3 "
+    "UNION ALL SELECT oid FROM orders WHERE oid <= 3",
+    "SELECT cname FROM customer WHERE cid IN "
+    "(SELECT o_cid FROM orders WHERE total > 550)",
+    "SELECT o_cid, SUM(total) FROM orders GROUP BY o_cid "
+    "ORDER BY SUM(total) DESC",
+]
+
+
+@pytest.fixture
+def server():
+    return make_shop_backend()
+
+
+def run_both_modes(server, query, params=None):
+    server.batch_exec = False
+    row_result = server.execute(query, params=params).rows
+    server.batch_exec = True
+    batch_result = server.execute(query, params=params).rows
+    return row_result, batch_result
+
+
+class TestModeEquivalence:
+    @pytest.mark.parametrize("query", EQUIVALENCE_QUERIES)
+    def test_same_rows_in_both_modes(self, server, query):
+        row_result, batch_result = run_both_modes(server, query)
+        assert batch_result == row_result
+
+    def test_parameters_hoisted_per_batch(self, server):
+        row_result, batch_result = run_both_modes(
+            server,
+            "SELECT cname FROM customer WHERE cid <= @limit AND segment = @seg",
+            params={"limit": 60, "seg": "gold"},
+        )
+        assert batch_result == row_result
+        assert row_result  # the query must actually select something
+
+    def test_null_heavy_rows(self, server):
+        server.execute("INSERT INTO customer VALUES (998, 'nully', NULL, NULL)")
+        server.execute("INSERT INTO orders VALUES (9001, 998, NULL, NULL)")
+        for query in (
+            "SELECT cid FROM customer WHERE caddress IS NULL",
+            "SELECT cname FROM customer WHERE segment = 'gold'",
+            "SELECT COUNT(total), SUM(total), AVG(total) FROM orders",
+            "SELECT status, COUNT(*) FROM orders GROUP BY status",
+            "SELECT cname FROM customer WHERE cname LIKE 'nul%'",
+        ):
+            row_result, batch_result = run_both_modes(server, query)
+            assert batch_result == row_result
+
+    def test_work_counters_identical_across_modes(self, server):
+        query = "SELECT status, COUNT(*) FROM orders WHERE total > 100 GROUP BY status"
+        server.batch_exec = False
+        server.reset_work()
+        server.execute(query)
+        row_work = server.total_work.rows_processed
+        server.batch_exec = True
+        server.reset_work()
+        server.execute(query)
+        assert server.total_work.rows_processed == row_work
+        assert row_work >= 400  # the scan really counted its input
+
+
+class TestBatchProtocol:
+    def _scan(self):
+        database = Database("t")
+        schema = Schema([Column("id", INT, nullable=False, qualifier="t")])
+        database.create_storage(TableDef("t", schema, primary_key=("id",)))
+        table = database.storage_table("t")
+        for i in range(1, 1001):
+            table.insert((i,))
+        return database, SeqScanOp(schema, "t")
+
+    def test_scan_yields_fixed_size_chunks(self):
+        database, scan = self._scan()
+        ctx = ExecutionContext(database=database, batch_rows=64)
+        chunks = list(scan.execute_batches(ctx))
+        assert [len(chunk) for chunk in chunks] == [64] * 15 + [40]
+        assert [row for chunk in chunks for row in chunk] == [
+            (i,) for i in range(1, 1001)
+        ]
+
+    def test_batches_are_never_empty(self):
+        database, scan = self._scan()
+        predicate = ExpressionCompiler(scan.schema).compile(
+            parse_expression("id = 77")
+        )
+        op = FilterOp(scan, predicate)
+        ctx = ExecutionContext(database=database, batch_rows=50)
+        chunks = list(op.execute_batches(ctx))
+        # 19 of the 20 input chunks filter to nothing and must be elided.
+        assert chunks == [[(77,)]]
+
+    def test_fallback_shim_chunks_row_operators(self):
+        # NestedLoopJoinOp has no batch override: the base-class shim
+        # must adapt its row iterator into properly sized chunks.
+        database = Database("t")
+        schema = Schema([Column("n", INT, qualifier="v")])
+
+        def values(count):
+            return ValuesOp(
+                schema, [[lambda row, ctx, v=i: v] for i in range(count)]
+            )
+
+        join = NestedLoopJoinOp(values(3), values(4))
+        assert "execute_batches" not in type(join).__dict__
+        ctx = ExecutionContext(database=database, batch_rows=5)
+        chunks = list(join.execute_batches(ctx))
+        assert [len(chunk) for chunk in chunks] == [5, 5, 2]
+        assert sum(len(chunk) for chunk in chunks) == 12
+
+    def test_batch_cursor(self):
+        database, scan = self._scan()
+        cursor = BatchCursor(scan, ExecutionContext(database=database, batch_rows=400))
+        sizes = []
+        while (chunk := cursor.next_batch()) is not None:
+            sizes.append(len(chunk))
+        assert sizes == [400, 400, 200]
+        assert cursor.next_batch() is None  # exhausted stays exhausted
+        cursor.close()
+
+    def test_kernel_cache_counts_hits_and_misses(self):
+        database, scan = self._scan()
+        predicate = ExpressionCompiler(scan.schema).compile(
+            parse_expression("id > 500")
+        )
+        op = FilterOp(scan, predicate)
+        ctx = ExecutionContext(database=database, batch_rows=100)
+        assert len(list(op.execute_batches(ctx))) == 5
+        assert ctx.compiled_cache_misses == 1
+        assert ctx.compiled_cache_hits == 0
+        # Re-executing the same operator instance reuses the built kernel.
+        list(op.execute_batches(ctx))
+        assert ctx.compiled_cache_misses == 1
+        assert ctx.compiled_cache_hits == 1
+
+
+class TestModeSelection:
+    def test_env_flag_defaults_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_EXEC", raising=False)
+        assert batch_exec_default() is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "no", "", "  FALSE "])
+    def test_env_flag_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BATCH_EXEC", value)
+        assert batch_exec_default() is False
+
+    def test_server_reads_env_at_construction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_EXEC", "0")
+        assert make_shop_backend().batch_exec is False
+        monkeypatch.setenv("REPRO_BATCH_EXEC", "1")
+        assert make_shop_backend().batch_exec is True
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        from repro.engine import Server
+
+        monkeypatch.setenv("REPRO_BATCH_EXEC", "0")
+        assert Server("s", batch_exec=True).batch_exec is True
+
+    def test_context_inherits_server_settings(self):
+        from repro.engine import Server
+        from repro.engine.session import Session
+
+        server = Server("s", batch_exec=True, batch_rows=33)
+        server.create_database("d")
+        ctx = server._make_context({}, server.database("d"), Session())
+        assert ctx.batch_exec is True
+        assert ctx.batch_rows == 33
+        assert ExecutionContext(database=None).batch_rows == DEFAULT_BATCH_ROWS
+
+
+class TestObservability:
+    def test_exec_metrics_exported(self, server):
+        server.batch_exec = True
+        server.execute("SELECT status, COUNT(*) FROM orders GROUP BY status")
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["exec.batches"] > 0
+        assert counters["exec.compiled_cache_misses"] > 0
+        histogram = server.metrics.snapshot()["histograms"]["exec.batch_rows"]
+        assert histogram["count"] == counters["exec.batches"]
+        assert 0 < histogram["mean"] <= DEFAULT_BATCH_ROWS
+
+    def test_exec_metrics_present_even_in_row_mode(self, server):
+        server.batch_exec = False
+        server.execute("SELECT cid FROM customer WHERE cid = 1")
+        counters = server.metrics.snapshot()["counters"]
+        # Eagerly registered: exports always carry the keys.
+        assert counters["exec.batches"] == 0
+        assert counters["exec.compiled_cache_hits"] == 0
+
+    def test_profile_counts_batches(self, server):
+        server.batch_exec = True
+        server.profile_statements = True
+        result = server.execute("SELECT cname FROM customer WHERE cid <= 150")
+        profile = result.profile
+        assert profile is not None
+        assert profile.root.actual_rows == 150
+        assert profile.root.actual_batches >= 1
+        assert "batches=" in profile.render()
+        assert profile.to_dict()["actual_batches"] == profile.root.actual_batches
+
+    def test_profile_batches_zero_in_row_mode(self, server):
+        server.batch_exec = False
+        server.profile_statements = True
+        result = server.execute("SELECT cname FROM customer WHERE cid <= 150")
+        assert result.profile.root.actual_rows == 150
+        assert result.profile.root.actual_batches == 0
+
+
+class TestLikeMemo:
+    def test_pattern_compiled_once(self):
+        first = compiled_like_pattern("abc%")
+        assert compiled_like_pattern("abc%") is first
+
+    def test_memo_is_bounded(self):
+        from repro.exec import expressions
+
+        for i in range(expressions._like_pattern_memo.capacity + 50):
+            compiled_like_pattern(f"p{i}%")
+        assert (
+            len(expressions._like_pattern_memo)
+            <= expressions._like_pattern_memo.capacity
+        )
+
+    def test_dynamic_like_matches_scalar(self, server):
+        # Pattern comes from a parameter: compiled per chunk, not per row.
+        row_result, batch_result = run_both_modes(
+            server,
+            "SELECT cname FROM customer WHERE cname LIKE @pat",
+            params={"pat": "cust1_"},
+        )
+        assert batch_result == row_result
+        assert len(row_result) == 10

@@ -10,7 +10,17 @@ from repro.common.schema import Column, Schema
 from repro.common.types import FLOAT, INT, VARCHAR
 from repro.errors import ExecutionError, TypeCheckError
 from repro.exec.context import ExecutionContext
-from repro.exec.expressions import ExpressionCompiler, like_to_regex, sql_and, sql_not, sql_or
+from repro.exec.expressions import (
+    ExpressionCompiler,
+    _coerce_pair,
+    batch_form,
+    compiled_like_pattern,
+    like_to_regex,
+    sql_and,
+    sql_compare,
+    sql_not,
+    sql_or,
+)
 from repro.sql import parse_expression
 
 SCHEMA = Schema(
@@ -195,3 +205,144 @@ class TestLikeRegex:
         assert like_to_regex("abc").match("abc")
         assert not like_to_regex("abc").match("xabc")
         assert not like_to_regex("abc").match("abcx")
+
+    def test_compiled_pattern_memoized(self):
+        assert compiled_like_pattern("xy%") is compiled_like_pattern("xy%")
+
+
+class TestCoercionEdgeCases:
+    """sql_compare/_coerce_pair corners the batch fast paths must respect."""
+
+    def test_null_on_either_side_is_unknown(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert sql_compare(op, None, 1) is None
+            assert sql_compare(op, "x", None) is None
+            assert sql_compare(op, None, None) is None
+
+    def test_int_float_cross_type(self):
+        assert sql_compare("=", 1, 1.0) is True
+        assert sql_compare("<", 1, 1.5) is True
+        assert sql_compare(">=", 2.0, 2) is True
+
+    def test_bool_coerces_to_int(self):
+        assert _coerce_pair(True, 1, "=") == 0
+        assert _coerce_pair(False, 1, "<") == -1
+        assert sql_compare("=", True, 1.0) is True
+
+    def test_date_vs_iso_string_both_sides(self):
+        day = datetime.date(2003, 6, 9)
+        assert sql_compare("=", day, "2003-06-09") is True
+        assert sql_compare("<", "2003-06-08", day) is True
+
+    def test_date_vs_datetime_promotes(self):
+        day = datetime.date(2003, 6, 9)
+        stamp = datetime.datetime(2003, 6, 9, 12, 0)
+        assert sql_compare("<", day, stamp) is True
+
+    def test_mixed_incomparable_types_rejected(self):
+        with pytest.raises(TypeCheckError):
+            sql_compare("=", "abc", 1)
+        with pytest.raises(TypeCheckError):
+            _coerce_pair(datetime.date(2003, 1, 1), 5, "<")
+
+
+#: Rows with NULLs, cross-type numerics, bools-as-ints, and boundary
+#: strings — the inputs where a vectorized fast path could drift from
+#: the scalar semantics.
+EDGE_ROWS = [
+    (1, 2.5, "hello"),
+    (None, None, None),
+    (0, 0.0, ""),
+    (-7, 1.0, "HELLO"),
+    (2, -2.5, "h_llo"),
+    (True, 2.0, "hel"),
+    (1000000, 1e-9, "hello world"),
+    (None, 3.5, "xyz"),
+    (3, None, "hello"),
+]
+
+BATCH_EXPRESSIONS = [
+    "a = 1",
+    "a <> 1",
+    "a < 2",
+    "a <= 0",
+    "a > -1",
+    "a >= 1000000",
+    "1 < a",  # flipped orientation normalizes to a > 1
+    "2.5 >= b",
+    "b = 2.5",
+    "s = 'hello'",
+    "s < 'i'",
+    "s LIKE 'he%'",
+    "s LIKE '%l_o'",
+    "s LIKE @pat",
+    "a = @x",
+    "a IS NULL",
+    "b IS NOT NULL",
+    "a = 1 AND b > 0",
+    "a = 1 OR s = 'xyz'",
+    "NOT (a = 1)",
+    "a + 1",
+    "-b",
+    "a BETWEEN 0 AND 2",
+    "a IN (1, 2, NULL)",
+    "COALESCE(a, 99)",
+]
+
+
+class TestBatchFormsMatchScalar:
+    """Every compiled batch closure must equal the scalar map, row for row."""
+
+    PARAMS = {"x": 1, "pat": "h%o"}
+
+    def _compiled(self, text):
+        return ExpressionCompiler(SCHEMA).compile(parse_expression(text))
+
+    @pytest.mark.parametrize("text", BATCH_EXPRESSIONS)
+    def test_batch_equals_scalar_on_edge_rows(self, text):
+        compiled = self._compiled(text)
+        ctx = ExecutionContext(params=self.PARAMS)
+        expected = [compiled(row, ctx) for row in EDGE_ROWS]
+        assert batch_form(compiled)(EDGE_ROWS, ctx) == expected
+
+    @pytest.mark.parametrize("text", BATCH_EXPRESSIONS)
+    def test_batch_of_empty_chunk_is_empty(self, text):
+        compiled = self._compiled(text)
+        assert batch_form(compiled)([], ExecutionContext(params=self.PARAMS)) == []
+
+    def test_temporal_batch_fast_path(self):
+        schema = Schema([Column("d", INT)])
+        compiled = ExpressionCompiler(schema).compile(
+            parse_expression("d >= '2003-01-05'")
+        )
+        rows = [
+            (datetime.date(2003, 1, 4),),
+            (datetime.date(2003, 1, 5),),
+            (None,),
+            (datetime.date(2003, 1, 6),),
+        ]
+        ctx = ExecutionContext()
+        expected = [compiled(row, ctx) for row in rows]
+        assert expected == [False, True, None, True]
+        assert batch_form(compiled)(rows, ctx) == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(-50, 50), st.booleans()),
+                st.one_of(st.none(), st.floats(-50, 50, allow_nan=False)),
+                st.one_of(st.none(), st.text(alphabet="abchelo_%", max_size=8)),
+            ),
+            max_size=20,
+        ),
+        st.sampled_from(
+            ["a < 3", "a >= @x", "b <= 1.5", "s = 'he'", "s LIKE 'h%'",
+             "a = 1 AND b > 0", "a IS NULL OR s <> 'x'"]
+        ),
+    )
+    def test_property_batch_matches_scalar(self, rows, text):
+        compiled = self._compiled(text)
+        ctx = ExecutionContext(params=self.PARAMS)
+        expected = [compiled(row, ctx) for row in rows]
+        assert batch_form(compiled)(rows, ctx) == expected
