@@ -34,6 +34,11 @@ own source (``python -m repro analyze --self``):
   ``repro/engine/locks.py``. Concurrency primitives funnel through that
   chokepoint so the locking hierarchy (database latch above table locks)
   stays auditable and ad-hoc locks cannot introduce new deadlock edges.
+* ``shard-ownership`` — no ``hash(...) % n`` placement arithmetic outside
+  ``repro/sharding``. Python's builtin ``hash`` is salted per process, so
+  ad-hoc modulo placement disagrees across runs (and with the ring);
+  ownership decisions go through ``repro.sharding.stable_hash`` /
+  ``HashRing`` / ``RangePartitioner``.
 * ``compile-at-build-time`` — operator execution bodies (``execute``,
   ``execute_batches``, ``__next__``, ``next_batch``) may not call
   ``compile_scalar``/``compile_predicate`` or construct an
@@ -338,6 +343,27 @@ def _check_compile_at_build_time(tree: ast.AST, path: str) -> Iterator[AnalysisE
                     )
 
 
+def _check_shard_ownership(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
+    if _in_subtree(path, "sharding"):
+        return  # the one place allowed to turn hashes into placements
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.BinOp) or not isinstance(node.op, ast.Mod):
+            continue
+        left = node.left
+        if (
+            isinstance(left, ast.Call)
+            and isinstance(left.func, ast.Name)
+            and left.func.id == "hash"
+        ):
+            yield AnalysisError(
+                "shard-ownership",
+                "hash(...) % n outside repro.sharding; the builtin hash is "
+                "salted per process, so modulo placement disagrees across runs "
+                "— use repro.sharding.stable_hash / HashRing instead",
+                location=f"{path}:{node.lineno}",
+            )
+
+
 _ALL_CHECKS = (
     _check_wall_clock,
     _check_bare_except,
@@ -346,6 +372,7 @@ _ALL_CHECKS = (
     _check_resilience_determinism,
     _check_session_construction,
     _check_raw_threading_lock,
+    _check_shard_ownership,
     _check_compile_at_build_time,
 )
 

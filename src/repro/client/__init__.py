@@ -24,5 +24,6 @@ this package and ``repro.engine`` itself, nothing constructs a raw
 
 from repro.client.connection import Connection, Cursor, connect
 from repro.client.pool import ConnectionPool
+from repro.client.shard_router import ShardRouter
 
-__all__ = ["Connection", "ConnectionPool", "Cursor", "connect"]
+__all__ = ["Connection", "ConnectionPool", "Cursor", "ShardRouter", "connect"]

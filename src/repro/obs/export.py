@@ -48,6 +48,9 @@ def deployment_snapshot(deployment) -> Dict[str, Any]:
             "commands_produced": deployment.log_reader.commands_produced,
             "average_latency_seconds": deployment.average_replication_latency(),
             "subscriptions": subscriptions,
+            "lag_rollup": replication_metrics.rollup(
+                deployment, samples=subscriptions
+            ),
         },
     }
 

@@ -102,3 +102,69 @@ def sample(deployment) -> Dict[str, Dict[str, float]]:
     for agent in deployment.distributor.agents:
         samples[agent.subscription.name] = update_lag_gauges(agent, now=now)
     return samples
+
+
+def rollup(
+    deployment, samples: Optional[Dict[str, Dict[str, float]]] = None, registry=None
+) -> Dict[str, Any]:
+    """Aggregate per-subscription lag across the whole cache tier.
+
+    With one cache the per-subscription gauges are the whole story; a
+    sharded tier has ``shards x views`` subscriptions and the question
+    becomes "which shard is behind, and how far is the worst one?". This
+    groups subscriptions by subscriber server and publishes tier-wide
+    ``replication.tier_lag_*`` (max and mean) plus per-server
+    ``replication.server_lag_seconds_max{server=...}`` gauges on the
+    *publisher's* registry — the one place that sees every shard.
+    """
+    if samples is None:
+        samples = sample(deployment)
+    per_server: Dict[str, Dict[str, float]] = {}
+    for agent in deployment.distributor.agents:
+        values = samples.get(agent.subscription.name)
+        if values is None:
+            continue
+        server = getattr(
+            agent.subscription.subscriber_database, "owner_server", None
+        )
+        bucket = per_server.setdefault(
+            getattr(server, "name", "unknown"),
+            {"lag_seconds_max": 0.0, "lag_transactions_max": 0, "subscriptions": 0},
+        )
+        bucket["lag_seconds_max"] = max(
+            bucket["lag_seconds_max"], values["lag_seconds"]
+        )
+        bucket["lag_transactions_max"] = max(
+            bucket["lag_transactions_max"], values["lag_transactions"]
+        )
+        bucket["subscriptions"] += 1
+    seconds = [values["lag_seconds"] for values in samples.values()]
+    transactions = [values["lag_transactions"] for values in samples.values()]
+    summary: Dict[str, Any] = {
+        "lag_seconds_max": max(seconds, default=0.0),
+        "lag_seconds_mean": sum(seconds) / len(seconds) if seconds else 0.0,
+        "lag_transactions_max": max(transactions, default=0),
+        "lag_transactions_mean": (
+            sum(transactions) / len(transactions) if transactions else 0.0
+        ),
+        "servers": per_server,
+    }
+    if registry is None:
+        backend = getattr(deployment, "backend", None)
+        if backend is not None and getattr(backend, "observability", False):
+            registry = getattr(backend, "metrics", None)
+    if registry is not None:
+        registry.gauge("replication.tier_lag_seconds_max").set(
+            summary["lag_seconds_max"]
+        )
+        registry.gauge("replication.tier_lag_seconds_mean").set(
+            summary["lag_seconds_mean"]
+        )
+        registry.gauge("replication.tier_lag_transactions_max").set(
+            summary["lag_transactions_max"]
+        )
+        for server_name, bucket in per_server.items():
+            registry.gauge(
+                "replication.server_lag_seconds_max", labels={"server": server_name}
+            ).set(bucket["lag_seconds_max"])
+    return summary

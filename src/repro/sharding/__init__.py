@@ -1,0 +1,49 @@
+"""The partitioned cache tier: placement, provisioning, rebalancing.
+
+The paper's scale-out (Figure 6) replicates the *same* articles to every
+cache server, so each server pays the full apply cost and the tier tops
+out where replication work saturates one cache (five servers in the
+paper). This package partitions instead: each shard subscribes to a
+horizontal slice of the hot tables, apply work divides across the tier,
+and a shard-aware router (:class:`repro.client.ShardRouter`) sends
+single-key statements to the owning shard and scatter-gathers scans.
+
+Placement strategies live in :mod:`repro.sharding.ring`; the declarative
+table/procedure policy in :mod:`repro.sharding.policy`; scatter-gather
+decomposition in :mod:`repro.sharding.scatter`; provisioning and
+rebalancing in :mod:`repro.sharding.deployment` and
+:mod:`repro.sharding.rebalance`.
+"""
+
+from repro.sharding.deployment import ShardedDeployment
+from repro.sharding.policy import (
+    ROUTE_BACKEND,
+    ROUTE_KEY,
+    ROUTE_SCATTER,
+    BroadcastView,
+    ProcedureRoute,
+    ShardingPolicy,
+    TablePartition,
+    tpcw_sharding_policy,
+)
+from repro.sharding.rebalance import Rebalancer
+from repro.sharding.ring import HashRing, RangePartitioner, stable_hash
+from repro.sharding.scatter import ScatterQuery, decompose
+
+__all__ = [
+    "BroadcastView",
+    "HashRing",
+    "ProcedureRoute",
+    "RangePartitioner",
+    "Rebalancer",
+    "ROUTE_BACKEND",
+    "ROUTE_KEY",
+    "ROUTE_SCATTER",
+    "ScatterQuery",
+    "ShardedDeployment",
+    "ShardingPolicy",
+    "TablePartition",
+    "decompose",
+    "stable_hash",
+    "tpcw_sharding_policy",
+]

@@ -1,0 +1,297 @@
+"""ShardedDeployment: N cache shards, each subscribing to a slice.
+
+Builds on :class:`~repro.mtcache.deployment.MTCacheDeployment` — every
+shard is an ordinary minimal-shadow cache server whose cached views of
+the partitioned tables carry the shard's slice predicate, so the
+existing replication pipeline (articles with row restrictions, log
+reader, push agents) delivers each shard only its horizontal slice.
+Broadcast views replicate in full to every shard.
+
+The division of labor with the router:
+
+* the **deployment** owns placement (the :class:`RangePartitioner`),
+  provisioning, and rebalancing (boundary moves executed from
+  :meth:`tick`, one per tick);
+* the **router** (:meth:`router` / :meth:`connect`) owns statement
+  routing, scatter-gather, and per-shard failover.
+
+Correctness never rests on the router being current: a shard's slice
+views are *predicated*, so the optimizer's dynamic plans serve owned
+keys locally and transparently fetch unowned keys from the backend —
+a misrouted or mid-rebalance statement is slower, not wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.catalog.objects import ViewDef
+from repro.mtcache.cache_server import CacheServer
+from repro.mtcache.deployment import MTCacheDeployment
+from repro.obs.metrics import MetricsRegistry
+from repro.sharding.policy import ShardingPolicy, TablePartition
+from repro.sharding.rebalance import Rebalancer
+from repro.sharding.ring import RangePartitioner
+
+
+class ShardedDeployment:
+    """A partitioned cache tier over one backend."""
+
+    def __init__(
+        self,
+        backend=None,
+        config=None,
+        shards: int = 8,
+        policy: Optional[ShardingPolicy] = None,
+        shard_names: Optional[List[str]] = None,
+        logreader_interval: float = 0.25,
+        agent_interval: float = 0.25,
+    ):
+        """With no ``backend``, builds and populates a TPC-W backend
+        (``config`` may override :class:`~repro.tpcw.TPCWConfig`) — the
+        quickstart path. ``policy`` defaults to the TPC-W policy."""
+        if backend is None:
+            from repro.tpcw.setup import build_backend
+
+            backend, config = build_backend(config)
+        if policy is None:
+            from repro.sharding.policy import tpcw_sharding_policy
+            from repro.tpcw.config import TPCWConfig
+
+            policy = tpcw_sharding_policy(config or TPCWConfig())
+        from repro.tpcw.setup import DATABASE_NAME
+
+        self.backend = backend
+        self.policy = policy
+        self.database_name = DATABASE_NAME
+        self.deployment = MTCacheDeployment(
+            backend,
+            self.database_name,
+            logreader_interval=logreader_interval,
+            agent_interval=agent_interval,
+        )
+        names = shard_names or [f"shard{index}" for index in range(shards)]
+        low, high = policy.key_domain
+        self.partitioner = RangePartitioner(names, low, high)
+        self.metrics = MetricsRegistry(namespace="sharding")
+        self.shards: Dict[str, CacheServer] = {}
+        for name in names:
+            self.shards[name] = self._provision_shard(name)
+        self.rebalancer = Rebalancer(self)
+
+    # -- conveniences ------------------------------------------------------
+
+    @property
+    def clock(self):
+        return self.deployment.clock
+
+    @property
+    def cache_servers(self) -> List[CacheServer]:
+        return self.deployment.cache_servers
+
+    def shard(self, name: str) -> CacheServer:
+        return self.shards[name]
+
+    def attach_fault_injector(self, injector) -> None:
+        self.deployment.attach_fault_injector(injector)
+
+    # -- provisioning ------------------------------------------------------
+
+    def _provision_shard(self, name: str) -> CacheServer:
+        cache = self.deployment.add_cache_server(
+            name, shadow_tables=list(self.policy.shadow_tables)
+        )
+        for broadcast in self.policy.broadcasts:
+            cache.create_cached_view(broadcast.ddl)
+        low, high = self.partitioner.slice(name)
+        for partition in self.policy.partitions.values():
+            cache.create_cached_view(partition.ddl(low, high))
+        if self.policy.procedures:
+            cache.copy_procedures(list(self.policy.procedures))
+        return cache
+
+    def add_shard(self, name: str) -> CacheServer:
+        """Grow the tier by one shard: split the widest slice into it.
+
+        The full rebalance choreography in one call: provision the new
+        cache with the upper half of the donor's range (subscribe +
+        snapshot populate it), cut the partitioner over, then narrow the
+        donor (articles, view definitions, rows). Use
+        ``rebalancer.schedule_add_shard`` to run it from ``tick`` instead.
+        """
+        donor = self.partitioner.widest_shard()
+        keep, give = self.partitioner.plan_split(donor)
+        # Drain first: commands produced before the predicate change must
+        # land under the old slices; later commits are classified by the
+        # log reader at poll time, against the updated predicates.
+        self.deployment.sync()
+        self.partitioner.add_shard(name, *give)
+        cache = self._provision_shard(name)
+        self.shards[name] = cache
+        self._retarget(donor, *keep)
+        self.partitioner.set_slice(donor, *keep)
+        self.metrics.counter("shard.rebalance_moves").inc()
+        return cache
+
+    # -- rebalancing internals --------------------------------------------
+
+    def _retarget(self, shard_name: str, low: int, high: int) -> int:
+        """Re-slice an existing shard to ``[low, high]``.
+
+        Updates, for every partitioned table: the publication article's
+        predicate (future replicated commands), the shard's cached-view
+        definition (so view matching sees the new slice), and the view's
+        stored rows (copy gained keys from the backend, drop lost ones).
+        Returns the number of rows moved in or out.
+        """
+        cache = self.shards[shard_name]
+        database = cache.database
+        moved = 0
+        for partition in self.policy.partitions.values():
+            subscription = cache.subscriptions[partition.view.lower()]
+            article = self.deployment.publication.article(subscription.article_name)
+            predicate = self.partitioner_predicate(partition, low, high)
+            article.predicate = predicate
+            article.bind(
+                self.deployment.backend_database.catalog.get_table(
+                    partition.table
+                ).schema
+            )
+            view = database.catalog.get_view(partition.view)
+            database.catalog.drop_view(partition.view)
+            database.catalog.add_view(
+                replace(view, select=replace(view.select, where=predicate))
+            )
+            moved += self._resync_rows(database, partition, article, low, high)
+            database.analyze(partition.view)
+        database.bump_version()
+        return moved
+
+    @staticmethod
+    def partitioner_predicate(partition: TablePartition, low: int, high: int):
+        from repro.sql import ast
+
+        return ast.Between(
+            operand=ast.ColumnRef(name=partition.key_column),
+            low=ast.Literal(low),
+            high=ast.Literal(high),
+        )
+
+    def _resync_rows(
+        self, database, partition: TablePartition, article, low: int, high: int
+    ) -> int:
+        """Make the view's stored rows exactly the backend rows in range.
+
+        Idempotent set reconciliation rather than delta shipping: drop
+        rows that left the slice, copy rows that joined it (skipping keys
+        already present — replication may already have delivered them).
+        """
+        storage = database.storage_table(partition.view)
+        key_position = storage.schema.resolve(partition.view_key())
+        moved = 0
+        stale = [
+            rid
+            for rid, row in storage.scan()
+            if not (low <= row[key_position] <= high)
+        ]
+        for rid in stale:
+            storage.delete_rid(rid)
+        moved += len(stale)
+        present = {row[key_position] for _, row in storage.scan()}
+        source = self.deployment.backend_database.storage_table(partition.table)
+        for _, row in source.scan():
+            if article.row_matches(row):
+                projected = article.project(row)
+                if projected[key_position] not in present:
+                    storage.insert(projected)
+                    moved += 1
+        return moved
+
+    def move_boundary(self, left: str, right: str, new_cut: int) -> int:
+        """Shift the boundary between two adjacent shards to ``new_cut``
+        (the left shard's new inclusive high). Returns rows moved."""
+        left_low, left_high = self.partitioner.slice(left)
+        right_low, right_high = self.partitioner.slice(right)
+        if right_low != left_high + 1:
+            raise ValueError(f"shards {left!r} and {right!r} are not adjacent")
+        if not (left_low <= new_cut < right_high):
+            raise ValueError(f"cut {new_cut} outside ({left_low}, {right_high})")
+        self.deployment.sync()
+        moved = 0
+        if new_cut > left_high:  # left grows: widen it first, then shrink right
+            moved += self._retarget(left, left_low, new_cut)
+            moved += self._retarget(right, new_cut + 1, right_high)
+        else:  # left shrinks: grow right first
+            moved += self._retarget(right, new_cut + 1, right_high)
+            moved += self._retarget(left, left_low, new_cut)
+        self.partitioner.set_slice(left, left_low, new_cut)
+        self.partitioner.set_slice(right, new_cut + 1, right_high)
+        self.metrics.counter("shard.rebalance_moves").inc()
+        self.metrics.counter("shard.rebalance_rows").inc(moved)
+        return moved
+
+    # -- driving -----------------------------------------------------------
+
+    def tick(self, advance: float = 0.0) -> Dict[str, int]:
+        """Advance replication, then run at most one due rebalance move."""
+        counters = self.deployment.tick(advance)
+        counters["rebalance_moves"] = self.rebalancer.run_due(self.clock.now())
+        return counters
+
+    def sync(self) -> None:
+        self.deployment.sync()
+
+    def failover_connection(self, cache, principal: str = "dbo", probe_interval: float = 1.0):
+        return self.deployment.failover_connection(
+            cache, principal=principal, probe_interval=probe_interval
+        )
+
+    # -- the client tier ---------------------------------------------------
+
+    def router(self, principal: str = "dbo", probe_interval: float = 1.0):
+        """A :class:`~repro.client.ShardRouter` over per-shard failover."""
+        from repro.client.shard_router import ShardRouter
+
+        def target_factory(name: str):
+            cache = self.shards.get(name)
+            if cache is None:
+                return None
+            return self.deployment.failover_connection(
+                cache, principal=principal, probe_interval=probe_interval
+            )
+
+        return ShardRouter(
+            backend=self.backend,
+            database=self.database_name,
+            partitioner=self.partitioner,
+            policy=self.policy,
+            shard_targets={name: target_factory(name) for name in self.shards},
+            registry=self.metrics,
+            principal=principal,
+            target_factory=target_factory,
+        )
+
+    def connect(self, principal: str = "dbo"):
+        """A routed DBAPI connection (the README quickstart entrypoint)."""
+        return self.router(principal=principal).connection()
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """The deployment snapshot plus shard routing/placement state."""
+        from repro.obs.export import deployment_snapshot
+
+        snapshot = deployment_snapshot(self.deployment)
+        snapshot["sharding"] = {
+            "shards": {
+                name: {"slice": list(self.partitioner.slice(name))}
+                for name in self.partitioner.shards
+            },
+            "partitioner_version": self.partitioner.version,
+            "metrics": self.metrics.snapshot(),
+        }
+        return snapshot
+
+    def __repr__(self) -> str:
+        return f"<ShardedDeployment shards={list(self.shards)}>"

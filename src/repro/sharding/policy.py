@@ -1,0 +1,161 @@
+"""Sharding policy: which tables partition, and how statements route.
+
+A :class:`ShardingPolicy` is the declarative half of the sharded tier:
+
+* ``partitions`` — tables split across shards. Each shard's cached view
+  of a partitioned table carries the shard's slice as its WHERE clause,
+  so the replication article (and therefore the shard's storage and
+  apply work) covers only the slice.
+* ``broadcasts`` — cached views every shard carries in full (small or
+  join-critical tables; the classic broadcast/dimension-table choice).
+* ``routes`` — per-procedure routing: single-key procedures go to the
+  owning shard, decomposable scans scatter-gather, everything else goes
+  to the backend.
+
+:func:`tpcw_sharding_policy` instantiates the policy for the TPC-W
+deployment: **item** and **order_line** partition on the item id (they
+co-partition — order lines live with the item they reference, which is
+what the bestseller-style joins want), while **author** and **orders**
+broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tpcw.config import TPCWConfig
+
+#: Routing kinds.
+ROUTE_KEY = "key"
+ROUTE_SCATTER = "scatter"
+ROUTE_BACKEND = "backend"
+
+
+@dataclass(frozen=True)
+class TablePartition:
+    """One horizontally partitioned table."""
+
+    table: str  # base table on the backend
+    view: str  # the cached view name each shard materializes
+    key_column: str  # the partition key (a column of ``table``)
+    select: str  # the view's select-project body, without WHERE
+    # column name of the key *in the view's output* (usually the same).
+    view_key_column: Optional[str] = None
+
+    def view_key(self) -> str:
+        return self.view_key_column or self.key_column
+
+    def ddl(self, low: int, high: int) -> str:
+        """The shard-local CREATE CACHED VIEW statement for one slice."""
+        return (
+            f"CREATE CACHED VIEW {self.view} AS {self.select} "
+            f"WHERE {self.key_column} BETWEEN {low} AND {high}"
+        )
+
+
+@dataclass(frozen=True)
+class BroadcastView:
+    """A cached view every shard carries in full."""
+
+    view: str
+    ddl: str
+
+
+@dataclass(frozen=True)
+class ProcedureRoute:
+    """How one stored procedure routes through the shard tier."""
+
+    kind: str  # ROUTE_KEY / ROUTE_SCATTER / ROUTE_BACKEND
+    table: Optional[str] = None  # the partitioned table the route keys on
+    key_param: Optional[str] = None  # procedure parameter carrying the key
+
+
+@dataclass
+class ShardingPolicy:
+    """The full declarative description of a sharded cache tier."""
+
+    key_domain: Tuple[int, int]  # shared key domain of the partitioned tables
+    partitions: Dict[str, TablePartition] = field(default_factory=dict)
+    broadcasts: List[BroadcastView] = field(default_factory=list)
+    routes: Dict[str, ProcedureRoute] = field(default_factory=dict)
+    shadow_tables: List[str] = field(default_factory=list)
+    procedures: List[str] = field(default_factory=list)  # copied to shards
+
+    def partition_for(self, table: str) -> Optional[TablePartition]:
+        return self.partitions.get(table.lower())
+
+    def route_for(self, procedure: str) -> ProcedureRoute:
+        return self.routes.get(procedure.lower(), _BACKEND_ROUTE)
+
+
+_BACKEND_ROUTE = ProcedureRoute(kind=ROUTE_BACKEND)
+
+
+def tpcw_sharding_policy(config: TPCWConfig) -> ShardingPolicy:
+    """The TPC-W policy: item/order_line partition by item id.
+
+    Routing choices, procedure by procedure:
+
+    * ``getBook``/``getStock`` — single-key item lookups: route to the
+      owning shard (``ROUTE_KEY``).
+    * the search procedures (``doSubjectSearch``, ``doTitleSearch``,
+      ``doAuthorSearch``, ``getNewProducts``) — TOP-n ORDER BY scans of
+      item x author: scatter across shards and re-merge. Their sort
+      columns include the unique item title, so the merged order is
+      total and deterministic.
+    * ``getBestSellers`` (global TOP-window subquery + GROUP BY),
+      ``getRelated`` (an item self-join whose related id may live on
+      another shard), the order/customer procedures, and every write —
+      backend (``ROUTE_BACKEND``). Unlisted procedures default there.
+    """
+    partitions = {
+        "item": TablePartition(
+            table="item",
+            view="cv_item",
+            key_column="i_id",
+            select="SELECT * FROM item",
+        ),
+        "order_line": TablePartition(
+            table="order_line",
+            view="cv_order_line",
+            key_column="ol_i_id",
+            select=(
+                "SELECT ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount "
+                "FROM order_line"
+            ),
+        ),
+    }
+    broadcasts = [
+        BroadcastView(
+            view="cv_author",
+            ddl="CREATE CACHED VIEW cv_author AS SELECT * FROM author",
+        ),
+        BroadcastView(
+            view="cv_orders",
+            ddl="CREATE CACHED VIEW cv_orders AS SELECT o_id, o_c_id, o_date FROM orders",
+        ),
+    ]
+    routes = {
+        "getbook": ProcedureRoute(ROUTE_KEY, table="item", key_param="i_id"),
+        "getstock": ProcedureRoute(ROUTE_KEY, table="item", key_param="i_id"),
+        "dosubjectsearch": ProcedureRoute(ROUTE_SCATTER, table="item"),
+        "dotitlesearch": ProcedureRoute(ROUTE_SCATTER, table="item"),
+        "doauthorsearch": ProcedureRoute(ROUTE_SCATTER, table="item"),
+        "getnewproducts": ProcedureRoute(ROUTE_SCATTER, table="item"),
+    }
+    return ShardingPolicy(
+        key_domain=(1, config.num_items),
+        partitions=partitions,
+        broadcasts=broadcasts,
+        routes=routes,
+        shadow_tables=["item", "author", "orders", "order_line"],
+        procedures=[
+            "getBook",
+            "getStock",
+            "doSubjectSearch",
+            "doTitleSearch",
+            "doAuthorSearch",
+            "getNewProducts",
+        ],
+    )

@@ -1,0 +1,78 @@
+"""Shard rebalancing driven by ``deployment.tick``.
+
+The :class:`Rebalancer` holds a queue of planned placement changes and
+executes **at most one per tick**, each atomically within its tick (the
+deployment drains replication first, then swaps article predicates,
+view definitions and rows together). Queries racing a move stay correct
+throughout: the slice views are predicated, so a shard asked for a key
+it no longer (or does not yet) hold fetches it from the backend through
+its guarded plan instead of answering wrongly.
+
+Two move shapes:
+
+* ``schedule_add_shard(name, at)`` — grow the tier: provision a new
+  shard and give it the upper half of the widest slice (the paper-shaped
+  "snapshot, subscribe, cut over, drop" choreography, via
+  :meth:`ShardedDeployment.add_shard`).
+* ``schedule_boundary_move(left, right, new_cut, at)`` — shift load
+  between adjacent shards without changing the shard count.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Tuple
+
+
+class Rebalancer:
+    """A virtual-time queue of placement changes for one deployment."""
+
+    def __init__(self, deployment):
+        self.deployment = deployment
+        self._queue: List[Tuple[float, int, Callable[[], Any]]] = []
+        self._sequence = itertools.count()
+        self.moves_executed = 0
+        self.rows_moved = 0
+        self.last_error: Exception | None = None
+
+    def _schedule(self, when: float, action: Callable[[], Any]) -> None:
+        heapq.heappush(self._queue, (when, next(self._sequence), action))
+
+    def schedule_add_shard(self, name: str, at: float) -> None:
+        """Queue a tier-growth move for virtual time ``at``."""
+        self._schedule(at, lambda: self.deployment.add_shard(name))
+
+    def schedule_boundary_move(
+        self, left: str, right: str, new_cut: int, at: float
+    ) -> None:
+        """Queue a boundary shift between adjacent shards for ``at``."""
+        self._schedule(
+            at, lambda: self.deployment.move_boundary(left, right, new_cut)
+        )
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def run_due(self, now: float) -> int:
+        """Execute the earliest due move, if any; returns moves run (0/1).
+
+        One move per tick keeps each tick's pause bounded and gives
+        replication a chance to drain between consecutive moves. A move
+        that raises is dropped (recorded in ``last_error``) rather than
+        wedging the queue — the deployment keeps serving with the old
+        placement, which is always still correct.
+        """
+        if not self._queue or self._queue[0][0] > now:
+            return 0
+        _, _, action = heapq.heappop(self._queue)
+        try:
+            result = action()
+        except Exception as error:  # pragma: no cover - defensive
+            self.last_error = error
+            return 0
+        self.moves_executed += 1
+        if isinstance(result, int):
+            self.rows_moved += result
+        return 1

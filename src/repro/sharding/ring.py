@@ -1,0 +1,230 @@
+"""Partitioning strategies for the sharded cache tier.
+
+Two strategies share one small protocol (``shards``, ``owner(key)``,
+``version``):
+
+* :class:`HashRing` — consistent hashing with virtual nodes. Placement is
+  uniform for arbitrary key spaces and adding/removing a shard relocates
+  only ~K/N keys, but ownership of a hash bucket is not expressible as a
+  SQL predicate, so the ring serves *router-level* partitioning (and the
+  simulation scenarios), not replication slices.
+* :class:`RangePartitioner` — contiguous key ranges. Less uniform under
+  skew, but each slice **is** a SQL predicate (``key BETWEEN lo AND hi``),
+  which is what lets a shard's cached views carry the slice as an article
+  restriction and lets the optimizer build dynamic plans whose guards keep
+  even misrouted keys correct. This is the strategy
+  :class:`~repro.sharding.deployment.ShardedDeployment` provisions with.
+
+All hashing goes through :func:`stable_hash` (md5-based), never Python's
+builtin ``hash`` — the builtin is salted per process, and shard ownership
+must be deterministic across processes and runs. The ``shard-ownership``
+selflint rule enforces that no code outside this package improvises
+``hash(...) % n`` placement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sql import ast
+
+#: Virtual nodes per shard; enough that ownership spreads within a few
+#: percent of uniform at 8-32 shards without making lookups expensive.
+DEFAULT_VNODES = 64
+
+
+def stable_hash(value: object) -> int:
+    """A process-independent 64-bit hash (md5 prefix) of ``str(value)``."""
+    digest = hashlib.md5(str(value).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing over virtual nodes.
+
+    Each shard contributes ``vnodes`` points on a 64-bit ring; a key is
+    owned by the shard whose point follows the key's hash (wrapping).
+    Adding or removing one shard therefore moves only the keys between
+    the affected points — about K/N of them — instead of reshuffling
+    everything the way modular hashing does.
+    """
+
+    def __init__(self, shards: Iterable[str], vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, not {vnodes}")
+        self.vnodes = vnodes
+        self.version = 0
+        self._shards: List[str] = []
+        self._points: List[Tuple[int, str]] = []
+        for shard in shards:
+            self.add_shard(shard)
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        return tuple(self._shards)
+
+    def add_shard(self, name: str) -> None:
+        if name in self._shards:
+            raise ValueError(f"shard {name!r} already on the ring")
+        self._shards.append(name)
+        for replica in range(self.vnodes):
+            point = stable_hash(f"{name}#{replica}")
+            bisect.insort(self._points, (point, name))
+        self.version += 1
+
+    def remove_shard(self, name: str) -> None:
+        if name not in self._shards:
+            raise ValueError(f"no shard {name!r} on the ring")
+        self._shards.remove(name)
+        self._points = [entry for entry in self._points if entry[1] != name]
+        self.version += 1
+
+    def owner(self, key: object) -> str:
+        """The shard owning ``key`` (first ring point at or after its hash)."""
+        if not self._points:
+            raise ValueError("ring has no shards")
+        position = bisect.bisect_left(self._points, (stable_hash(key), ""))
+        if position == len(self._points):
+            position = 0
+        return self._points[position][1]
+
+    def ownership(self, keys: Iterable[object]) -> Dict[str, int]:
+        """How many of ``keys`` each shard owns (every shard listed)."""
+        counts = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def slice_predicate(self, shard: str, column: str, qualifier: Optional[str] = None):
+        raise NotImplementedError(
+            "hash-ring ownership is not expressible as a SQL predicate; "
+            "provision ShardedDeployment with a RangePartitioner (the "
+            "ring partitions at the router/simulation level)"
+        )
+
+    def __repr__(self) -> str:
+        return f"<HashRing shards={len(self._shards)} vnodes={self.vnodes}>"
+
+
+class RangePartitioner:
+    """Contiguous key ranges over an integer key domain.
+
+    Ranges are inclusive on both ends, kept contiguous and in shard-list
+    order; keys outside the domain clamp to the edge shards (the dynamic
+    plans' guards make a wrong guess merely slower, never incorrect).
+    ``version`` bumps on every boundary change so routers can invalidate
+    per-shard statement caches.
+    """
+
+    def __init__(self, shards: Iterable[str], low: int, high: int):
+        names = list(shards)
+        if not names:
+            raise ValueError("need at least one shard")
+        if high < low:
+            raise ValueError(f"empty key domain [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.version = 0
+        self._shards: List[str] = []
+        self._ranges: Dict[str, Tuple[int, int]] = {}
+        total = high - low + 1
+        count = len(names)
+        start = low
+        for index, name in enumerate(names):
+            # Spread the remainder over the first shards, one key each.
+            width = total // count + (1 if index < total % count else 0)
+            end = start + width - 1
+            self._shards.append(name)
+            self._ranges[name] = (start, end)
+            start = end + 1
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        return tuple(self._shards)
+
+    def slice(self, shard: str) -> Tuple[int, int]:
+        """The shard's inclusive ``(low, high)`` range (empty when high < low)."""
+        try:
+            return self._ranges[shard]
+        except KeyError:
+            raise ValueError(f"no shard {shard!r}") from None
+
+    def owner(self, key: object) -> str:
+        value = int(key)  # type: ignore[arg-type]
+        boundaries = [
+            (self._ranges[name][1], name)
+            for name in self._shards
+            if self._ranges[name][0] <= self._ranges[name][1]
+        ]
+        if not boundaries:
+            raise ValueError("all shard ranges are empty")
+        boundaries.sort()
+        position = bisect.bisect_left(boundaries, (value, ""))
+        if position == len(boundaries):
+            position -= 1  # clamp above the domain to the last shard
+        return boundaries[position][1]
+
+    def ownership(self, keys: Iterable[object]) -> Dict[str, int]:
+        counts = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def slice_predicate(
+        self, shard: str, column: str, qualifier: Optional[str] = None
+    ) -> ast.Expression:
+        """The shard's slice as an AST predicate: ``column BETWEEN lo AND hi``."""
+        low, high = self.slice(shard)
+        return ast.Between(
+            operand=ast.ColumnRef(name=column, qualifier=qualifier),
+            low=ast.Literal(low),
+            high=ast.Literal(high),
+        )
+
+    # -- rebalancing primitives -------------------------------------------
+
+    def set_slice(self, shard: str, low: int, high: int) -> None:
+        """Assign a range directly (rebalance internals; bumps version)."""
+        if shard not in self._ranges:
+            raise ValueError(f"no shard {shard!r}")
+        self._ranges[shard] = (low, high)
+        self.version += 1
+
+    def widest_shard(self) -> str:
+        """The shard owning the most keys (the natural split donor)."""
+        return max(
+            self._shards,
+            key=lambda name: self._ranges[name][1] - self._ranges[name][0],
+        )
+
+    def plan_split(self, donor: str) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Halve the donor's range: returns (donor_keeps, new_shard_takes)."""
+        low, high = self.slice(donor)
+        if high <= low:
+            raise ValueError(f"shard {donor!r} range [{low}, {high}] cannot split")
+        cut = (low + high) // 2
+        return (low, cut), (cut + 1, high)
+
+    def add_shard(self, name: str, low: int, high: int) -> None:
+        """Register a new shard with an explicit range (bumps version)."""
+        if name in self._ranges:
+            raise ValueError(f"shard {name!r} already registered")
+        self._shards.append(name)
+        self._ranges[name] = (low, high)
+        self.version += 1
+
+    def remove_shard(self, name: str) -> Tuple[int, int]:
+        """Drop a shard, returning the range its data must move to."""
+        vacated = self.slice(name)
+        self._shards.remove(name)
+        del self._ranges[name]
+        self.version += 1
+        return vacated
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(
+            f"{name}=[{low},{high}]" for name, (low, high) in self._ranges.items()
+        )
+        return f"<RangePartitioner {ranges}>"

@@ -56,6 +56,18 @@ class DESConfig:
     service_jitter: float = 0.25  # +- fraction of deterministic demand
     seed: int = 99
     chaos: Optional[ChaosSpec] = None
+    # Partitioned cache tier (repro.sharding): each web/cache machine
+    # subscribes only to its slice of the partitioned articles, so apply
+    # work divides across the tier instead of replicating in full to
+    # every machine (the paper's Figure 6 setup, which flattens past ~5
+    # servers precisely because apply cost is paid N times).
+    sharded: bool = False
+    #: Fraction of replicated commands hitting broadcast (unpartitioned)
+    #: views, which still reach every shard in full.
+    broadcast_fraction: float = 0.2
+    #: Zipf-ish exponent skewing user placement across shards (0 = even).
+    #: Models hot shards: weight of shard k is 1/(k+1)**shard_skew.
+    shard_skew: float = 0.0
 
 
 @dataclass
@@ -74,6 +86,8 @@ class DESResult:
     failover_interactions: int = 0
     chaos_backlog_peak: int = 0
     replication_latency_max: float = 0.0
+    #: Hottest single web/cache machine (interesting under shard_skew).
+    web_utilization_max: float = 0.0
 
 
 class _Machine:
@@ -152,8 +166,9 @@ class _Simulator:
 
     def run(self) -> None:
         cfg = self.cfg
+        placements = self._user_placements(cfg.users)
         for user in range(cfg.users):
-            web = self.webs[user % len(self.webs)]
+            web = self.webs[placements[user]]
             # Stagger arrivals through the first think time.
             self.schedule(self.rng.uniform(0, cfg.think_time), self._make_user(web))
         if cfg.replication and cfg.caching:
@@ -174,6 +189,20 @@ class _Simulator:
 
     def _set_down(self, machine: _Machine, down: bool) -> None:
         machine.down = down
+
+    def _user_placements(self, users: int) -> List[int]:
+        """Which web/cache machine each user homes to.
+
+        Even round-robin by default; with ``shard_skew`` > 0, a weighted
+        draw with Zipf-shaped weights so early shards run hot — the
+        scenario rebalancing (boundary moves) exists to fix.
+        """
+        cfg = self.cfg
+        if not cfg.sharded or cfg.shard_skew <= 0 or len(self.webs) == 1:
+            return [user % len(self.webs) for user in range(users)]
+        weights = [1.0 / (index + 1) ** cfg.shard_skew for index in range(len(self.webs))]
+        indices = list(range(len(self.webs)))
+        return self.rng.choices(indices, weights=weights, k=users)
 
     # -- users -----------------------------------------------------------------
 
@@ -236,8 +265,20 @@ class _Simulator:
             demand = commands * self.spec.logreader_work_per_command / self.spec.cpu_capacity
 
             def distributed():
-                for target in self.pending_apply:
-                    target.extend(batch)
+                if self.cfg.sharded and len(self.pending_apply) > 1:
+                    # Partitioned articles: each shard applies only the
+                    # broadcast commands plus its 1/N slice of the
+                    # partitioned ones — scale the command counts rather
+                    # than tracking per-key ownership.
+                    share = self.cfg.broadcast_fraction + (
+                        1.0 - self.cfg.broadcast_fraction
+                    ) / len(self.pending_apply)
+                    scaled = [(ts, count * share) for ts, count in batch]
+                    for target in self.pending_apply:
+                        target.extend(scaled)
+                else:
+                    for target in self.pending_apply:
+                        target.extend(batch)
 
             self.backend.submit(self._jitter(demand), distributed)
         self.schedule(self.cfg.logreader_interval, self._logreader_tick)
@@ -293,6 +334,10 @@ class _Simulator:
         )
         web_busy = sum(machine.busy_time for machine in self.webs)
         web_util = web_busy / (total_time * len(self.webs) * self.spec.web_cpus)
+        web_util_max = max(
+            machine.busy_time / (total_time * self.spec.web_cpus)
+            for machine in self.webs
+        )
         repl_latency = (
             sum(self.replication_latencies) / len(self.replication_latencies)
             if self.replication_latencies
@@ -312,6 +357,7 @@ class _Simulator:
             replication_latency_max=(
                 max(self.replication_latencies) if self.replication_latencies else 0.0
             ),
+            web_utilization_max=min(1.0, web_util_max),
         )
 
 

@@ -332,3 +332,38 @@ def test_lock_helpers_are_clean():
         """
     )
     assert lint_source(source, "repro/client/fake.py") == []
+
+
+# -- shard-ownership ---------------------------------------------------------
+
+
+def test_builtin_hash_modulo_flagged_outside_sharding():
+    source = dedent(
+        """
+        def pick(key, shards):
+            return shards[hash(key) % len(shards)]
+        """
+    )
+    assert _rules(lint_source(source, "repro/client/fake.py")) == [
+        "shard-ownership"
+    ]
+
+
+def test_sharding_package_may_own_placement_arithmetic():
+    source = "def pick(key, n):\n    return hash(key) % n\n"
+    assert lint_source(source, "repro/sharding/fake.py") == []
+
+
+def test_non_placement_modulo_is_clean():
+    source = dedent(
+        """
+        from repro.sharding import stable_hash
+
+        def pick(key, n):
+            return stable_hash(key) % n
+
+        def bucket(value, n):
+            return value % n
+        """
+    )
+    assert lint_source(source, "repro/client/fake.py") == []

@@ -113,3 +113,52 @@ class TestDeploymentSample:
         assert snap["replication"]["transactions_distributed"] >= 1
         assert snap["backend"]["metrics"]["counters"]
         assert snap["caches"][0]["server"] == "cache1"
+
+
+class TestLagRollup:
+    def test_rollup_groups_by_subscriber_server(self, deployment, cache):
+        second = deployment.add_cache_server("cache2")
+        second.create_cached_view(
+            "CREATE CACHED VIEW Cust2 AS "
+            "SELECT cid, cname, caddress FROM customer WHERE cid <= 50"
+        )
+        deployment.sync()
+        rollup = replication_metrics.rollup(deployment)
+        assert set(rollup["servers"]) == {"cache1", "cache2"}
+        for bucket in rollup["servers"].values():
+            assert bucket["subscriptions"] >= 1
+        assert rollup["lag_seconds_max"] >= rollup["lag_seconds_mean"] >= 0.0
+        assert rollup["lag_transactions_max"] >= rollup["lag_transactions_mean"]
+
+    def test_rollup_publishes_tier_gauges_on_backend(self, deployment, cache):
+        deployment.sync()
+        backend = deployment.backend
+        replication_metrics.rollup(deployment)
+        snapshot = backend.metrics.snapshot()
+        gauges = snapshot["gauges"]
+        assert "replication.tier_lag_seconds_max" in gauges
+        assert "replication.tier_lag_seconds_mean" in gauges
+        assert "replication.tier_lag_transactions_max" in gauges
+        assert "replication.server_lag_seconds_max{server=cache1}" in gauges
+
+    def test_rollup_sees_backlogged_subscription(self, deployment, cache):
+        backend = deployment.backend
+        for cid in range(1, 6):
+            backend.execute(
+                f"UPDATE customer SET cname = 'lag{cid}' WHERE cid = {cid}"
+            )
+        # Committed but not yet distributed/applied: the rollup's max must
+        # reflect the backlog once the log reader has shipped commands.
+        deployment.log_reader.poll()
+        rollup = replication_metrics.rollup(deployment)
+        assert rollup["lag_transactions_max"] >= 1
+        deployment.sync()
+        drained = replication_metrics.rollup(deployment)
+        assert drained["lag_transactions_max"] == 0
+
+    def test_deployment_snapshot_includes_rollup(self, deployment, cache):
+        deployment.sync()
+        snap = deployment_snapshot(deployment)
+        rollup = snap["replication"]["lag_rollup"]
+        assert "cache1" in rollup["servers"]
+        assert rollup["lag_seconds_mean"] >= 0.0

@@ -1,0 +1,26 @@
+"""Shared fixtures: a small sharded TPC-W deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sharding import ShardedDeployment
+from repro.tpcw import TPCWConfig
+
+SMALL_CONFIG = dict(num_items=120, num_ebs=4, seed=7)
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    """A 4-shard tier over a freshly built small TPC-W backend.
+
+    Module-scoped: building and populating the backend plus provisioning
+    four subscribed shards is the expensive part; tests that mutate
+    placement build their own deployment instead.
+    """
+    return ShardedDeployment(config=TPCWConfig(**SMALL_CONFIG), shards=4)
+
+
+@pytest.fixture
+def router(sharded):
+    return sharded.router()

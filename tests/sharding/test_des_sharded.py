@@ -1,0 +1,85 @@
+"""DES scenarios past the paper's five servers: 16-32 shard tiers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.calibrate import calibrate
+from repro.simulation.des import ChaosSpec, DESConfig, simulate_cluster
+
+pytestmark = pytest.mark.shard
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate()
+
+
+def _cfg(**overrides):
+    base = dict(duration=60.0, warmup=10.0, seed=99)
+    base.update(overrides)
+    return DESConfig(**base)
+
+
+def test_sharded_tier_scales_past_five_servers(calibration):
+    """Throughput keeps growing 5 -> 16 -> 32 shards in sharded mode."""
+    results = {
+        servers: simulate_cluster(
+            calibration, _cfg(users=30 * servers, servers=servers, sharded=True)
+        )
+        for servers in (5, 16, 32)
+    }
+    assert results[16].wips > results[5].wips * 2.5
+    assert results[32].wips > results[16].wips * 1.6
+    for result in results.values():
+        assert result.completed > 0
+        assert result.replication_samples > 0
+
+
+def test_sharded_apply_work_stays_below_full_replication(calibration):
+    """At a wide tier, per-shard apply cost must undercut full fan-out.
+
+    Each machine applies broadcast_fraction + (1-broadcast_fraction)/N of
+    the command stream instead of all of it, so web-tier utilization (which
+    includes pull-agent apply CPU) drops relative to the flat tier under
+    the identical workload.
+    """
+    flat = simulate_cluster(calibration, _cfg(users=480, servers=16))
+    sharded = simulate_cluster(
+        calibration, _cfg(users=480, servers=16, sharded=True)
+    )
+    assert sharded.web_utilization <= flat.web_utilization
+    assert sharded.replication_latency <= flat.replication_latency * 1.05
+    # Same offered load completes either way.
+    assert abs(sharded.completed - flat.completed) / flat.completed < 0.05
+
+
+def test_shard_skew_creates_a_hot_shard(calibration):
+    even = simulate_cluster(
+        calibration, _cfg(users=480, servers=16, sharded=True)
+    )
+    skewed = simulate_cluster(
+        calibration, _cfg(users=480, servers=16, sharded=True, shard_skew=1.0)
+    )
+    # Evenly placed: the max machine sits near the mean. Skewed: the hot
+    # shard runs far above it — the situation boundary moves exist to fix.
+    assert even.web_utilization_max < even.web_utilization * 2
+    assert skewed.web_utilization_max > skewed.web_utilization * 2
+
+
+def test_chaos_kill_one_shard_in_wide_tier(calibration):
+    result = simulate_cluster(
+        calibration,
+        _cfg(
+            users=320,
+            servers=16,
+            sharded=True,
+            chaos=ChaosSpec(server_index=3, kill_at=25.0, restart_at=40.0),
+        ),
+    )
+    # Interactions failed over (ran on the backend), never failed; the
+    # dead shard's apply backlog built and drained after restart.
+    assert result.failover_interactions > 0
+    assert result.chaos_backlog_peak > 0
+    assert result.completed > 0
+    assert result.replication_latency_max > result.replication_latency

@@ -1,0 +1,115 @@
+"""Sharded vs unsharded TPC-W: statement-for-statement identity.
+
+Two deployments over identically seeded backends — one cache server
+subscribed to everything (the paper's setup) vs a four-shard partitioned
+tier behind a ShardRouter — run the same interaction sequence from the
+same RNG. Every statement the application issues must return exactly the
+same rows in both, with checked plans on (the suite-wide default), so
+partitioning is invisible at the application boundary: the transparency
+claim, extended to the sharded tier.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.client.connection import connect
+from repro.sharding import ShardedDeployment
+from repro.tpcw import MIXES, TPCWApplication, TPCWConfig, build_backend, enable_caching
+import pytest
+
+
+pytestmark = pytest.mark.shard
+
+CONFIG = dict(num_items=100, num_ebs=6, seed=29)
+MIX_NAMES = ("Browsing", "Shopping")
+INTERACTIONS_PER_MIX = 50
+
+Trace = List[Tuple[str, List[tuple]]]
+
+
+class _CapturingCursor:
+    """Records every statement's rows, then serves them DBAPI-style."""
+
+    def __init__(self, cursor, trace: Trace):
+        self._cursor = cursor
+        self._trace = trace
+        self._rows: List[tuple] = []
+
+    def execute(self, sql: str, params=None):
+        self._cursor.execute(sql, params)
+        self._rows = [tuple(row) for row in self._cursor.fetchall()]
+        self._trace.append((sql, list(self._rows)))
+        return self
+
+    def fetchall(self) -> List[tuple]:
+        rows, self._rows = self._rows, []
+        return rows
+
+    def fetchone(self):
+        return self._rows.pop(0) if self._rows else None
+
+
+class _CapturingConnection:
+    def __init__(self, inner, trace: Trace):
+        self._inner = inner
+        self._trace = trace
+
+    def cursor(self) -> _CapturingCursor:
+        return _CapturingCursor(self._inner.cursor(), self._trace)
+
+
+def _drive(connection, deployment) -> Trace:
+    trace: Trace = []
+    config = TPCWConfig(**CONFIG)
+    application = TPCWApplication(
+        _CapturingConnection(connection, trace), config, rng=random.Random(101)
+    )
+    for seed, mix_name in enumerate(MIX_NAMES, start=5):
+        rng = random.Random(seed)
+        sessions = [application.new_session() for _ in range(3)]
+        mix = MIXES[mix_name]
+        for step in range(INTERACTIONS_PER_MIX):
+            application.run(mix.sample(rng), sessions[step % 3])
+            deployment.tick(0.05)
+        deployment.sync()
+    return trace
+
+
+def _unsharded_trace() -> Trace:
+    backend, config = build_backend(TPCWConfig(**CONFIG))
+    deployment, caches = enable_caching(backend, ["cache1"], config)
+    assert backend.checked_plans and caches[0].server.checked_plans
+    return _drive(connect(caches[0], database="tpcw"), deployment)
+
+
+def _sharded_trace() -> Trace:
+    backend, config = build_backend(TPCWConfig(**CONFIG))
+    sharded = ShardedDeployment(backend=backend, config=config, shards=4)
+    assert backend.checked_plans
+    assert all(cache.server.checked_plans for cache in sharded.shards.values())
+    return _drive(sharded.connect(), sharded)
+
+
+def test_sharded_tpcw_is_statement_for_statement_identical():
+    unsharded = _unsharded_trace()
+    sharded = _sharded_trace()
+    assert len(unsharded) == len(sharded), (
+        f"deployments issued different statement counts "
+        f"({len(unsharded)} vs {len(sharded)})"
+    )
+    mismatches: Dict[int, str] = {}
+    for position, ((flat_sql, flat_rows), (shard_sql, shard_rows)) in enumerate(
+        zip(unsharded, sharded)
+    ):
+        assert flat_sql == shard_sql, (
+            f"statement {position} diverged: {flat_sql!r} vs {shard_sql!r}"
+        )
+        if flat_rows != shard_rows:
+            mismatches[position] = flat_sql
+    assert not mismatches, (
+        f"{len(mismatches)} of {len(unsharded)} statements returned "
+        f"different rows through the sharded tier: {mismatches}"
+    )
+    assert len(unsharded) > 150, "the run must actually exercise the workload"
