@@ -11,8 +11,9 @@ Commands:
 * ``metrics``  — drive a short TPC-W workload and print the deployment's
   observability snapshot (metrics, caches, replication lag) as JSON;
 * ``analyze``  — run the static-analysis passes (``--self`` AST lint,
-  ``--workload`` SQL lint, ``--plans`` plan-invariant verification; all
-  three when no flag is given).
+  ``--workload`` SQL lint, ``--plans`` plan-invariant verification,
+  ``--concurrency`` lock-order/atomicity/witness checks; all four when
+  no flag is given).
 
 These wrap the scripts under ``examples/`` so the package is runnable
 after installation without a source checkout.
@@ -152,12 +153,27 @@ def main(argv=None) -> int:
         action="store_true",
         help="analyze: run only the plan-invariant verifier",
     )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="analyze: run only the concurrency lint (lock order, atomicity, witness)",
+    )
+    parser.add_argument(
+        "--path",
+        default=None,
+        help="analyze --concurrency: static passes over this source tree "
+        "instead of the installed package",
+    )
     args = parser.parse_args(argv)
     if args.command == "analyze":
         from repro.analysis.cli import run_analyze
 
         return run_analyze(
-            self_lint=args.self_lint, workload=args.workload, plans=args.plans
+            self_lint=args.self_lint,
+            workload=args.workload,
+            plans=args.plans,
+            concurrency=args.concurrency,
+            path=args.path,
         )
     {"demo": _demo, "scaleout": _scaleout, "tpcw": _tpcw, "metrics": _metrics}[
         args.command

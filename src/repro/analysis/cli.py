@@ -1,22 +1,33 @@
 """``python -m repro analyze`` — run the static-analysis passes.
 
-Three passes (all by default, each opt-in via flag):
+Four passes (all by default, each opt-in via flag):
 
-* ``--self``     — the repo-specific AST lint pack over ``repro``'s own
-  source (:mod:`repro.analysis.selflint`);
-* ``--workload`` — the workload SQL lint over the full TPC-W procedure
-  set, the MTCache cached-view DDL, and the generated shadow/grant
-  deployment scripts (:mod:`repro.analysis.sqllint`);
-* ``--plans``    — the plan-invariant verifier over every SELECT the
+* ``--self``        — the repo-specific AST lint pack over ``repro``'s
+  own source (:mod:`repro.analysis.selflint`);
+* ``--workload``    — the workload SQL lint over the full TPC-W
+  procedure set, the MTCache cached-view DDL, the generated shadow/grant
+  deployment scripts (:mod:`repro.analysis.sqllint`), and the sharding
+  policy coverage check (:mod:`repro.analysis.shardlint`);
+* ``--plans``       — the plan-invariant verifier over every SELECT the
   optimizer produces for the TPC-W procedures, on both the backend and
-  a provisioned cache server (:mod:`repro.analysis.plancheck`).
+  a provisioned cache server (:mod:`repro.analysis.plancheck`);
+* ``--concurrency`` — the whole-program concurrency lint
+  (:mod:`repro.analysis.concurrency`): the static lock-order analyzer,
+  the atomicity checker over the provisioned corpus, and — when a
+  witness is active — the observed-graph subgraph check.
+
+``--concurrency`` additionally accepts ``--path DIR`` to run the static
+passes over an out-of-tree source tree instead of the installed package
+(no corpus is built); the seeded-violation fixtures under
+``tests/fixtures/concurrency/`` are exercised this way.
 
 Exit status is 1 when any error-severity diagnostic is reported.
 """
 
 from __future__ import annotations
 
-from typing import List
+import os
+from typing import List, Optional
 
 from repro.errors import AnalysisError
 
@@ -36,7 +47,7 @@ def _build_corpus():
     backend, config = build_backend(TPCWConfig(num_items=50, num_ebs=10))
     deployment, caches = enable_caching(backend, ["cache1"], config)
     deployment.sync()
-    return backend, caches[0]
+    return backend, caches[0], config
 
 
 def _self_pass() -> int:
@@ -48,9 +59,11 @@ def _self_pass() -> int:
     return errors
 
 
-def _workload_pass(backend, cache) -> int:
+def _workload_pass(backend, cache, config) -> int:
+    from repro.analysis.shardlint import lint_sharding_policy
     from repro.analysis.sqllint import SqlLinter, lint_workload
     from repro.mtcache.scripts import generate_grant_script, generate_shadow_script
+    from repro.sharding.policy import tpcw_sharding_policy
     from repro.tpcw.setup import CACHED_VIEW_DDL, DATABASE_NAME
 
     catalog = backend.databases[DATABASE_NAME].catalog
@@ -59,6 +72,7 @@ def _workload_pass(backend, cache) -> int:
         scripts={"cached-view-ddl": ";".join(CACHED_VIEW_DDL)},
     )
     diagnostics += lint_workload(cache.database)
+    diagnostics += lint_sharding_policy(tpcw_sharding_policy(config), catalog)
     # The generated deployment scripts run against an initially empty
     # shadow database, so they lint with no base catalog: the script's
     # own CREATE TABLEs must carry the later CREATE INDEX / GRANT lines.
@@ -99,22 +113,60 @@ def _plans_pass(backend, cache) -> int:
     return errors
 
 
+def _concurrency_pass(backend, cache, path: Optional[str] = None) -> int:
+    from repro.analysis.concurrency import (
+        analyze_lock_order,
+        check_atomicity,
+        verify_witness,
+    )
+    from repro.analysis.concurrency.atomicity import check_rebalance_protocol
+
+    report = analyze_lock_order(root=path)
+    errors = _print("concurrency[lock-order]", report.diagnostics)
+    print(
+        f"concurrency: lock graph has {len(report.classes)} class(es), "
+        f"{len(report.edges)} edge(s)"
+    )
+    if path is not None:
+        # Out-of-tree mode: the corpus-driven atomicity rules need a
+        # provisioned server, but the rebalance protocol rules are
+        # static — run them over any deployment-named module in the tree.
+        for directory, _, names in os.walk(path):
+            for name in sorted(names):
+                if "deployment" in name and name.endswith(".py"):
+                    with open(os.path.join(directory, name), "r", encoding="utf-8") as f:
+                        errors += _print(
+                            "concurrency[rebalance]", check_rebalance_protocol(f.read())
+                        )
+        return errors
+    diagnostics = check_atomicity(backend, cache)
+    errors += _print("concurrency[atomicity]", diagnostics)
+    errors += _print("concurrency[witness]", verify_witness())
+    return errors
+
+
 def run_analyze(
-    self_lint: bool = False, workload: bool = False, plans: bool = False
+    self_lint: bool = False,
+    workload: bool = False,
+    plans: bool = False,
+    concurrency: bool = False,
+    path: Optional[str] = None,
 ) -> int:
-    """Run the selected passes (all three when none is selected)."""
-    if not (self_lint or workload or plans):
-        self_lint = workload = plans = True
+    """Run the selected passes (all four when none is selected)."""
+    if not (self_lint or workload or plans or concurrency):
+        self_lint = workload = plans = concurrency = True
     errors = 0
     if self_lint:
         errors += _self_pass()
-    backend = cache = None
-    if workload or plans:
-        backend, cache = _build_corpus()
+    backend = cache = config = None
+    if workload or plans or (concurrency and path is None):
+        backend, cache, config = _build_corpus()
     if workload:
-        errors += _workload_pass(backend, cache)
+        errors += _workload_pass(backend, cache, config)
     if plans:
         errors += _plans_pass(backend, cache)
+    if concurrency:
+        errors += _concurrency_pass(backend, cache, path)
     if errors:
         print(f"analyze: {errors} error(s)")
         return 1

@@ -1,0 +1,32 @@
+"""Whole-program concurrency lint: lock order, atomicity, runtime witness.
+
+Three cooperating passes over the repo's locking protocol:
+
+* :mod:`repro.analysis.concurrency.lockorder` — a static analyzer that
+  walks the package AST plus an intraprocedural call graph, extracts
+  every acquisition of the :mod:`repro.common.locks` chokepoint
+  primitives, builds the global lock-acquisition graph, and reports
+  cycles, order inversions, non-chokepoint primitives, and blocking
+  calls made while an engine latch is held;
+* :mod:`repro.analysis.concurrency.atomicity` — verifies that
+  :func:`~repro.engine.locks.statement_lock_plan` covers every statement
+  class and that every mutation path (DML, EXEC of writing procedures,
+  the shard boundary-move window) acquires the locks it requires;
+* :mod:`repro.analysis.concurrency.witnesscheck` — asserts that the
+  graph the runtime witness (:mod:`repro.common.witness`) observed
+  during a test run embeds in the statically modeled hierarchy and that
+  no violations fired.
+
+All three are wired into ``python -m repro analyze --concurrency``.
+"""
+
+from repro.analysis.concurrency.atomicity import check_atomicity
+from repro.analysis.concurrency.lockorder import LockOrderReport, analyze_lock_order
+from repro.analysis.concurrency.witnesscheck import verify_witness
+
+__all__ = [
+    "LockOrderReport",
+    "analyze_lock_order",
+    "check_atomicity",
+    "verify_witness",
+]

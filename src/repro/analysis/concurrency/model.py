@@ -1,0 +1,83 @@
+"""The modeled lock hierarchy shared by the static and runtime checks.
+
+The levels themselves live in :mod:`repro.common.witness` (the runtime
+source of truth — the witness must classify locks without importing the
+analysis package); this module adds the *judgments*: which edges the
+hierarchy allows, and cycle detection over an observed or modeled
+acquisition graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.witness import (  # noqa: F401  (re-exported for the passes)
+    LEVEL_LATCH,
+    LEVEL_LEAF,
+    LEVEL_NAMES,
+    LEVEL_OUTER,
+    LEVEL_SPAN,
+    LEVEL_TABLE,
+    OUTER_SUBPACKAGES,
+    level_for_site,
+)
+
+
+def allowed_edge(
+    from_level: int, to_level: int, same_class: bool, ordered: bool
+) -> bool:
+    """May a lock at ``to_level`` be acquired while ``from_level`` is held?
+
+    Descending (``to > from``) is always legal; sideways (equal levels,
+    distinct classes) is legal *locally* but must be globally acyclic
+    (checked by :func:`find_cycle`); a second instance of the same class
+    is legal only for ordered classes (table locks, sorted batch).
+    """
+    if same_class:
+        return ordered
+    return to_level >= from_level
+
+
+def find_cycle(
+    edges: Iterable[Tuple[str, str]],
+    ordered_classes: Optional[Iterable[str]] = None,
+) -> Optional[List[str]]:
+    """A cycle in the acquisition graph, as a key path, or None.
+
+    Self-loops on ordered classes are sanctioned (intra-class order
+    exists) and skipped; any other cycle is a potential deadlock.
+    """
+    sanctioned = set(ordered_classes or ())
+    graph: Dict[str, List[str]] = {}
+    for source, target in edges:
+        if source == target and source in sanctioned:
+            continue
+        graph.setdefault(source, []).append(target)
+        graph.setdefault(target, [])
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    for start in sorted(graph):
+        if color[start] != WHITE:
+            continue
+        path: List[str] = []
+        stack: List[Tuple[str, int]] = [(start, 0)]
+        color[start] = GRAY
+        path.append(start)
+        while stack:
+            node, index = stack[-1]
+            targets = graph[node]
+            if index < len(targets):
+                stack[-1] = (node, index + 1)
+                target = targets[index]
+                if color[target] == GRAY:
+                    return path[path.index(target) :] + [target]
+                if color[target] == WHITE:
+                    color[target] = GRAY
+                    path.append(target)
+                    stack.append((target, 0))
+            else:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+    return None

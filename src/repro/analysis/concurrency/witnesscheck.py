@@ -1,0 +1,79 @@
+"""Check an observed witness graph against the modeled lock hierarchy.
+
+The runtime witness (:mod:`repro.common.witness`) records every
+``held -> acquired`` edge a test run produces. :func:`verify_witness`
+asserts two things about that observation:
+
+* **no recorded violations** — the witness flags inversions and
+  unordered same-class nesting eagerly, at acquisition time; any entry
+  in its violation list is a real interleaving that happened;
+* **the observed graph embeds in the modeled hierarchy** — every edge
+  must be legal under :func:`~repro.analysis.concurrency.model.allowed_edge`
+  (descending or sideways), and the sideways edges must be globally
+  acyclic. This is the subgraph check: the dynamic behavior the tests
+  exercised stayed inside what the static model allows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.concurrency.model import allowed_edge, find_cycle
+from repro.common.witness import Witness, active_witness
+from repro.errors import AnalysisError
+
+
+def verify_witness(witness: Optional[Witness] = None) -> List[AnalysisError]:
+    """Diagnostics for the (default: active) witness's observed graph."""
+    if witness is None:
+        witness = active_witness()
+    if witness is None:
+        return [
+            AnalysisError(
+                "witness-disabled",
+                "no lock witness is active; set REPRO_LOCK_WITNESS=1 "
+                "before creating any locks to record the acquisition graph",
+                severity="note",
+            )
+        ]
+    snapshot = witness.snapshot()
+    diagnostics: List[AnalysisError] = []
+    for violation in snapshot["violations"]:
+        diagnostics.append(
+            AnalysisError(
+                violation["rule"],
+                f"runtime witness: {violation['held']} -> "
+                f"{violation['acquired']}: {violation['detail']}",
+            )
+        )
+    classes = snapshot["classes"]
+    edge_keys = []
+    for edge in snapshot["edges"]:
+        source, target = edge["from"], edge["to"]
+        edge_keys.append((source, target))
+        from_class = classes[source]
+        to_class = classes[target]
+        if not allowed_edge(
+            from_class["level"],
+            to_class["level"],
+            source == target,
+            to_class["ordered"],
+        ):
+            diagnostics.append(
+                AnalysisError(
+                    "witness-hierarchy",
+                    f"observed edge {source} (level {from_class['level']}) -> "
+                    f"{target} (level {to_class['level']}) is outside the "
+                    f"modeled hierarchy (seen {edge['count']}x)",
+                )
+            )
+    ordered = {key for key, cls in classes.items() if cls["ordered"]}
+    cycle = find_cycle(edge_keys, ordered_classes=ordered)
+    if cycle is not None:
+        diagnostics.append(
+            AnalysisError(
+                "witness-cycle",
+                "observed acquisition cycle " + " -> ".join(cycle),
+            )
+        )
+    return diagnostics

@@ -279,12 +279,29 @@ def _check_session_construction(tree: ast.AST, path: str) -> Iterator[AnalysisEr
             )
 
 
-#: Files allowed to construct threading primitives directly.
-_LOCK_CHOKEPOINTS = ("repro/common/locks.py", "repro/engine/locks.py")
+#: Files allowed to construct threading primitives directly: the lock
+#: factories, the engine hierarchy built on them, and the witness (whose
+#: own registry lock must be raw — instrumenting it would recurse).
+_LOCK_CHOKEPOINTS = (
+    "repro/common/locks.py",
+    "repro/common/witness.py",
+    "repro/engine/locks.py",
+)
 
-_RAW_LOCK_CALLS = frozenset({"threading.Lock", "threading.RLock", "threading.Condition"})
+_RAW_LOCK_CALLS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Barrier",
+    }
+)
 
-_RAW_LOCK_NAMES = frozenset({"Lock", "RLock", "Condition"})
+_RAW_LOCK_NAMES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Barrier"}
+)
 
 
 def _check_raw_threading_lock(tree: ast.AST, path: str) -> Iterator[AnalysisError]:

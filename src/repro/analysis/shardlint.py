@@ -1,0 +1,225 @@
+"""Sharding-policy coverage lint: verify what the policy *claims*.
+
+The :class:`~repro.sharding.policy.ShardingPolicy` is declarative — it
+asserts that ``getBook`` is a single-key lookup, that the search
+procedures decompose for scatter-gather, that item partitions on
+``i_id``. The router trusts none of it at runtime (every unroutable
+statement silently falls back to the backend), which is safe but makes a
+stale policy invisible: a renamed parameter or an added subquery quietly
+turns a scatter route into 100% backend traffic.
+
+This pass re-derives each claim against the real catalog, with the same
+machinery the router uses (:func:`repro.sharding.scatter.decompose`,
+the procedure parameter list), and reports every route that would fall
+back. :func:`check_partitioner` separately verifies the geometric
+invariant routing correctness rests on: a partitioner's slices tile the
+key domain exactly — no gaps, no overlaps — after any sequence of
+rebalance operations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.locks import _procedure_writes
+from repro.errors import AnalysisError
+from repro.sharding.policy import ROUTE_KEY, ROUTE_SCATTER, ShardingPolicy
+from repro.sharding.ring import RangePartitioner
+from repro.sharding.scatter import decompose
+from repro.sql import ast as sqlast
+
+
+def lint_sharding_policy(policy: ShardingPolicy, catalog) -> List[AnalysisError]:
+    """Verify every route and partition claim against the catalog."""
+    diagnostics: List[AnalysisError] = []
+    copied = {name.lower() for name in policy.procedures}
+
+    for table_key, partition in sorted(policy.partitions.items()):
+        where = f"policy.partitions[{table_key!r}]"
+        table = catalog.tables.get(partition.table.lower())
+        if table is None:
+            diagnostics.append(
+                AnalysisError(
+                    "shard-partition-table",
+                    f"partitioned table {partition.table!r} is not in the catalog",
+                    location=where,
+                )
+            )
+            continue
+        columns = {column.name.lower() for column in table.schema.columns}
+        if partition.key_column.lower() not in columns:
+            diagnostics.append(
+                AnalysisError(
+                    "shard-partition-key",
+                    f"partition key {partition.key_column!r} is not a column "
+                    f"of {partition.table!r}",
+                    location=where,
+                )
+            )
+        if partition.table.lower() not in {t.lower() for t in policy.shadow_tables}:
+            diagnostics.append(
+                AnalysisError(
+                    "shard-shadow-coverage",
+                    f"partitioned table {partition.table!r} is missing from "
+                    "shadow_tables; shard-local SELECTs over it would never "
+                    "route",
+                    location=where,
+                )
+            )
+
+    for name, route in sorted(policy.routes.items()):
+        where = f"policy.routes[{name!r}]"
+        procedure = catalog.procedures.get(name.lower())
+        if procedure is None:
+            diagnostics.append(
+                AnalysisError(
+                    "shard-route-procedure",
+                    f"route names unknown procedure {name!r}",
+                    location=where,
+                )
+            )
+            continue
+        if route.kind not in (ROUTE_KEY, ROUTE_SCATTER):
+            continue
+        if name.lower() not in copied:
+            diagnostics.append(
+                AnalysisError(
+                    "shard-route-copy",
+                    f"procedure {name!r} routes to shards but is not in "
+                    "policy.procedures, so shards never receive its "
+                    "definition — every call would fall back",
+                    location=where,
+                )
+            )
+        if _procedure_writes(procedure.body, catalog, {name.lower()}):
+            diagnostics.append(
+                AnalysisError(
+                    "shard-route-writes",
+                    f"procedure {name!r} writes; writes must route to the "
+                    "backend (the replication stream is one-directional)",
+                    location=where,
+                )
+            )
+        if route.kind == ROUTE_KEY:
+            params = {param.name.lower() for param in procedure.params}
+            if route.key_param is None or route.key_param.lower() not in params:
+                diagnostics.append(
+                    AnalysisError(
+                        "shard-route-key",
+                        f"key route for {name!r} names parameter "
+                        f"{route.key_param!r}, which the procedure does not "
+                        "declare; every call would fall back to the backend",
+                        location=where,
+                    )
+                )
+            if route.table is None or route.table.lower() not in policy.partitions:
+                diagnostics.append(
+                    AnalysisError(
+                        "shard-route-key",
+                        f"key route for {name!r} keys on {route.table!r}, "
+                        "which is not a partitioned table",
+                        location=where,
+                    )
+                )
+        elif route.kind == ROUTE_SCATTER:
+            body = procedure.body
+            if len(body) != 1 or not isinstance(body[0], sqlast.Select):
+                diagnostics.append(
+                    AnalysisError(
+                        "shard-route-scatter",
+                        f"scatter route for {name!r} needs a single-SELECT "
+                        f"body (it has {len(body)} statement(s)); every call "
+                        "would silently fall back to the backend",
+                        location=where,
+                    )
+                )
+            elif decompose(body[0], policy.partitions) is None:
+                diagnostics.append(
+                    AnalysisError(
+                        "shard-route-scatter",
+                        f"scatter route for {name!r} does not decompose "
+                        "(aggregation, subquery, multiple partitioned "
+                        "tables, or a non-literal TOP); every call would "
+                        "silently fall back to the backend",
+                        location=where,
+                    )
+                )
+
+    diagnostics += check_partitioner_domain(policy)
+    return diagnostics
+
+
+def check_partitioner(partitioner: RangePartitioner) -> List[AnalysisError]:
+    """Do the slices tile ``[low, high]`` exactly (no gap, no overlap)?"""
+    diagnostics: List[AnalysisError] = []
+    slices = sorted(
+        (partitioner.slice(shard), shard)
+        for shard in partitioner.shards
+        if partitioner.slice(shard)[0] <= partitioner.slice(shard)[1]
+    )
+    if not slices:
+        return [
+            AnalysisError(
+                "shard-domain-coverage",
+                "partitioner has no non-empty slices; every key is unowned",
+            )
+        ]
+    expected = partitioner.low
+    for (low, high), shard in slices:
+        if low > expected:
+            diagnostics.append(
+                AnalysisError(
+                    "shard-domain-coverage",
+                    f"keys [{expected}, {low - 1}] are owned by no shard "
+                    f"(gap before {shard!r})",
+                )
+            )
+        elif low < expected:
+            diagnostics.append(
+                AnalysisError(
+                    "shard-domain-overlap",
+                    f"keys [{low}, {min(high, expected - 1)}] have two "
+                    f"owners (overlap at {shard!r})",
+                )
+            )
+        expected = max(expected, high + 1)
+    if expected <= partitioner.high:
+        diagnostics.append(
+            AnalysisError(
+                "shard-domain-coverage",
+                f"keys [{expected}, {partitioner.high}] are owned by no shard "
+                "(domain tail uncovered)",
+            )
+        )
+    return diagnostics
+
+
+def check_partitioner_domain(policy: ShardingPolicy) -> List[AnalysisError]:
+    """Exercise partitioner geometry over the policy's key domain.
+
+    Builds throwaway partitioners for 1-4 shards over ``key_domain`` and
+    re-checks tiling after a split (``plan_split`` + ``add_shard`` +
+    ``set_slice``) and an atomic ``move_boundary`` — the two mutation
+    sequences rebalancing performs.
+    """
+    low, high = policy.key_domain
+    diagnostics: List[AnalysisError] = []
+    for count in range(1, 5):
+        if high - low + 1 < count:
+            break
+        names = [f"s{i}" for i in range(count)]
+        partitioner = RangePartitioner(names, low, high)
+        diagnostics += check_partitioner(partitioner)
+        donor = partitioner.widest_shard()
+        if partitioner.slice(donor)[1] > partitioner.slice(donor)[0]:
+            keep, give = partitioner.plan_split(donor)
+            partitioner.add_shard("split", *give)
+            partitioner.set_slice(donor, *keep)
+            diagnostics += check_partitioner(partitioner)
+        if count >= 2:
+            fresh = RangePartitioner(names, low, high)
+            left, right = fresh.shards[0], fresh.shards[1]
+            cut = fresh.slice(left)[0] + (fresh.slice(right)[1] - fresh.slice(left)[0]) // 3
+            fresh.move_boundary(left, right, cut)
+            diagnostics += check_partitioner(fresh)
+    return diagnostics

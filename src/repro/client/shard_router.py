@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.locks import mutex
 from repro.common.lru import LRUCache
 from repro.common.schema import Schema
 from repro.engine.results import Result
@@ -92,6 +93,9 @@ class ShardRouter:
         self._catalog = backend.database(database).catalog
         self._backend = Connection(backend, database=database, principal=principal)
         self._target_factory = target_factory
+        # Guards the shard-connection map: routed traffic runs on worker
+        # threads while rebalancing adds shards through _shard_connection.
+        self._mutex = mutex()
         self._shards: Dict[str, Any] = {
             name: Connection(target, principal=principal)
             for name, target in shard_targets.items()
@@ -103,12 +107,15 @@ class ShardRouter:
         """The shard's connection, building one for newly added shards."""
         connection = self._shards.get(name)
         if connection is None and self._target_factory is not None:
-            target = self._target_factory(name)
-            if target is not None:
-                from repro.client.connection import Connection
+            with self._mutex:
+                connection = self._shards.get(name)
+                if connection is None:
+                    target = self._target_factory(name)
+                    if target is not None:
+                        from repro.client.connection import Connection
 
-                connection = Connection(target, principal=self.principal)
-                self._shards[name] = connection
+                        connection = Connection(target, principal=self.principal)
+                        self._shards[name] = connection
         return connection
 
     # -- execution-target surface (what Connection expects) ----------------
@@ -131,14 +138,14 @@ class ShardRouter:
         """Total failovers across the per-shard routers."""
         return sum(
             getattr(connection.target, "failovers", 0)
-            for connection in self._shards.values()
+            for connection in list(self._shards.values())
         )
 
     @property
     def failbacks(self) -> int:
         return sum(
             getattr(connection.target, "failbacks", 0)
-            for connection in self._shards.values()
+            for connection in list(self._shards.values())
         )
 
     def connection(self):
@@ -150,7 +157,7 @@ class ShardRouter:
     def close(self) -> None:
         if self.closed:
             return
-        for connection in self._shards.values():
+        for connection in list(self._shards.values()):
             connection.close()
         self._backend.close()
         self.closed = True

@@ -20,26 +20,50 @@ The primitives:
 
 Timeouts are wall-clock (they bound how long a *real* thread waits);
 simulated time never appears here.
+
+When the lockdep-style witness is active (``REPRO_LOCK_WITNESS=1``, see
+:mod:`repro.common.witness`), the factories hand out duck-typed wrappers
+that record every acquisition against the modeled lock hierarchy; the
+creation site of each lock names its class. The wrappers are declared as
+the stdlib types (a cast) so annotations downstream stay unchanged.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Optional, cast
+
+from repro.common import witness as _witness
+
+
+def _witnessed(inner, site: str) -> "_witness.WitnessedLock":
+    cls = _witness.lock_class(site, _witness.level_for_site(site))
+    return _witness.WitnessedLock(inner, cls)
 
 
 def mutex() -> threading.Lock:
     """A plain mutual-exclusion lock (the only sanctioned way to get one)."""
-    return threading.Lock()
+    inner = threading.Lock()
+    if _witness.active_witness() is None:
+        return inner
+    return cast(threading.Lock, _witnessed(inner, _witness.caller_site()))
 
 
 def rmutex() -> threading.RLock:
     """A reentrant mutual-exclusion lock."""
-    return threading.RLock()
+    inner = threading.RLock()
+    if _witness.active_witness() is None:
+        return inner
+    return cast(threading.RLock, _witnessed(inner, _witness.caller_site()))
 
 
 def condition(lock: Optional[threading.Lock] = None) -> threading.Condition:
-    """A condition variable (over ``lock``, or a fresh mutex)."""
+    """A condition variable (over ``lock``, or a fresh mutex).
+
+    With the witness active the underlying mutex is witnessed; the
+    stdlib ``Condition`` falls back to plain ``acquire``/``release`` on
+    a duck-typed lock, so waits keep the held-lock stack accurate.
+    """
     return threading.Condition(lock if lock is not None else mutex())
 
 
@@ -58,34 +82,54 @@ class RWLock:
     """
 
     def __init__(self) -> None:
-        self._cond = condition()
+        # The internal condition is deliberately *unwitnessed* (raw
+        # construction is sanctioned in this chokepoint module): it only
+        # guards this lock's own counters and is held exactly while the
+        # RWLock acquisition itself is recorded — witnessing it would
+        # read as a leaf lock held while a latch-level class is taken.
+        self._cond = threading.Condition(threading.Lock())
         self._readers = 0
         self._writer: Optional[int] = None  # owning thread ident
         self._writer_depth = 0
         self._writers_waiting = 0
+        site = _witness.caller_site()
+        self._witness_class: Optional[_witness.LockClass] = _witness.lock_class(
+            site, _witness.level_for_site(site)
+        )
+
+    def _note_acquired(self) -> None:
+        witness = _witness.active_witness()
+        if witness is not None and self._witness_class is not None:
+            witness.on_acquire(self, self._witness_class)
+
+    def _note_released(self) -> None:
+        witness = _witness.active_witness()
+        if witness is not None and self._witness_class is not None:
+            witness.on_release(self)
 
     # -- shared (readers) ------------------------------------------------
 
     def acquire_shared(self, timeout: Optional[float] = None) -> bool:
         me = threading.get_ident()
         with self._cond:
-            if self._writer == me:
-                return True  # exclusive owner reads freely
-            while self._writer is not None or self._writers_waiting:
-                if not self._cond.wait(timeout):
-                    return False
-            self._readers += 1
-            return True
+            if self._writer != me:  # exclusive owner reads freely
+                while self._writer is not None or self._writers_waiting:
+                    if not self._cond.wait(timeout):
+                        return False
+                self._readers += 1
+        self._note_acquired()
+        return True
 
     def release_shared(self) -> None:
         with self._cond:
-            if self._writer == threading.get_ident():
-                return  # matching no-op for the owner fast path
-            if self._readers <= 0:
-                raise RuntimeError("release_shared without a matching acquire")
-            self._readers -= 1
-            if self._readers == 0:
-                self._cond.notify_all()
+            if self._writer != threading.get_ident():
+                # (the owner fast path is a matching no-op)
+                if self._readers <= 0:
+                    raise RuntimeError("release_shared without a matching acquire")
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+        self._note_released()
 
     # -- exclusive (writers) ---------------------------------------------
 
@@ -94,17 +138,18 @@ class RWLock:
         with self._cond:
             if self._writer == me:
                 self._writer_depth += 1
-                return True
-            self._writers_waiting += 1
-            try:
-                while self._writer is not None or self._readers:
-                    if not self._cond.wait(timeout):
-                        return False
-            finally:
-                self._writers_waiting -= 1
-            self._writer = me
-            self._writer_depth = 1
-            return True
+            else:
+                self._writers_waiting += 1
+                try:
+                    while self._writer is not None or self._readers:
+                        if not self._cond.wait(timeout):
+                            return False
+                finally:
+                    self._writers_waiting -= 1
+                self._writer = me
+                self._writer_depth = 1
+        self._note_acquired()
+        return True
 
     def release_exclusive(self) -> None:
         with self._cond:
@@ -114,6 +159,7 @@ class RWLock:
             if self._writer_depth == 0:
                 self._writer = None
                 self._cond.notify_all()
+        self._note_released()
 
     # -- introspection ----------------------------------------------------
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.lru import LRUCache
+from repro.common.witness import active_witness
 from repro.engine.results import Result
 from repro.errors import (
     CircuitOpenError,
@@ -168,7 +169,16 @@ class ServerLink:
             try:
                 if self.injector is not None:
                     self.injector.on_call(f"link:{self.name}:{kind}", link=self, kind=kind)
-                result = fn()
+                witness = active_witness()
+                if witness is None:
+                    result = fn()
+                else:
+                    # Cross-server nesting: every lock the remote tier
+                    # takes during this call sits strictly below the
+                    # locks the calling tier already holds (the paper's
+                    # one-directional cache -> backend flow).
+                    with witness.nesting():
+                        result = fn()
             except ReproError as exc:
                 if not is_transient(exc):
                     raise

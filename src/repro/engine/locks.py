@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.common.locks import RWLock, mutex
+from repro.common.witness import LEVEL_LATCH, LEVEL_TABLE, annotate_lock
 from repro.sql import ast
 
 
@@ -50,6 +51,12 @@ class DatabaseLatch(RWLock):
     exclusivity at the database level subsumes everything below it.
     """
 
+    def __init__(self) -> None:
+        super().__init__()
+        # Every database latch forms ONE witness class regardless of
+        # which Database created it — level 1 of the modeled hierarchy.
+        annotate_lock(self, "latch", LEVEL_LATCH)
+
 
 class TableLockManager:
     """Per-table reader-writer locks with sorted batch acquisition."""
@@ -63,7 +70,14 @@ class TableLockManager:
         lock = self._locks.get(key)
         if lock is None:
             with self._mutex:
-                lock = self._locks.setdefault(key, RWLock())
+                lock = self._locks.get(key)
+                if lock is None:
+                    lock = RWLock()
+                    # One witness class for all table locks; nesting
+                    # inside the class is sanctioned (ordered=True)
+                    # because ``locking`` acquires in sorted name order.
+                    annotate_lock(lock, "table", LEVEL_TABLE, ordered=True)
+                    self._locks[key] = lock
         return lock
 
     @contextmanager

@@ -14,7 +14,7 @@ next to the throughput number it explains.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.obs import replication_metrics
 
@@ -29,10 +29,34 @@ def server_snapshot(server) -> Dict[str, Any]:
     }
 
 
+def witness_snapshot() -> Optional[Dict[str, Any]]:
+    """The lock witness's observed acquisition graph, or None when off.
+
+    Process-wide rather than per-server: lock classes are keyed by
+    creation site, so one graph covers every tier the process hosts
+    (which is exactly what the cross-server edges need).
+    """
+    from repro.common.witness import active_witness
+
+    witness = active_witness()
+    if witness is None:
+        return None
+    return witness.snapshot()
+
+
 def deployment_snapshot(deployment) -> Dict[str, Any]:
     """A whole deployment: backend, caches, and replication lag."""
     subscriptions = replication_metrics.sample(deployment)
+    witness = witness_snapshot()
+    if witness is not None:
+        witness = {
+            "acquisitions": witness["acquisitions"],
+            "classes": len(witness["classes"]),
+            "edges": len(witness["edges"]),
+            "violations": witness["violations"],
+        }
     return {
+        "lock_witness": witness,
         "backend": server_snapshot(deployment.backend),
         "caches": [
             {

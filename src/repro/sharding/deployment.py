@@ -144,28 +144,39 @@ class ShardedDeployment:
         definition (so view matching sees the new slice), and the view's
         stored rows (copy gained keys from the backend, drop lost ones).
         Returns the number of rows moved in or out.
+
+        The whole re-slice holds the shard database's latch exclusively —
+        it is DDL plus a data move, and concurrent statements take the
+        latch shared, so every query sees either the old slice with its
+        old rows or the new slice with its new rows and a bumped catalog
+        version (stale plans recompile). Without the latch a reader's
+        cached plan could claim a key is local while its row is being
+        deleted underneath it, answering with a silently empty result.
         """
         cache = self.shards[shard_name]
         database = cache.database
         moved = 0
-        for partition in self.policy.partitions.values():
-            subscription = cache.subscriptions[partition.view.lower()]
-            article = self.deployment.publication.article(subscription.article_name)
-            predicate = self.partitioner_predicate(partition, low, high)
-            article.predicate = predicate
-            article.bind(
-                self.deployment.backend_database.catalog.get_table(
-                    partition.table
-                ).schema
-            )
-            view = database.catalog.get_view(partition.view)
-            database.catalog.drop_view(partition.view)
-            database.catalog.add_view(
-                replace(view, select=replace(view.select, where=predicate))
-            )
-            moved += self._resync_rows(database, partition, article, low, high)
-            database.analyze(partition.view)
-        database.bump_version()
+        with database.latch.exclusive():
+            for partition in self.policy.partitions.values():
+                subscription = cache.subscriptions[partition.view.lower()]
+                article = self.deployment.publication.article(
+                    subscription.article_name
+                )
+                predicate = self.partitioner_predicate(partition, low, high)
+                article.predicate = predicate
+                article.bind(
+                    self.deployment.backend_database.catalog.get_table(
+                        partition.table
+                    ).schema
+                )
+                view = database.catalog.get_view(partition.view)
+                database.catalog.drop_view(partition.view)
+                database.catalog.add_view(
+                    replace(view, select=replace(view.select, where=predicate))
+                )
+                moved += self._resync_rows(database, partition, article, low, high)
+                database.analyze(partition.view)
+            database.bump_version()
         return moved
 
     @staticmethod
@@ -210,7 +221,14 @@ class ShardedDeployment:
 
     def move_boundary(self, left: str, right: str, new_cut: int) -> int:
         """Shift the boundary between two adjacent shards to ``new_cut``
-        (the left shard's new inclusive high). Returns rows moved."""
+        (the left shard's new inclusive high). Returns rows moved.
+
+        The shard caches are re-sliced first — during that window the
+        router still routes by the old cut, and a shard queried for keys
+        it just lost answers through its dynamic plans' guards (slower,
+        never wrong) — and only then does the partitioner cut over,
+        atomically, so no reader ever observes a half-moved boundary.
+        """
         left_low, left_high = self.partitioner.slice(left)
         right_low, right_high = self.partitioner.slice(right)
         if right_low != left_high + 1:
@@ -225,8 +243,7 @@ class ShardedDeployment:
         else:  # left shrinks: grow right first
             moved += self._retarget(right, new_cut + 1, right_high)
             moved += self._retarget(left, left_low, new_cut)
-        self.partitioner.set_slice(left, left_low, new_cut)
-        self.partitioner.set_slice(right, new_cut + 1, right_high)
+        self.partitioner.move_boundary(left, right, new_cut)
         self.metrics.counter("shard.rebalance_moves").inc()
         self.metrics.counter("shard.rebalance_rows").inc(moved)
         return moved

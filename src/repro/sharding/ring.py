@@ -28,6 +28,7 @@ import bisect
 import hashlib
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.common.locks import rmutex
 from repro.sql import ast
 
 #: Virtual nodes per shard; enough that ownership spreads within a few
@@ -116,6 +117,12 @@ class RangePartitioner:
     plans' guards make a wrong guess merely slower, never incorrect).
     ``version`` bumps on every boundary change so routers can invalidate
     per-shard statement caches.
+
+    Routers consult the partitioner from worker threads while the
+    rebalancer mutates it, so every read and mutation runs under one
+    reentrant mutex; :meth:`move_boundary` shifts a boundary between two
+    adjacent shards as a *single* version bump, so no reader can observe
+    the half-moved state where a key range belongs to both or neither.
     """
 
     def __init__(self, shards: Iterable[str], low: int, high: int):
@@ -127,6 +134,7 @@ class RangePartitioner:
         self.low = low
         self.high = high
         self.version = 0
+        self._mutex = rmutex()
         self._shards: List[str] = []
         self._ranges: Dict[str, Tuple[int, int]] = {}
         total = high - low + 1
@@ -142,22 +150,25 @@ class RangePartitioner:
 
     @property
     def shards(self) -> Tuple[str, ...]:
-        return tuple(self._shards)
+        with self._mutex:
+            return tuple(self._shards)
 
     def slice(self, shard: str) -> Tuple[int, int]:
         """The shard's inclusive ``(low, high)`` range (empty when high < low)."""
-        try:
-            return self._ranges[shard]
-        except KeyError:
-            raise ValueError(f"no shard {shard!r}") from None
+        with self._mutex:
+            try:
+                return self._ranges[shard]
+            except KeyError:
+                raise ValueError(f"no shard {shard!r}") from None
 
     def owner(self, key: object) -> str:
         value = int(key)  # type: ignore[arg-type]
-        boundaries = [
-            (self._ranges[name][1], name)
-            for name in self._shards
-            if self._ranges[name][0] <= self._ranges[name][1]
-        ]
+        with self._mutex:
+            boundaries = [
+                (self._ranges[name][1], name)
+                for name in self._shards
+                if self._ranges[name][0] <= self._ranges[name][1]
+            ]
         if not boundaries:
             raise ValueError("all shard ranges are empty")
         boundaries.sort()
@@ -167,7 +178,7 @@ class RangePartitioner:
         return boundaries[position][1]
 
     def ownership(self, keys: Iterable[object]) -> Dict[str, int]:
-        counts = {shard: 0 for shard in self._shards}
+        counts = {shard: 0 for shard in self.shards}
         for key in keys:
             counts[self.owner(key)] += 1
         return counts
@@ -187,17 +198,44 @@ class RangePartitioner:
 
     def set_slice(self, shard: str, low: int, high: int) -> None:
         """Assign a range directly (rebalance internals; bumps version)."""
-        if shard not in self._ranges:
-            raise ValueError(f"no shard {shard!r}")
-        self._ranges[shard] = (low, high)
-        self.version += 1
+        with self._mutex:
+            if shard not in self._ranges:
+                raise ValueError(f"no shard {shard!r}")
+            self._ranges[shard] = (low, high)
+            self.version += 1
+
+    def move_boundary(self, left: str, right: str, cut: int) -> None:
+        """Move the boundary between two adjacent shards atomically.
+
+        After the move ``left`` owns ``[left.low, cut]`` and ``right``
+        owns ``[cut + 1, right.high]``. Both slices change under one
+        mutex hold and one version bump — a concurrent :meth:`owner`
+        call sees either the old cutover or the new one, never a state
+        where keys around the boundary have two owners or none.
+        """
+        with self._mutex:
+            left_low, left_high = self.slice(left)
+            right_low, right_high = self.slice(right)
+            if left_high + 1 != right_low:
+                raise ValueError(
+                    f"shards {left!r} [{left_low}, {left_high}] and {right!r} "
+                    f"[{right_low}, {right_high}] are not adjacent"
+                )
+            if not (left_low - 1 <= cut <= right_high):
+                raise ValueError(
+                    f"cut {cut} outside the combined range [{left_low}, {right_high}]"
+                )
+            self._ranges[left] = (left_low, cut)
+            self._ranges[right] = (cut + 1, right_high)
+            self.version += 1
 
     def widest_shard(self) -> str:
         """The shard owning the most keys (the natural split donor)."""
-        return max(
-            self._shards,
-            key=lambda name: self._ranges[name][1] - self._ranges[name][0],
-        )
+        with self._mutex:
+            return max(
+                self._shards,
+                key=lambda name: self._ranges[name][1] - self._ranges[name][0],
+            )
 
     def plan_split(self, donor: str) -> Tuple[Tuple[int, int], Tuple[int, int]]:
         """Halve the donor's range: returns (donor_keeps, new_shard_takes)."""
@@ -209,22 +247,25 @@ class RangePartitioner:
 
     def add_shard(self, name: str, low: int, high: int) -> None:
         """Register a new shard with an explicit range (bumps version)."""
-        if name in self._ranges:
-            raise ValueError(f"shard {name!r} already registered")
-        self._shards.append(name)
-        self._ranges[name] = (low, high)
-        self.version += 1
+        with self._mutex:
+            if name in self._ranges:
+                raise ValueError(f"shard {name!r} already registered")
+            self._shards.append(name)
+            self._ranges[name] = (low, high)
+            self.version += 1
 
     def remove_shard(self, name: str) -> Tuple[int, int]:
         """Drop a shard, returning the range its data must move to."""
-        vacated = self.slice(name)
-        self._shards.remove(name)
-        del self._ranges[name]
-        self.version += 1
-        return vacated
+        with self._mutex:
+            vacated = self.slice(name)
+            self._shards.remove(name)
+            del self._ranges[name]
+            self.version += 1
+            return vacated
 
     def __repr__(self) -> str:
-        ranges = ", ".join(
-            f"{name}=[{low},{high}]" for name, (low, high) in self._ranges.items()
-        )
+        with self._mutex:
+            ranges = ", ".join(
+                f"{name}=[{low},{high}]" for name, (low, high) in self._ranges.items()
+            )
         return f"<RangePartitioner {ranges}>"

@@ -1,0 +1,224 @@
+"""Unit tests for the lockdep-style runtime witness."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common import witness as witness_module
+from repro.common.witness import (
+    LEVEL_LATCH,
+    LEVEL_LEAF,
+    LEVEL_OUTER,
+    LEVEL_TABLE,
+    Witness,
+    WitnessedLock,
+    level_for_site,
+    lock_class,
+)
+
+
+def make_lock(name: str, level: int, witness: Witness, ordered: bool = False):
+    return WitnessedLock(
+        threading.Lock(), lock_class(name, level, ordered=ordered), witness=witness
+    )
+
+
+class TestLevelClassification:
+    def test_engine_paths_are_leaf(self):
+        assert level_for_site("repro/engine/transactions.py:74") == LEVEL_LEAF
+        assert level_for_site("repro/storage/wal.py:62") == LEVEL_LEAF
+
+    def test_outer_subpackages_are_outer(self):
+        assert level_for_site("repro/client/pool.py:30") == LEVEL_OUTER
+        assert level_for_site("repro/sharding/ring.py:130") == LEVEL_OUTER
+        assert level_for_site("repro/tpcw/driver.py:211") == LEVEL_OUTER
+
+    def test_unknown_paths_are_outer(self):
+        assert level_for_site("tests/common/test_witness.py:10") == LEVEL_OUTER
+
+    def test_absolute_paths_normalize(self):
+        assert level_for_site("/opt/x/src/repro/engine/locks.py:65") == LEVEL_LEAF
+
+
+class TestWitnessedLock:
+    def test_context_manager_records_acquisition(self):
+        witness = Witness()
+        lock = make_lock("a", LEVEL_OUTER, witness)
+        with lock:
+            assert lock.locked()
+        snapshot = witness.snapshot()
+        assert snapshot["acquisitions"] == 1
+        assert snapshot["violations"] == []
+
+    def test_descending_edges_are_recorded_and_legal(self):
+        witness = Witness()
+        outer = make_lock("outer", LEVEL_OUTER, witness)
+        leaf = make_lock("leaf", LEVEL_LEAF, witness)
+        with outer:
+            with leaf:
+                pass
+        snapshot = witness.snapshot()
+        assert {(e["from"], e["to"]) for e in snapshot["edges"]} == {("outer", "leaf")}
+        assert snapshot["violations"] == []
+
+    def test_inversion_is_flagged(self):
+        witness = Witness()
+        latch = make_lock("latch", LEVEL_LATCH, witness)
+        leaf = make_lock("leaf", LEVEL_LEAF, witness)
+        with leaf:
+            with latch:
+                pass
+        violations = witness.snapshot()["violations"]
+        assert len(violations) == 1
+        assert violations[0]["rule"] == "lock-order-inversion"
+        assert violations[0]["held"] == "leaf"
+        assert violations[0]["acquired"] == "latch"
+
+    def test_inversion_deduplicates(self):
+        witness = Witness()
+        latch = make_lock("latch", LEVEL_LATCH, witness)
+        leaf = make_lock("leaf", LEVEL_LEAF, witness)
+        for _ in range(3):
+            with leaf:
+                with latch:
+                    pass
+        assert len(witness.snapshot()["violations"]) == 1
+
+    def test_same_instance_reacquire_is_reentrant_not_nesting(self):
+        witness = Witness()
+        inner = threading.RLock()
+        lock = WitnessedLock(inner, lock_class("r", LEVEL_OUTER), witness=witness)
+        with lock:
+            with lock:
+                pass
+        snapshot = witness.snapshot()
+        assert snapshot["violations"] == []
+        assert snapshot["edges"] == []
+
+    def test_two_instances_of_unordered_class_flagged(self):
+        witness = Witness()
+        cls = lock_class("pool", LEVEL_OUTER)
+        first = WitnessedLock(threading.Lock(), cls, witness=witness)
+        second = WitnessedLock(threading.Lock(), cls, witness=witness)
+        with first:
+            with second:
+                pass
+        violations = witness.snapshot()["violations"]
+        assert [v["rule"] for v in violations] == ["same-class-nesting"]
+
+    def test_ordered_class_sanctions_same_class_nesting(self):
+        witness = Witness()
+        cls = lock_class("table", LEVEL_TABLE, ordered=True)
+        first = WitnessedLock(threading.Lock(), cls, witness=witness)
+        second = WitnessedLock(threading.Lock(), cls, witness=witness)
+        with first:
+            with second:
+                pass
+        assert witness.snapshot()["violations"] == []
+
+    def test_held_stack_is_per_thread(self):
+        witness = Witness()
+        latch = make_lock("latch", LEVEL_LATCH, witness)
+        leaf = make_lock("leaf", LEVEL_LEAF, witness)
+        failures = []
+
+        def other_thread():
+            # This thread holds nothing; taking the latch here must not
+            # see the main thread's held leaf.
+            with latch:
+                pass
+
+        with leaf:
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        if witness.snapshot()["violations"]:
+            failures.append(witness.snapshot()["violations"])
+        assert not failures
+
+    def test_condition_wait_keeps_stack_accurate(self):
+        # threading.Condition over a WitnessedLock: wait() releases and
+        # reacquires through acquire()/release(), so the held stack must
+        # drop the lock during the wait and regain it after.
+        witness = Witness()
+        lock = make_lock("cond", LEVEL_OUTER, witness)
+        condition = threading.Condition(lock)
+        ready = threading.Event()
+
+        def waker():
+            ready.wait(5)
+            with condition:
+                condition.notify()
+
+        worker = threading.Thread(target=waker)
+        worker.start()
+        with condition:
+            ready.set()
+            condition.wait(5)
+        worker.join()
+        assert witness.snapshot()["violations"] == []
+
+
+class TestNestingDepth:
+    def test_nesting_moves_class_to_deeper_level(self):
+        witness = Witness()
+        latch = make_lock("latch", LEVEL_LATCH, witness)
+        remote = make_lock("latch", LEVEL_LATCH, witness)
+        with latch:
+            with witness.nesting():
+                with remote:
+                    pass
+        snapshot = witness.snapshot()
+        edges = {(e["from"], e["to"]) for e in snapshot["edges"]}
+        assert edges == {("latch", "latch@1")}
+        assert snapshot["violations"] == []
+        assert snapshot["classes"]["latch@1"]["level"] > snapshot["classes"]["latch"]["level"]
+
+    def test_same_level_without_nesting_flags(self):
+        witness = Witness()
+        cls = lock_class("latch", LEVEL_LATCH)
+        local = WitnessedLock(threading.Lock(), cls, witness=witness)
+        remote = WitnessedLock(threading.Lock(), cls, witness=witness)
+        with local:
+            with remote:
+                pass
+        assert [v["rule"] for v in witness.snapshot()["violations"]] == [
+            "same-class-nesting"
+        ]
+
+
+class TestFactoryIntegration:
+    def test_mutex_is_witnessed_when_active(self, monkeypatch):
+        from repro.common.locks import mutex
+
+        fresh = Witness()
+        monkeypatch.setattr(witness_module, "_active", fresh)
+        lock = mutex()
+        assert isinstance(lock, WitnessedLock)
+        with lock:
+            pass
+        assert fresh.snapshot()["acquisitions"] == 1
+
+    def test_mutex_is_raw_when_inactive(self, monkeypatch):
+        from repro.common.locks import mutex
+
+        monkeypatch.setattr(witness_module, "_active", None)
+        monkeypatch.delenv("REPRO_LOCK_WITNESS", raising=False)
+        assert not isinstance(mutex(), WitnessedLock)
+
+    def test_rwlock_reports_to_witness(self, monkeypatch):
+        from repro.common.locks import RWLock
+
+        fresh = Witness()
+        monkeypatch.setattr(witness_module, "_active", fresh)
+        lock = RWLock()
+        with lock.shared():
+            pass
+        with lock.exclusive():
+            # Reentrant exclusive: same instance, so no new acquisition,
+            # no edge, no same-class-nesting.
+            with lock.exclusive():
+                pass
+        snapshot = fresh.snapshot()
+        assert snapshot["acquisitions"] == 2
+        assert snapshot["violations"] == []

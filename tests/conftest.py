@@ -14,6 +14,27 @@ from repro import MTCacheDeployment, Server
 # conftest import time covers every test.
 os.environ.setdefault("REPRO_CHECKED_PLANS", "1")
 
+# Lock witness for the whole suite: every lock minted through the
+# repro.common.locks chokepoints records its acquisitions into the
+# process-wide witness graph; the session gate below fails the run if
+# any test produced a lock-order inversion or an edge outside the
+# modeled hierarchy.
+os.environ.setdefault("REPRO_LOCK_WITNESS", "1")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_witness_gate():
+    """Assert the suite's observed lock graph embeds in the hierarchy."""
+    yield
+    from repro.analysis.concurrency import verify_witness
+    from repro.common.witness import active_witness
+
+    witness = active_witness()
+    if witness is None:  # REPRO_LOCK_WITNESS=0: explicitly disabled
+        return
+    problems = [str(diagnostic) for diagnostic in verify_witness(witness)]
+    assert not problems, "lock witness recorded violations:\n" + "\n".join(problems)
+
 
 def make_shop_backend(customers: int = 200, orders: int = 400) -> Server:
     """A small backend with customer/orders tables and statistics."""

@@ -106,6 +106,9 @@ class TestTransactions:
         server.execute("BEGIN TRANSACTION", session=session)
         with pytest.raises(TransactionError):
             server.execute("BEGIN TRANSACTION", session=session)
+        # The first transaction is still open (and holds the database
+        # latch exclusively); end it so the latch doesn't leak.
+        server.execute("ROLLBACK", session=session)
 
     def test_commit_without_begin_rejected(self, server):
         with pytest.raises(TransactionError):

@@ -51,9 +51,23 @@ def test_uncommitted_transaction_excluded():
     session = Session()
     server.execute("BEGIN TRANSACTION", session=session)
     server.execute("INSERT INTO t VALUES (2, 'pending', 2.0)", session=session)
-    # Crash before COMMIT.
-    recovered = recover_into_fresh(server)
-    assert state(recovered) == [(1, "a", 1.0)]
+    # Crash before COMMIT. The open transaction holds the origin's latch
+    # for its whole span, and the recovered instance is a separate server
+    # (a new process in reality) — recover on a separate thread so this
+    # thread doesn't nest the fresh server's latch under the held one
+    # (the lock witness flags such nesting).
+    import threading
+
+    recovered_box: list = []
+    worker = threading.Thread(
+        target=lambda: recovered_box.append(recover_into_fresh(server))
+    )
+    worker.start()
+    worker.join()
+    # The origin's abandoned transaction still holds its latch — release
+    # it before querying the recovered server from this thread.
+    server.execute("ROLLBACK", session=session)
+    assert state(recovered_box[0]) == [(1, "a", 1.0)]
 
 
 def test_aborted_transaction_excluded():

@@ -1,0 +1,30 @@
+"""Seeded violation: an acquisition cycle hidden behind method calls.
+
+Neither method nests two ``with`` blocks; the cycle only appears when
+the call graph propagates each helper's acquisitions to its callers.
+Expected finding: ``lock-cycle``.
+"""
+
+from repro.common.locks import mutex
+
+
+class BadRegistry:
+    def __init__(self):
+        self._index = mutex()
+        self._store = mutex()
+
+    def _touch_store(self):
+        with self._store:
+            return len(self.items)
+
+    def _touch_index(self):
+        with self._index:
+            return len(self.names)
+
+    def lookup(self, name):
+        with self._index:
+            return self._touch_store()
+
+    def insert(self, item):
+        with self._store:
+            return self._touch_index()

@@ -1,0 +1,14 @@
+"""Seeded violation: one database latch nested inside another.
+
+Expected finding: ``same-class-nesting`` — the latch class is
+unordered, so holding one database's latch while taking another's
+deadlocks against a thread doing the same two databases in the other
+order.
+"""
+
+
+class BadCrossDatabase:
+    def copy_rows(self, source, target):
+        with source.latch.shared():
+            with target.latch.exclusive():
+                return self.move(source, target)

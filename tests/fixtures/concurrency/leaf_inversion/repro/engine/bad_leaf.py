@@ -1,0 +1,20 @@
+"""Seeded violation: a leaf lock held while acquiring the latch.
+
+Expected finding: ``lock-order-inversion`` (level 1 under level 3).
+"""
+
+from repro.common.locks import mutex
+
+
+class BadCache:
+    def __init__(self, database):
+        self.database = database
+        self._lock = mutex()
+
+    def refresh(self, rows):
+        with self._lock:
+            # Wrong way up: the latch sits above every engine-internal
+            # leaf lock; a dispatcher thread holding the latch and
+            # wanting this cache's lock would deadlock against us.
+            with self.database.latch.shared():
+                self.rows = list(rows)

@@ -1,0 +1,13 @@
+"""Seeded violation: a link round trip made while holding table locks.
+
+Expected finding: ``blocking-under-latch`` (the remote call's latency --
+and the remote tier's own locking -- happens under our table locks,
+which is exactly the pattern the sanctioned forwarding sites must stay
+the only instances of).
+"""
+
+
+class BadForwarder:
+    def forward(self, database, plan, sql):
+        with database.lock_manager.locking(plan.tables):
+            return self.link.execute_statement_text(sql)

@@ -1,0 +1,18 @@
+"""Seeded violation: a raw threading primitive acquired outside the
+chokepoints.
+
+Expected finding: ``non-chokepoint-lock`` (the witness never sees this
+lock, so nothing it nests against is checked).
+"""
+
+import threading
+
+
+class BadPool:
+    def __init__(self):
+        self._raw = threading.Lock()
+        self.idle = []
+
+    def take(self):
+        with self._raw:
+            return self.idle.pop()

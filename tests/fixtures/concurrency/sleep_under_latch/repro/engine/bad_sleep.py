@@ -1,0 +1,13 @@
+"""Seeded violation: sleeping while holding the database latch.
+
+Expected finding: ``blocking-under-latch``.
+"""
+
+import time
+
+
+class BadCheckpointer:
+    def checkpoint(self, database):
+        with database.latch.exclusive():
+            time.sleep(0.5)  # every statement on the database stalls here
+            return self.flush(database)

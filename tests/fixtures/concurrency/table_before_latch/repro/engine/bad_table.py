@@ -1,0 +1,13 @@
+"""Seeded violation: table locks held while acquiring the latch.
+
+Expected finding: ``lock-order-inversion`` (latch under table locks).
+"""
+
+
+class BadDispatcher:
+    def run(self, database, plan):
+        with database.lock_manager.locking(plan.tables):
+            # The protocol is latch first, then table locks; taking them
+            # in the other order deadlocks against every DDL statement.
+            with database.latch.shared():
+                return self.execute(plan)

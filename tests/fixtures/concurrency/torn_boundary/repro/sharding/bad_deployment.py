@@ -1,0 +1,17 @@
+"""Seeded violation: a boundary move committed as two set_slice calls.
+
+Expected finding: ``boundary-move-window`` — between the two calls a
+concurrent router observes a torn boundary (keys owned by both shards
+or neither, and two partitioner versions for one logical change).
+"""
+
+
+class BadDeployment:
+    def move_boundary(self, left, right, new_cut):
+        left_low, left_high = self.partitioner.slice(left)
+        right_low, right_high = self.partitioner.slice(right)
+        self.deployment.sync()
+        self._retarget(left, left_low, new_cut)
+        self._retarget(right, new_cut + 1, right_high)
+        self.partitioner.set_slice(left, left_low, new_cut)
+        self.partitioner.set_slice(right, new_cut + 1, right_high)

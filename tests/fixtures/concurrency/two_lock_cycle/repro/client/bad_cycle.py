@@ -1,0 +1,22 @@
+"""Seeded violation: two same-level locks acquired in opposite orders.
+
+Expected finding: ``lock-cycle`` (a -> b and b -> a).
+"""
+
+from repro.common.locks import mutex
+
+
+class BadPair:
+    def __init__(self):
+        self._a = mutex()
+        self._b = mutex()
+
+    def transfer(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def reconcile(self):
+        with self._b:
+            with self._a:
+                return 2

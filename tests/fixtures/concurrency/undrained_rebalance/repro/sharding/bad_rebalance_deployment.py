@@ -1,0 +1,19 @@
+"""Seeded violation: slice mutation without draining replication first.
+
+Expected finding: ``rebalance-drain`` — commands the log reader already
+produced under the old slice predicates would be classified against the
+new ones, delivering rows to shards that should never hold them.
+"""
+
+
+class BadDeployment:
+    def add_shard(self, name):
+        donor = self.partitioner.widest_shard()
+        keep, give = self.partitioner.plan_split(donor)
+        self.partitioner.add_shard(name, *give)
+        cache = self._provision_shard(name)
+        self.shards[name] = cache
+        self._retarget(donor, *keep)
+        self.partitioner.set_slice(donor, *keep)
+        self.deployment.sync()
+        return cache

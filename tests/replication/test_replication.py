@@ -114,6 +114,8 @@ class TestChangePropagation:
 
     def test_open_transaction_not_propagated_until_commit(self, env):
         backend, deployment, cache = env
+        import threading
+
         from repro.engine import Session
 
         session = Session()
@@ -124,7 +126,15 @@ class TestChangePropagation:
             database="shop",
         )
         deployment.sync()
-        assert (2, "cust2", "base") in view_rows(cache)
+        # Read the cache from its own thread: the writer holds the
+        # backend latch for the transaction's span, and a single thread
+        # must not nest a second database's latch under it (the lock
+        # witness flags it). A cache reader is a separate client anyway.
+        mid_transaction: list = []
+        reader = threading.Thread(target=lambda: mid_transaction.append(view_rows(cache)))
+        reader.start()
+        reader.join()
+        assert (2, "cust2", "base") in mid_transaction[0]
         backend.execute("COMMIT", session=session, database="shop")
         deployment.sync()
         assert (2, "pending", "base") in view_rows(cache)
