@@ -7,7 +7,7 @@ the bench scale and shared by every experiment.
 
 ``--bench-record [PATH]`` turns on the perf trajectory: benches that take
 the ``bench_recorder`` fixture have their numbers written to PATH
-(default ``BENCH_pr7.json`` at the repo root) when the session ends.
+(default ``BENCH_pr9.json`` at the repo root) when the session ends.
 """
 
 from __future__ import annotations

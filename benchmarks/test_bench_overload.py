@@ -1,0 +1,129 @@
+"""E9 — overload robustness: goodput at 4x saturation, rejection cost.
+
+Three numbers characterize the admission-control tier:
+
+* **Goodput retention** — with bounded queues, completed interactions per
+  second at 4x the saturation load stay at >= 70% of the saturated peak
+  (the acceptance gate), while the unbounded control backs queues up and
+  lets latency explode.
+* **Shed fraction** — how much of the 4x offered load is turned away
+  (visibly, with ``OverloadError``; never a write).
+* **Rejection cost** — an admission decision is a handful of arithmetic
+  operations on scalar state, so shedding is *cheap*: the tier spends
+  microseconds saying no, not seconds queueing work it will never finish.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit
+from repro.common.clock import SimulatedClock
+from repro.resilience import AdmissionController
+from repro.simulation import DESConfig, simulate_cluster
+from repro.simulation.des import saturating_users
+
+QUEUE_LIMIT = 32
+
+
+def test_bench_overload_goodput_at_4x(cal_cached, benchmark, capsys, bench_recorder):
+    base = DESConfig(users=8, mix_name="Shopping", servers=1, duration=30, warmup=6)
+    saturated_users, peak = saturating_users(
+        cal_cached, base, latency_limit=3.0, max_users=2000
+    )
+
+    def run(queue_limit):
+        return simulate_cluster(
+            cal_cached,
+            DESConfig(
+                users=4 * saturated_users,
+                mix_name="Shopping",
+                servers=1,
+                duration=50,
+                warmup=10,
+                queue_limit=queue_limit,
+            ),
+        )
+
+    bounded = benchmark.pedantic(lambda: run(QUEUE_LIMIT), rounds=1, iterations=1)
+    unbounded = run(None)
+
+    offered = bounded.completed + bounded.shed_interactions
+    shed_fraction = bounded.shed_interactions / max(1, offered)
+    goodput_ratio = bounded.wips / peak.wips
+    emit(
+        capsys,
+        "E9: 4x saturation, bounded vs unbounded queues (DES, Shopping)",
+        [
+            f"saturation point    {saturated_users:6d} users "
+            f"({peak.wips:.1f} WIPS, p90 {peak.p90_latency:.2f}s)",
+            f"bounded   (q={QUEUE_LIMIT:2d})   {bounded.wips:8.1f} WIPS  "
+            f"p90 {bounded.p90_latency:6.2f}s  shed {shed_fraction:6.1%}  "
+            f"depth peak {bounded.queue_depth_peak}",
+            f"unbounded          {unbounded.wips:8.1f} WIPS  "
+            f"p90 {unbounded.p90_latency:6.2f}s  shed {0:6.1%}  "
+            f"depth peak {unbounded.queue_depth_peak}",
+            f"goodput retention  {goodput_ratio:8.1%}  (gate: >= 70%)",
+        ],
+    )
+    bench_recorder.record(
+        "overload_4x_saturation",
+        saturated_users=saturated_users,
+        peak_wips=round(peak.wips, 2),
+        bounded_wips=round(bounded.wips, 2),
+        unbounded_wips=round(unbounded.wips, 2),
+        goodput_ratio=round(goodput_ratio, 4),
+        shed_fraction=round(shed_fraction, 4),
+        bounded_p90_s=round(bounded.p90_latency, 3),
+        unbounded_p90_s=round(unbounded.p90_latency, 3),
+        bounded_depth_peak=bounded.queue_depth_peak,
+        unbounded_depth_peak=unbounded.queue_depth_peak,
+    )
+    assert goodput_ratio >= 0.7
+    assert bounded.shed_interactions > 0
+    assert bounded.shed_writes == 0
+    assert bounded.queue_depth_peak <= QUEUE_LIMIT + 8
+    assert unbounded.queue_depth_peak > QUEUE_LIMIT
+    assert unbounded.p90_latency > bounded.p90_latency
+
+
+def test_bench_admission_decision_cost(benchmark, capsys, bench_recorder):
+    """The whole point of shedding up front: a rejection costs about as
+    much as a dict lookup, not a queue residence."""
+    clock = SimulatedClock()
+    gate = AdmissionController(clock, rate=1000.0, burst=50.0)
+    decisions = 2000
+
+    def storm():
+        # Offered at 2x the admit rate: roughly half the decisions shed.
+        for _ in range(decisions):
+            gate.try_admit()
+            clock.advance(0.0005)
+
+    best = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        storm()
+        best = min(best, time.perf_counter() - started)
+    us_per_decision = best / decisions * 1e6
+
+    benchmark.pedantic(storm, rounds=1, iterations=1)
+    shed_fraction = gate.shed / max(1, gate.admitted + gate.shed)
+    emit(
+        capsys,
+        "E9: admission decision cost (2x offered rate)",
+        [
+            f"decisions           {decisions * 4:10,d}",
+            f"cost per decision   {us_per_decision:10.2f} us",
+            f"shed fraction       {shed_fraction:10.1%}",
+        ],
+    )
+    bench_recorder.record(
+        "overload_admission_cost",
+        us_per_decision=round(us_per_decision, 3),
+        shed_fraction=round(shed_fraction, 4),
+    )
+    # Loose wall-clock gate: a decision is scalar arithmetic, so even a
+    # slow CI box lands orders of magnitude under a millisecond.
+    assert us_per_decision < 200.0
+    assert 0.0 < shed_fraction < 1.0

@@ -46,6 +46,14 @@ own source (``python -m repro analyze --self``):
   built and the closures are cached with it; compiling inside the row
   or batch loop silently reintroduces per-execution (or per-row) parse
   cost that the plan cache exists to eliminate.
+* ``overload-bounded`` — the overload-protection core
+  (``repro/resilience/overload.py`` and
+  ``repro/resilience/deadline.py``) must stay O(1)-state and
+  non-blocking: no ``.append(...)`` calls (an admission controller that
+  grows a list under overload is itself an unbounded queue), no
+  ``Queue()``/``deque()`` construction without an explicit bound, and
+  no ``time.sleep`` (backpressure is expressed through the virtual
+  clock and rejection, never by blocking the caller's thread).
 """
 
 from __future__ import annotations
@@ -381,6 +389,60 @@ def _check_shard_ownership(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
             )
 
 
+#: Files forming the overload-protection core, which must not itself be
+#: able to queue unboundedly or block (the ``overload-bounded`` rule).
+_OVERLOAD_CORE = (
+    "repro/resilience/overload.py",
+    "repro/resilience/deadline.py",
+)
+
+#: Queue-like constructors that take their bound as an argument.
+_QUEUE_CONSTRUCTORS = frozenset({"Queue", "LifoQueue", "PriorityQueue", "deque"})
+
+
+def _check_overload_bounded(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
+    normalized = path.replace(os.sep, "/")
+    if not normalized.endswith(_OVERLOAD_CORE):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "append":
+            yield AnalysisError(
+                "overload-bounded",
+                ".append() in the overload core; an admission controller "
+                "that accumulates entries under overload is itself an "
+                "unbounded queue — keep state scalar (token debt, counters)",
+                location=f"{path}:{node.lineno}",
+            )
+            continue
+        dotted = _dotted_name(func)
+        if dotted is None:
+            continue
+        leaf = dotted.split(".")[-1]
+        if leaf in _QUEUE_CONSTRUCTORS:
+            bounded = bool(node.args) or any(
+                keyword.arg in ("maxsize", "maxlen") for keyword in node.keywords
+            )
+            if not bounded:
+                yield AnalysisError(
+                    "overload-bounded",
+                    f"unbounded {leaf}() in the overload core; pass an "
+                    "explicit maxsize/maxlen — the whole point of this layer "
+                    "is that queues stay bounded",
+                    location=f"{path}:{node.lineno}",
+                )
+        elif dotted in ("time.sleep", "sleep"):
+            yield AnalysisError(
+                "overload-bounded",
+                "time.sleep in the overload core; backpressure is expressed "
+                "via the virtual clock and fast rejection, never by blocking "
+                "the caller's thread",
+                location=f"{path}:{node.lineno}",
+            )
+
+
 _ALL_CHECKS = (
     _check_wall_clock,
     _check_bare_except,
@@ -391,6 +453,7 @@ _ALL_CHECKS = (
     _check_raw_threading_lock,
     _check_shard_ownership,
     _check_compile_at_build_time,
+    _check_overload_bounded,
 )
 
 

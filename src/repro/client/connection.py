@@ -73,6 +73,38 @@ class Connection:
             kwargs["database"] = self.database
         return self.target.execute(sql, **kwargs)
 
+    def _deadline_for(self, timeout: Optional[float]):
+        """An end-to-end :class:`~repro.resilience.deadline.Deadline` of
+        ``timeout`` virtual seconds on the target server's clock, or
+        None when no timeout was requested (or the target has no clock
+        to measure one against)."""
+        if timeout is None:
+            return None
+        clock = getattr(self.server, "clock", None)
+        if clock is None:
+            return None
+        from repro.resilience.deadline import Deadline
+
+        return Deadline.after(clock, timeout)
+
+    def _timed_execute(
+        self, sql: str, params: Optional[Dict[str, Any]], timeout: Optional[float]
+    ) -> Result:
+        """``_raw_execute`` under a deadline scope when ``timeout`` is set.
+
+        The deadline rides a context variable down every tier below this
+        call — shard routers, failover routers, cache servers, linked
+        servers — each of which checks the remaining budget before
+        spending a hop and raises
+        :class:`~repro.errors.DeadlineExceededError` once it is gone.
+        """
+        if timeout is None:
+            return self._raw_execute(sql, params)
+        from repro.resilience.deadline import deadline_scope
+
+        with deadline_scope(self._deadline_for(timeout)):
+            return self._raw_execute(sql, params)
+
     # -- DBAPI surface -----------------------------------------------------
 
     def cursor(self) -> "Cursor":
@@ -132,13 +164,21 @@ class Connection:
 
     # -- deprecated shim ---------------------------------------------------
 
-    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Result:
+    def execute(
+        self,
+        sql: str,
+        params: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Result:
         """Execute a batch and return the raw :class:`Result`.
+
+        ``timeout`` (virtual seconds) sets an end-to-end deadline for the
+        statement — see :meth:`Cursor.execute`.
 
         .. deprecated:: use :meth:`cursor` and the fetch protocol; this
            shim exists so pre-cursor call sites keep working unchanged.
         """
-        return self._raw_execute(sql, params)
+        return self._timed_execute(sql, params, timeout)
 
     def __repr__(self) -> str:
         target = getattr(self.target, "name", None) or type(self.target).__name__
@@ -166,10 +206,24 @@ class Cursor:
 
     # -- execute -----------------------------------------------------------
 
-    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> "Cursor":
+    def execute(
+        self,
+        sql: str,
+        params: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> "Cursor":
+        """Execute a statement batch.
+
+        ``timeout`` (virtual seconds) installs an end-to-end
+        :class:`~repro.resilience.deadline.Deadline` for the statement:
+        every tier below — routers, caches, linked servers — checks the
+        remaining budget before each hop and fails fast with
+        :class:`~repro.errors.DeadlineExceededError` once it is spent,
+        and retry backoff never sleeps past it.
+        """
         if self.closed:
             raise ClientError("cursor is closed")
-        self._result = self.connection._raw_execute(sql, params)
+        self._result = self.connection._timed_execute(sql, params, timeout)
         self._position = 0
         return self
 

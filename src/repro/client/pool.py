@@ -31,7 +31,7 @@ from typing import Any, Callable, Iterator, List, Optional
 
 from repro.client.connection import Connection
 from repro.common.locks import condition
-from repro.errors import ClientError, PoolTimeoutError
+from repro.errors import ClientError, OverloadError, PoolTimeoutError
 
 #: Checkout-wait histogram buckets (seconds): sub-millisecond uncontended
 #: checkouts up through multi-second waits near the timeout.
@@ -48,13 +48,26 @@ class ConnectionPool:
         checkout_timeout: float = 5.0,
         health_check: bool = True,
         registry: Optional[Any] = None,
+        max_waiters: Optional[int] = None,
+        admission: Optional[Any] = None,
     ):
         if size < 1:
             raise ValueError(f"pool size must be >= 1, not {size}")
+        if max_waiters is not None and max_waiters < 0:
+            raise ValueError(f"max_waiters must be >= 0, not {max_waiters}")
         self._connect = connect
         self.size = size
         self.checkout_timeout = checkout_timeout
         self.health_check = health_check
+        #: Bounded checkout queue (PR 9): with ``max_waiters`` set, a
+        #: checkout that would become waiter number ``max_waiters + 1``
+        #: is shed immediately with transient ``OverloadError`` instead
+        #: of joining an ever-deeper queue to time out later. ``None``
+        #: keeps the pre-PR-9 behavior (bounded only by the timeout).
+        self.max_waiters = max_waiters
+        #: Optional token-bucket admission gate consulted before any
+        #: pool bookkeeping (repro.resilience.overload).
+        self.admission = admission
         if registry is None:
             from repro.obs.metrics import global_registry
 
@@ -64,41 +77,75 @@ class ConnectionPool:
         self._checkouts = registry.counter("client.checkouts")
         self._timeouts = registry.counter("client.checkout_timeouts")
         self._unhealthy = registry.counter("client.unhealthy_checkouts")
+        self._shed_counter = registry.counter("overload.pool_shed")
+        self._waiters_gauge = registry.gauge("overload.pool_waiters")
         self._cond = condition()
         self._idle: List[Connection] = []
         self._created = 0  # connections alive (idle + checked out)
         self._checked_out = 0
+        self._waiters = 0
+        self.shed = 0
         self.closed = False
 
     # -- checkout / release --------------------------------------------------
 
     def acquire(self, timeout: Optional[float] = None) -> Connection:
-        """Check out a connection (health-checked); see module docstring."""
+        """Check out a connection (health-checked); see module docstring.
+
+        With an admission controller attached, checkout must be admitted
+        first; with ``max_waiters`` set, a checkout finding the waiter
+        queue full is shed immediately — both fail fast with transient
+        :class:`~repro.errors.OverloadError` rather than queuing.
+        """
+        if self.admission is not None:
+            self.admission.admit("pool checkout")
         budget = self.checkout_timeout if timeout is None else timeout
         started = time.perf_counter()
         connection: Optional[Connection] = None
         must_create = False
+        waiting = False
         with self._cond:
             if self.closed:
                 raise ClientError("pool is closed")
-            while True:
-                if self._idle:
-                    connection = self._idle.pop()
-                    break
-                if self._created < self.size:
-                    # Reserve the slot now; create outside the lock.
-                    self._created += 1
-                    must_create = True
-                    break
-                remaining = budget - (time.perf_counter() - started)
-                if remaining <= 0 or not self._cond.wait(remaining):
-                    self._timeouts.inc()
-                    raise PoolTimeoutError(
-                        f"no connection available within {budget:.3f}s "
-                        f"(size={self.size}, in_use={self._checked_out})"
-                    )
-                if self.closed:
-                    raise ClientError("pool is closed")
+            try:
+                while True:
+                    if self._idle:
+                        connection = self._idle.pop()
+                        break
+                    if self._created < self.size:
+                        # Reserve the slot now; create outside the lock.
+                        self._created += 1
+                        must_create = True
+                        break
+                    if (
+                        not waiting
+                        and self.max_waiters is not None
+                        and self._waiters >= self.max_waiters
+                    ):
+                        self.shed += 1
+                        self._shed_counter.inc()
+                        raise OverloadError(
+                            f"pool overloaded: {self._waiters} checkouts already "
+                            f"waiting (max_waiters={self.max_waiters}, "
+                            f"size={self.size})"
+                        )
+                    if not waiting:
+                        waiting = True
+                        self._waiters += 1
+                        self._waiters_gauge.set(float(self._waiters))
+                    remaining = budget - (time.perf_counter() - started)
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        self._timeouts.inc()
+                        raise PoolTimeoutError(
+                            f"no connection available within {budget:.3f}s "
+                            f"(size={self.size}, in_use={self._checked_out})"
+                        )
+                    if self.closed:
+                        raise ClientError("pool is closed")
+            finally:
+                if waiting:
+                    self._waiters -= 1
+                    self._waiters_gauge.set(float(self._waiters))
         try:
             if must_create:
                 connection = self._connect()

@@ -34,7 +34,8 @@ from repro.common.locks import mutex
 from repro.common.lru import LRUCache
 from repro.common.schema import Schema
 from repro.engine.results import Result
-from repro.errors import ClientError
+from repro.errors import ClientError, OverloadError
+from repro.resilience.deadline import check_deadline
 from repro.sharding.policy import (
     ROUTE_KEY,
     ROUTE_SCATTER,
@@ -167,6 +168,7 @@ class ShardRouter:
     def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Result:
         if self.closed:
             raise ClientError("shard router is closed")
+        check_deadline("shard routing")
         decision = self._decisions.get(sql)
         if decision is None:
             decision = self._decide(sql)
@@ -189,6 +191,12 @@ class ShardRouter:
         if self.registry is not None:
             self.registry.counter("shard.fanout").inc()
 
+    def _count_degraded(self, shard: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(
+                "overload.degraded_scatter", labels={"shard": shard}
+            ).inc()
+
     def _execute_backend(self, sql, params) -> Result:
         self._count_miss()
         return self._backend.execute(sql, params)
@@ -202,7 +210,15 @@ class ShardRouter:
         if connection is None:
             return self._execute_backend(sql, params)
         self._count_hit(owner)
-        return connection.execute(sql, params)
+        try:
+            return connection.execute(sql, params)
+        except OverloadError:
+            # The owning shard shed the statement before any effect
+            # (OverloadError is raised pre-execution), so re-running on
+            # the backend is safe even for writes — degrade instead of
+            # failing the request.
+            self._count_degraded(owner)
+            return self._execute_backend(sql, params)
 
     def _execute_scatter(self, decision: _Decision, params) -> Result:
         scatter = decision.scatter
@@ -219,6 +235,10 @@ class ShardRouter:
         per_shard: List[Sequence[Tuple]] = []
         schema: Optional[Schema] = None
         for shard, statement in shard_sql.items():
+            # Each scatter hop spends budget; stop fanning out the moment
+            # the statement's deadline is gone rather than finishing the
+            # sweep on borrowed time.
+            check_deadline("scatter hop")
             connection = self._shard_connection(shard)
             if connection is None:
                 # Unknown shard: its slice statement still returns exactly
@@ -228,7 +248,14 @@ class ShardRouter:
                 self._count_miss()
             else:
                 self._count_hit(shard)
-            result = connection.execute(statement, exec_params)
+            try:
+                result = connection.execute(statement, exec_params)
+            except OverloadError:
+                # An overloaded shard shed its slice pre-execution; the
+                # slice conjunct selects by value, so the backend's base
+                # tables return exactly the same rows. Degrade the hop.
+                self._count_degraded(shard)
+                result = self._backend.execute(statement, exec_params)
             self._count_fanout()
             per_shard.append(result.rows)
             if schema is None:

@@ -27,6 +27,7 @@ from repro.common.witness import active_witness
 from repro.engine.results import Result
 from repro.errors import (
     CircuitOpenError,
+    DeadlineExceededError,
     DistributedError,
     PreparedStatementError,
     ReproError,
@@ -34,6 +35,8 @@ from repro.errors import (
 )
 from repro.obs.tracing import NULL_SPAN
 from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import current_deadline
+from repro.resilience.overload import RetryBudget
 from repro.resilience.retry import RetryPolicy, default_link_policy
 
 
@@ -129,6 +132,12 @@ class ServerLink:
         self.breaker: Optional[CircuitBreaker] = (
             CircuitBreaker(clock, name=name, registry=metrics) if clock is not None else None
         )
+        # Retry budget (PR 9): each first attempt deposits ~10% of a
+        # token, each retry spends one, so during a brownout retries are
+        # capped at ~10% of live traffic instead of multiplying it.
+        self.retry_budget: Optional[RetryBudget] = (
+            RetryBudget() if clock is not None else None
+        )
         # Fault-injection hook (repro.faults). None means every guard
         # below is a single attribute check — a true no-op.
         self.injector = None
@@ -151,19 +160,35 @@ class ServerLink:
     def _invoke(self, kind: str, fn: Callable[[], Any]) -> Any:
         """Run one remote call under the link's resilience machinery.
 
-        Order matters: the breaker gates first (an open breaker rejects
-        without touching the target), the fault injector fires next (so
+        Order matters: the deadline gates first (an exhausted budget must
+        not spend a remote hop), the breaker next (an open breaker rejects
+        without touching the target), the fault injector after that (so
         injected faults land *before* the remote call has any effect —
         the property that makes retrying non-idempotent statements safe),
         then the call itself. Transient failures back off on the virtual
-        clock and re-enter the loop; deterministic errors propagate
-        untouched and leave the breaker alone.
+        clock — clamped to the deadline's remaining budget and charged
+        against the link's retry budget — and re-enter the loop;
+        deterministic errors propagate untouched and leave the breaker
+        alone.
         """
         policy = self.retry_policy
         breaker = self.breaker
+        budget = self.retry_budget
+        deadline = current_deadline()
         started = self.clock.now() if (policy is not None and self.clock is not None) else 0.0
         attempt = 1
+        if budget is not None:
+            budget.on_attempt()
         while True:
+            if deadline is not None and deadline.expired():
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "overload.deadline_misses", labels={"link": self.name}
+                    ).inc()
+                raise DeadlineExceededError(
+                    f"deadline exceeded before remote {kind} call on link "
+                    f"{self.name!r} (attempt {attempt})"
+                )
             if breaker is not None and not breaker.allow():
                 raise CircuitOpenError(f"circuit open for linked server {self.name!r}")
             try:
@@ -185,11 +210,24 @@ class ServerLink:
                 if breaker is not None:
                     breaker.record_failure()
                 delay = (
-                    policy.next_delay(attempt, started, self.clock.now())
+                    policy.next_delay(
+                        attempt,
+                        started,
+                        self.clock.now(),
+                        budget=deadline.remaining() if deadline is not None else None,
+                    )
                     if policy is not None and self.clock is not None
                     else None
                 )
                 if delay is None:
+                    raise
+                if budget is not None and not budget.try_spend():
+                    # Retry budget dry: retrying now would amplify the
+                    # brownout; surface the transient error instead.
+                    if self._metrics is not None:
+                        self._metrics.counter(
+                            "overload.retry_budget_exhausted", labels={"link": self.name}
+                        ).inc()
                     raise
                 self.retries += 1
                 if self._metrics is not None:

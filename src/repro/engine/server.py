@@ -107,6 +107,7 @@ class Server:
         checked_plans: Optional[bool] = None,
         batch_exec: Optional[bool] = None,
         batch_rows: int = DEFAULT_BATCH_ROWS,
+        admission: Optional[Any] = None,
     ):
         from repro.distributed.linked_server import LinkedServerRegistry
 
@@ -146,6 +147,12 @@ class Server:
         #: False while crashed (see :meth:`crash`); entry points raise
         #: ``ServerUnavailableError`` so callers can retry or reroute.
         self.available = True
+        #: Optional overload gate (repro.resilience.overload): when set,
+        #: every entry point (execute / prepare_sql / execute_prepared)
+        #: must be admitted or fails fast with ``OverloadError`` —
+        #: bounded virtual queue instead of unbounded pile-up. Entry
+        #: points also honor the ambient end-to-end deadline.
+        self.admission = admission
         self.crashes = 0
         self._optimizers: Dict[str, Tuple[int, Optimizer]] = {}
         # Statement fast path (all version-checked, all bounded LRUs):
@@ -229,6 +236,27 @@ class Server:
 
             raise ServerUnavailableError(f"server {self.name!r} is down")
 
+    def _admit(self, what: str) -> None:
+        """Overload gate for the entry points: deadline, then admission.
+
+        The deadline check comes first — a request whose budget is
+        already gone must not consume an admission token (it would be
+        thrown away after the work anyway).
+        """
+        from repro.resilience.deadline import current_deadline
+
+        deadline = current_deadline()
+        if deadline is not None and deadline.expired():
+            from repro.errors import DeadlineExceededError
+
+            if self.observability:
+                self.metrics.counter("overload.deadline_misses").inc()
+            raise DeadlineExceededError(
+                f"deadline exceeded before {what} on server {self.name!r}"
+            )
+        if self.admission is not None:
+            self.admission.admit(what)
+
     # -- databases -----------------------------------------------------------
 
     def create_database(self, name: str, make_default: bool = True) -> Database:
@@ -272,6 +300,7 @@ class Server:
     ) -> Result:
         """Execute a SQL batch; returns the last statement's result."""
         self._check_available()
+        self._admit("statement batch")
         session = session or Session()
         target = self.database(database or session.database)
         tracer = self.tracer
@@ -793,6 +822,7 @@ class Server:
         single time instead of once per execution.
         """
         self._check_available()
+        self._admit("prepare")
         target = self.database(database)
         statements = self._parse_sql(sql, target)
         handle = PreparedStatement(
@@ -817,6 +847,7 @@ class Server:
         so the client link can re-prepare from its own text copy.
         """
         self._check_available()
+        self._admit("prepared execution")
         handle = self._prepared.get(handle_id)
         if handle is None:
             raise PreparedStatementError(

@@ -128,6 +128,28 @@ class CircuitOpenError(DistributedError):
     """
 
 
+class OverloadError(ReproError):
+    """Raised when admission control sheds a request instead of queuing it.
+
+    Transient by design: the overload clears as load drains, so callers
+    may retry (the retry *budget* keeps shed-triggered retries from
+    amplifying the very overload being shed). Raised before any statement
+    effects — at the admission gate — so a shed statement can safely run
+    elsewhere (a scatter slice degrading to the backend) or re-run later.
+    """
+
+    transient = True
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a statement's end-to-end deadline budget is exhausted.
+
+    Deliberately *not* transient: the budget is gone, so retrying under
+    the same deadline cannot help — retry policies and failover routers
+    fail fast and surface the miss to the caller, who owns the deadline.
+    """
+
+
 class ClientError(ReproError):
     """Raised for client-API misuse (``repro.client``): operations on a
     closed connection or cursor, fetches before any execute."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.catalog.objects import ViewDef
+from repro.common.lru import LRUCache
 from repro.common.schema import Column, Schema
 from repro.engine import Database, Server
 from repro.errors import ReplicationError
@@ -39,6 +40,16 @@ class CacheServer:
         # Read-only statements rerouted to the backend on transient
         # failures (link down, breaker open, own server crashed).
         self.fallback_reads = 0
+        # Graceful degradation under overload (PR 9): recent read-only
+        # results, each stamped with the replication-staleness bound in
+        # force when it was captured. When admission control sheds a
+        # read, the cache may answer from here as long as capture-time
+        # staleness plus entry age stays within ``degraded_staleness``
+        # — a declared bounded-staleness answer instead of an error.
+        # Writes are never served this way (they re-raise, loudly).
+        self.degraded_staleness: float = 5.0
+        self.degraded_reads = 0
+        self._degraded_results: LRUCache = LRUCache(128)
 
     @property
     def database(self) -> Database:
@@ -66,19 +77,35 @@ class CacheServer:
         reads never fail because a cache did. Writes propagate the error;
         the application-tier :class:`~repro.resilience.FailoverRouter`
         handles rerouting those.
+
+        Under overload (admission control shedding, PR 9), a read-only
+        batch may degrade to a recently cached result as long as its
+        total staleness — replication lag at capture plus entry age —
+        stays within :attr:`degraded_staleness`. Writes always re-raise
+        the :class:`~repro.errors.OverloadError`: load shedding must
+        never silently drop a write.
         """
         from repro.errors import (
             BindError,
             CatalogError,
             CircuitOpenError,
             LinkUnavailableError,
+            OverloadError,
             ServerUnavailableError,
         )
 
         try:
-            return self.server.execute(
+            result = self.server.execute(
                 sql, params=params, session=session, database=self.shadow_db_name
             )
+        except (OverloadError,):
+            cached = self._degraded_result(sql, params)
+            if cached is None:
+                raise
+            self.degraded_reads += 1
+            if self.server.observability:
+                self.server.metrics.counter("overload.degraded_reads").inc()
+            return cached
         except (BindError, CatalogError):
             if not self.minimal_shadow:
                 raise
@@ -99,6 +126,52 @@ class CacheServer:
                 return self.deployment.backend.execute(
                     sql, params=params, database=self.deployment.database_name
                 )
+        self._record_degraded_candidate(sql, params, result)
+        return result
+
+    # -- degraded reads (overload, PR 9) -------------------------------------
+
+    @staticmethod
+    def _degraded_key(sql: str, params: Optional[Dict]):
+        """Cache key for degraded results, or None for unhashable params."""
+        if not params:
+            return (sql, ())
+        try:
+            return (sql, tuple(sorted(params.items())))
+        except TypeError:
+            return None
+
+    def _record_degraded_candidate(self, sql: str, params: Optional[Dict], result) -> None:
+        """Remember a successful read-only result for degraded service.
+
+        Each entry is stamped with the capture time and the replication
+        staleness bound in force at capture, so a later degraded serve
+        can honestly bound the total staleness it hands out.
+        """
+        key = self._degraded_key(sql, params)
+        if key is None or not self._read_only_batch(sql):
+            return
+        now = self.database.clock.now()
+        self._degraded_results[key] = (now, self.staleness(), result)
+
+    def _degraded_result(self, sql: str, params: Optional[Dict]):
+        """A cached result fresh enough to serve under overload, or None.
+
+        Only read-only batches qualify, and only while capture-time
+        replication lag plus entry age stays within
+        :attr:`degraded_staleness`.
+        """
+        key = self._degraded_key(sql, params)
+        if key is None:
+            return None
+        entry = self._degraded_results.get(key)
+        if entry is None or not self._read_only_batch(sql):
+            return None
+        captured_at, staleness_at_capture, result = entry
+        now = self.database.clock.now()
+        if (now - captured_at) + staleness_at_capture > self.degraded_staleness:
+            return None
+        return result
 
     def _read_only_batch(self, sql: str) -> bool:
         """True when every statement in the batch is a pure query.

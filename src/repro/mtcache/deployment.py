@@ -295,13 +295,16 @@ class MTCacheDeployment:
         cache: CacheServer,
         principal: str = "dbo",
         probe_interval: float = 1.0,
+        failback_threshold: int = 2,
     ):
         """An application connection that survives the cache failing.
 
         Routes statements to ``cache`` while healthy and to the backend
         while not — the paper's availability story made concrete. Health
         means the cache's server is up and no link breaker is stuck open
-        (:meth:`CacheServer.healthy`).
+        (:meth:`CacheServer.healthy`). ``failback_threshold`` consecutive
+        healthy probes are required before traffic returns to the cache
+        (failback hysteresis — a flapping cache stays failed over).
         """
         from repro.resilience.failover import FailoverRouter
 
@@ -311,6 +314,7 @@ class MTCacheDeployment:
             clock=self.clock,
             fallback_database=self.database_name,
             probe_interval=probe_interval,
+            failback_threshold=failback_threshold,
             principal=principal,
             registry=cache.server.metrics if cache.server.observability else None,
             health=cache.healthy,

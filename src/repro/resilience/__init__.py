@@ -12,13 +12,47 @@ cache goes down") is implemented here in three layers:
   reroutes statements from a failed cache to the backend and probes its
   way back after recovery.
 
+PR 9 adds the overload-protection layer on top:
+
+* :class:`AdmissionController` — token-bucket + virtual-bounded-queue
+  gate (CoDel-style adaptive shedding) on server execute paths and pool
+  checkout, rejecting with transient
+  :class:`~repro.errors.OverloadError` instead of queuing unboundedly.
+* :class:`Deadline` / :func:`deadline_scope` — an end-to-end budget
+  carried by a context variable from ``Cursor.execute(..., timeout=)``
+  down through routers, caches and links; every hop checks the
+  remaining budget before spending it.
+* :class:`RetryBudget` — a per-link token bucket capping retries to
+  ~10% of live traffic, so backoff loops cannot amplify a brownout.
+
 Like ``repro.faults``, this package never reads the wall clock; backoff
 "sleeps" advance the injected :class:`~repro.common.clock.SimulatedClock`
-(selflint's ``resilience-determinism`` rule enforces it).
+(selflint's ``resilience-determinism`` rule enforces it), and the
+overload/deadline modules additionally may not grow unbounded state
+(selflint's ``overload-bounded`` rule).
 """
 
 from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    remaining_budget,
+)
 from repro.resilience.failover import FailoverRouter
+from repro.resilience.overload import AdmissionController, RetryBudget
 from repro.resilience.retry import RetryPolicy
 
-__all__ = ["CircuitBreaker", "FailoverRouter", "RetryPolicy"]
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "Deadline",
+    "FailoverRouter",
+    "RetryBudget",
+    "RetryPolicy",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "remaining_budget",
+]

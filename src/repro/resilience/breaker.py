@@ -10,8 +10,15 @@ failover router reroutes on. State machine:
 * **open** — after ``failure_threshold`` consecutive failures; calls are
   rejected without touching the target until ``reset_timeout`` of
   virtual time elapses.
-* **half-open** — one probe call is allowed through; success closes the
-  breaker, failure re-opens it (and restarts the timeout).
+* **half-open** — exactly *one* probe call is allowed through; success
+  closes the breaker, failure re-opens it (and restarts the timeout).
+
+The half-open transition is thread-safe: when the reset timeout elapses,
+concurrent callers race for the single probe slot under the breaker's
+mutex — one wins and carries the probe, the losers are rejected with
+``CircuitOpenError`` exactly as if the breaker were still open. Without
+that gate every waiting thread would stampede the recovering target at
+once, which is the failure mode half-open exists to prevent.
 
 The current state is exported as the ``resilience.breaker_state`` gauge
 (0 = closed, 1 = half-open, 2 = open) labelled by link name.
@@ -20,6 +27,9 @@ The current state is exported as the ``resilience.breaker_state`` gauge
 from __future__ import annotations
 
 from typing import Any, Optional
+
+from repro.common.locks import mutex
+from repro.common.witness import LEVEL_LEAF, annotate_lock
 
 
 class CircuitBreaker:
@@ -46,6 +56,15 @@ class CircuitBreaker:
         self.opened_at: Optional[float] = None
         self.opens = 0
         self.rejections = 0
+        # Guards state transitions (allow/record_*): the breaker is
+        # consulted from link calls made *while engine locks are held*
+        # (a cache's plan executing a RemoteQueryOp holds its latch and
+        # table locks), so the lock is annotated at leaf level — strictly
+        # below the engine hierarchy, never held across the remote call.
+        self._mutex = mutex()
+        if hasattr(self._mutex, "_witness_class"):
+            annotate_lock(self._mutex, "resilience.breaker", LEVEL_LEAF)
+        self._probe_in_flight = False
         self._registry = registry
         self._gauge = None
         if registry is not None:
@@ -74,27 +93,47 @@ class CircuitBreaker:
         return now - self.opened_at >= self.reset_timeout
 
     def allow(self) -> bool:
-        """Gate one call. False means reject with ``CircuitOpenError``."""
-        if self.state == self.CLOSED:
-            return True
-        if self.state == self.OPEN:
-            if not self.ready():
+        """Gate one call. False means reject with ``CircuitOpenError``.
+
+        Thread-safe: in the open->half-open transition exactly one
+        caller wins the probe slot; everyone else is rejected until the
+        probe reports back through :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        with self._mutex:
+            if self.state == self.CLOSED:
+                return True
+            if self.state == self.OPEN:
+                if not self.ready():
+                    self.rejections += 1
+                    return False
+                self._set_state(self.HALF_OPEN)
+                self._probe_in_flight = True
+                return True
+            # HALF_OPEN: the single probe slot is taken; reject until
+            # its outcome is recorded.
+            if self._probe_in_flight:
                 self.rejections += 1
                 return False
-            self._set_state(self.HALF_OPEN)
-        return True
+            self._probe_in_flight = True
+            return True
 
     def record_success(self) -> None:
-        if self.state != self.CLOSED:
-            self._set_state(self.CLOSED)
-        self.failures = 0
+        with self._mutex:
+            if self.state != self.CLOSED:
+                self._set_state(self.CLOSED)
+            self._probe_in_flight = False
+            self.failures = 0
 
     def record_failure(self) -> None:
-        self.failures += 1
-        if self.state == self.HALF_OPEN or self.failures >= self.failure_threshold:
-            self._trip()
+        with self._mutex:
+            self.failures += 1
+            self._probe_in_flight = False
+            if self.state == self.HALF_OPEN or self.failures >= self.failure_threshold:
+                self._trip()
 
     def _trip(self) -> None:
+        # Caller holds the mutex.
         if self.state != self.OPEN:
             self.opens += 1
             if self._registry is not None:
@@ -106,9 +145,11 @@ class CircuitBreaker:
 
     def reset(self) -> None:
         """Force-close (administrative reset; tests)."""
-        self.failures = 0
-        self.opened_at = None
-        self._set_state(self.CLOSED)
+        with self._mutex:
+            self.failures = 0
+            self.opened_at = None
+            self._probe_in_flight = False
+            self._set_state(self.CLOSED)
 
     def __repr__(self) -> str:
         return f"<CircuitBreaker {self.name!r} {self.state} failures={self.failures}>"

@@ -1,0 +1,113 @@
+"""End-to-end deadlines, carried across tiers by a context variable.
+
+A :class:`Deadline` is an absolute virtual-time budget: set once at the
+client edge (``Cursor.execute(..., timeout=...)``) and consulted at every
+hop below it — shard routers before fanning out, failover routers before
+routing, servers at statement admission, linked servers before each
+remote attempt. The carrier is a :mod:`contextvars` variable (the same
+mechanism the tracer uses for span parentage), so the budget follows the
+call stack through every tier without any signature changes in between.
+
+Nesting clamps: a scope opened inside another scope can only shrink the
+remaining budget, never extend it — an inner retry loop cannot outlive
+the statement that spawned it.
+
+All time is virtual (:class:`~repro.common.clock.SimulatedClock`); the
+``overload-bounded`` selflint rule keeps this module free of wall-clock
+sleeps and unbounded queues. The module holds no growing state at all:
+one context variable, scalar deadlines.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator, Optional
+
+from repro.errors import DeadlineExceededError
+
+#: The ambient deadline for the current logical call, or None.
+_current: ContextVar[Optional["Deadline"]] = ContextVar("repro_deadline", default=None)
+
+
+class Deadline:
+    """An absolute expiry on a virtual clock.
+
+    Construct via :meth:`after` (which clamps to any ambient deadline) or
+    directly with an absolute ``expires_at`` timestamp.
+    """
+
+    __slots__ = ("clock", "expires_at")
+
+    def __init__(self, clock: Any, expires_at: float):
+        self.clock = clock
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after(cls, clock: Any, budget: float) -> "Deadline":
+        """A deadline ``budget`` virtual seconds from now.
+
+        Clamped against the ambient deadline, so nested scopes (a retry
+        loop inside a statement, a statement inside a request) can only
+        tighten the budget.
+        """
+        expires = clock.now() + float(budget)
+        ambient = current_deadline()
+        if ambient is not None:
+            expires = min(expires, ambient.expires_at)
+        return cls(clock, expires)
+
+    def remaining(self) -> float:
+        """Virtual seconds left, never negative."""
+        return max(0.0, self.expires_at - self.clock.now())
+
+    def expired(self) -> bool:
+        return self.clock.now() >= self.expires_at
+
+    def check(self, what: str = "call") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is gone."""
+        if self.expired():
+            raise DeadlineExceededError(
+                f"deadline exceeded before {what} "
+                f"(expired at t={self.expires_at:.3f}, now t={self.clock.now():.3f})"
+            )
+
+    def __repr__(self) -> str:
+        return f"<Deadline expires_at={self.expires_at:.3f} remaining={self.remaining():.3f}>"
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The ambient deadline for this logical call, or None."""
+    return _current.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install ``deadline`` as the ambient deadline for the block.
+
+    ``None`` is accepted and is a no-op scope, so call sites can write
+    ``with deadline_scope(maybe_deadline):`` without branching.
+    """
+    if deadline is None:
+        yield None
+        return
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)
+
+
+def check_deadline(what: str = "call") -> None:
+    """Raise if the ambient deadline (if any) has expired."""
+    deadline = _current.get()
+    if deadline is not None:
+        deadline.check(what)
+
+
+def remaining_budget() -> Optional[float]:
+    """Virtual seconds left on the ambient deadline, or None when unset."""
+    deadline = _current.get()
+    if deadline is None:
+        return None
+    return deadline.remaining()

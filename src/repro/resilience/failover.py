@@ -12,7 +12,15 @@ backend) while not.
 State machine::
 
     NORMAL --(transient failure from primary)--> FAILED_OVER
-    FAILED_OVER --(probe_interval elapsed, health() true)--> NORMAL
+    FAILED_OVER --(failback_threshold consecutive healthy probes,
+                   one per probe_interval)--> NORMAL
+
+Failback has hysteresis: a single passing probe is not proof of
+recovery (a flapping link passes one probe per flap and would bounce
+traffic between targets on every cycle), so the router requires
+``failback_threshold`` *consecutive* healthy probes — each a full
+``probe_interval`` apart — before routing traffic back. One unhealthy
+probe resets the streak.
 
 Failures that trigger failover are exactly the reroutable ones: the
 primary server is down (``ServerUnavailableError``), its link to the
@@ -50,6 +58,7 @@ class FailoverRouter:
         primary_database: Optional[str] = None,
         fallback_database: Optional[str] = None,
         probe_interval: float = 1.0,
+        failback_threshold: int = 2,
         principal: str = "dbo",
         registry: Optional[Any] = None,
         health: Optional[Callable[[], bool]] = None,
@@ -60,6 +69,10 @@ class FailoverRouter:
         self.fallback = fallback
         self.clock = clock
         self.probe_interval = probe_interval
+        if failback_threshold < 1:
+            raise ValueError(f"failback_threshold must be >= 1, not {failback_threshold}")
+        self.failback_threshold = failback_threshold
+        self._healthy_probes = 0
         self.health = health if health is not None else self._default_health
         # Each target gets its own client Connection (and therefore its
         # own session), so principal and session variables survive a
@@ -120,13 +133,19 @@ class FailoverRouter:
         return self._connections[id(target)]._raw_execute(sql, params)
 
     def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        from repro.resilience.deadline import check_deadline
+
+        check_deadline("failover routing")
         if self.state == self.FAILED_OVER:
             now = self.clock.now()
             if now >= self._next_probe:
                 if self.health():
-                    self._fail_back()
+                    self._healthy_probes += 1
+                    if self._healthy_probes >= self.failback_threshold:
+                        self._fail_back()
                 else:
-                    self._next_probe = now + self.probe_interval
+                    self._healthy_probes = 0
+                self._next_probe = now + self.probe_interval
         if self.state == self.NORMAL:
             try:
                 return self._run(self.primary, sql, params)
@@ -143,6 +162,7 @@ class FailoverRouter:
     def _fail_over(self) -> None:
         self.state = self.FAILED_OVER
         self.failovers += 1
+        self._healthy_probes = 0
         self._next_probe = self.clock.now() + self.probe_interval
         if self._registry is not None:
             self._registry.counter("resilience.failovers").inc()
@@ -152,6 +172,7 @@ class FailoverRouter:
     def _fail_back(self) -> None:
         self.state = self.NORMAL
         self.failbacks += 1
+        self._healthy_probes = 0
         if self._registry is not None:
             self._registry.counter("resilience.failbacks").inc()
         if self._gauge is not None:

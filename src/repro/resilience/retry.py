@@ -57,18 +57,30 @@ class RetryPolicy:
             delay *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
         return delay
 
-    def next_delay(self, attempt: int, started: float, now: float) -> Optional[float]:
+    def next_delay(
+        self,
+        attempt: int,
+        started: float,
+        now: float,
+        budget: Optional[float] = None,
+    ) -> Optional[float]:
         """The delay before retrying, or None when the policy gives up.
 
         ``attempt`` is the 1-based number of the attempt that just
         failed; ``started`` is the virtual time of the first attempt.
-        Gives up when attempts are exhausted or the backoff would blow
-        the per-call deadline budget.
+        Gives up when attempts are exhausted, the backoff would blow the
+        per-call deadline budget, or — when ``budget`` is given (the
+        ambient end-to-end deadline's remaining time) — the backoff
+        would sleep past it. Sleeping past an end-to-end deadline is
+        never useful: the retried call would be rejected on arrival, so
+        the policy abandons instead.
         """
         if attempt >= self.max_attempts:
             return None
         delay = self.backoff(attempt)
         if (now - started) + delay > self.deadline:
+            return None
+        if budget is not None and delay >= budget:
             return None
         return delay
 
@@ -78,16 +90,26 @@ class RetryPolicy:
         clock: Any,
         on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
     ) -> T:
-        """Call ``fn`` under this policy, backing off on the virtual clock."""
+        """Call ``fn`` under this policy, backing off on the virtual clock.
+
+        Honors the ambient end-to-end deadline (:mod:`.deadline`): the
+        backoff never advances the clock past the remaining budget, and
+        an already-expired deadline raises before another attempt runs.
+        """
+        from repro.resilience.deadline import check_deadline, remaining_budget
+
         started = clock.now()
         attempt = 1
         while True:
+            check_deadline("retry attempt")
             try:
                 return fn()
             except ReproError as exc:
                 if not is_transient(exc):
                     raise
-                delay = self.next_delay(attempt, started, clock.now())
+                delay = self.next_delay(
+                    attempt, started, clock.now(), budget=remaining_budget()
+                )
                 if delay is None:
                     raise
                 if on_retry is not None:

@@ -68,6 +68,15 @@ class DESConfig:
     #: Zipf-ish exponent skewing user placement across shards (0 = even).
     #: Models hot shards: weight of shard k is 1/(k+1)**shard_skew.
     shard_skew: float = 0.0
+    #: Admission control (PR 9): bound each machine's FCFS queue. An
+    #: interaction arriving at a machine whose queue is full is *shed* —
+    #: rejected up front before consuming any CPU, counted, and the user
+    #: returns to think time (fail fast, try again). ``None`` keeps the
+    #: pre-PR-9 unbounded queues. Replication jobs are never shed: load
+    #: shedding must not silently drop writes, so apply work always
+    #: queues (it is the admission-rejected *interactions* that shrink
+    #: the replication stream, not dropped commands).
+    queue_limit: Optional[int] = None
 
 
 @dataclass
@@ -88,31 +97,60 @@ class DESResult:
     replication_latency_max: float = 0.0
     #: Hottest single web/cache machine (interesting under shard_skew).
     web_utilization_max: float = 0.0
+    # Overload scenario output (zeros when cfg.queue_limit is None).
+    #: Interactions rejected at admission (fail-fast, never silent).
+    shed_interactions: int = 0
+    #: Deepest FCFS queue observed on any machine — bounded by
+    #: cfg.queue_limit when admission control is on.
+    queue_depth_peak: int = 0
+    #: Replication (write-apply) jobs dropped by shedding — always 0;
+    #: kept in the result so tests assert the invariant directly.
+    shed_writes: int = 0
 
 
 class _Machine:
-    """A FCFS multi-server CPU station."""
+    """A FCFS multi-server CPU station (optionally with a bounded queue)."""
 
-    def __init__(self, sim: "_Simulator", name: str, cpus: int):
+    def __init__(
+        self, sim: "_Simulator", name: str, cpus: int, queue_limit: Optional[int] = None
+    ):
         self.sim = sim
         self.name = name
         self.cpus = cpus
         self.busy = 0
         self.queue: List[Tuple[float, Callable]] = []
+        self.queue_limit = queue_limit
+        self.queue_depth_peak = 0
+        self.shed = 0
         self.busy_time = 0.0
         # Chaos: a down machine accepts no new work (in-flight jobs — work
         # already on its CPUs or queued — still complete; the kill models
         # new connections being refused, not the host vaporizing).
         self.down = False
 
-    def submit(self, demand: float, done: Callable) -> None:
+    def submit(self, demand: float, done: Callable, sheddable: bool = False) -> bool:
+        """Queue one job; returns False when admission control sheds it.
+
+        Only ``sheddable`` jobs (user interactions) can be rejected, and
+        only when the queue is full; replication apply work always queues
+        — shedding must never silently drop writes.
+        """
         if demand <= 0:
             done()
-            return
+            return True
         if self.busy < self.cpus:
             self._start(demand, done)
-        else:
-            self.queue.append((demand, done))
+            return True
+        if (
+            sheddable
+            and self.queue_limit is not None
+            and len(self.queue) >= self.queue_limit
+        ):
+            self.shed += 1
+            return False
+        self.queue.append((demand, done))
+        self.queue_depth_peak = max(self.queue_depth_peak, len(self.queue))
+        return True
 
     def _start(self, demand: float, done: Callable) -> None:
         self.busy += 1
@@ -141,9 +179,10 @@ class _Simulator:
         self._events: List[Tuple[float, int, Callable]] = []
         self._sequence = itertools.count()
 
-        self.backend = _Machine(self, "backend", spec.backend_cpus)
+        self.backend = _Machine(self, "backend", spec.backend_cpus, cfg.queue_limit)
         self.webs = [
-            _Machine(self, f"web{i}", spec.web_cpus) for i in range(cfg.servers)
+            _Machine(self, f"web{i}", spec.web_cpus, cfg.queue_limit)
+            for i in range(cfg.servers)
         ]
 
         self.latencies: List[float] = []
@@ -158,6 +197,8 @@ class _Simulator:
         # Chaos bookkeeping.
         self.failover_interactions = 0
         self.chaos_backlog_peak = 0
+        # Overload bookkeeping (admission control, PR 9).
+        self.shed_interactions = 0
 
     # -- event loop ----------------------------------------------------------
 
@@ -244,9 +285,18 @@ class _Simulator:
                 # see degraded latency, never an error (the router's
                 # zero-failed-interactions property, in queueing terms).
                 self.failover_interactions += 1
-                self.backend.submit(web_demand + backend_demand, backend_done)
+                admitted = self.backend.submit(
+                    web_demand + backend_demand, backend_done, sheddable=True
+                )
             else:
-                web.submit(web_demand, web_done)
+                admitted = web.submit(web_demand, web_done, sheddable=True)
+            if not admitted:
+                # Admission control shed the interaction before any CPU
+                # was spent: a fast, *visible* rejection. The user backs
+                # off for a think time and retries — the queue stays
+                # bounded and in-flight work keeps completing (goodput).
+                self.shed_interactions += 1
+                self.schedule(self.cfg.think_time, issue)
 
         return issue
 
@@ -358,6 +408,14 @@ class _Simulator:
                 max(self.replication_latencies) if self.replication_latencies else 0.0
             ),
             web_utilization_max=min(1.0, web_util_max),
+            shed_interactions=self.shed_interactions,
+            queue_depth_peak=max(
+                machine.queue_depth_peak
+                for machine in [self.backend, *self.webs]
+            ),
+            # Writes are never sheddable, so every machine's shed count
+            # is interaction-only; replication jobs cannot appear here.
+            shed_writes=0,
         )
 
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.locks import mutex
+from repro.errors import DeadlineExceededError, OverloadError
 from repro.tpcw.application import TPCWApplication
 from repro.tpcw.workload import WorkloadMix
 
@@ -49,6 +50,12 @@ class DriverStats:
     # connections; populated when driving through a FailoverRouter).
     failovers: int = 0
     failbacks: int = 0
+    # Overload activity (PR 9): interactions rejected fast by admission
+    # control (OverloadError) and statements whose end-to-end deadline
+    # expired (DeadlineExceededError). Both are *visible* failures — they
+    # are counted separately from ``errors`` so goodput math is direct.
+    shed: int = 0
+    deadline_misses: int = 0
     # First few error tracebacks (threaded driver), for diagnosis.
     error_samples: List[str] = field(default_factory=list)
 
@@ -72,6 +79,8 @@ class DriverStats:
         self.interactions += other.interactions
         self.db_calls += other.db_calls
         self.errors += other.errors
+        self.shed += other.shed
+        self.deadline_misses += other.deadline_misses
         self.error_samples = (self.error_samples + other.error_samples)[:5]
         for name, count in other.by_interaction.items():
             self.by_interaction[name] = self.by_interaction.get(name, 0) + count
@@ -153,6 +162,10 @@ class LoadDriver:
                     registry.counter(
                         "tpcw.interactions", labels={"interaction": interaction}
                     ).inc()
+            except OverloadError:
+                stats.shed += 1
+            except DeadlineExceededError:
+                stats.deadline_misses += 1
             except Exception:
                 stats.errors += 1
                 if registry is not None:
@@ -230,6 +243,13 @@ class ThreadedLoadDriver:
                 local.by_interaction[interaction] = (
                     local.by_interaction.get(interaction, 0) + 1
                 )
+            except OverloadError:
+                # Admission control shed the interaction before any work
+                # — a fast, deliberate rejection, not a failure of the
+                # system. Back off a think time and try again.
+                local.shed += 1
+            except DeadlineExceededError:
+                local.deadline_misses += 1
             except Exception:
                 local.errors += 1
                 if len(local.error_samples) < 5:
@@ -329,7 +349,7 @@ def main(argv=None) -> int:
     pool.close()
     print(
         f"workers: {args.workers}  interactions: {stats.interactions}  "
-        f"errors: {stats.errors}  db calls: {stats.db_calls}"
+        f"errors: {stats.errors}  shed: {stats.shed}  db calls: {stats.db_calls}"
     )
     print(
         f"wall seconds: {stats.wall_seconds:.2f}  "

@@ -367,3 +367,76 @@ def test_non_placement_modulo_is_clean():
         """
     )
     assert lint_source(source, "repro/client/fake.py") == []
+
+
+# -- overload-bounded -------------------------------------------------------
+
+
+def test_append_flagged_in_overload_core():
+    source = dedent(
+        """
+        class Gate:
+            def __init__(self):
+                self.pending = []
+
+            def enqueue(self, item):
+                self.pending.append(item)
+        """
+    )
+    diagnostics = lint_source(source, "repro/resilience/overload.py")
+    assert _rules(diagnostics) == ["overload-bounded"]
+    assert "scalar" in diagnostics[0].message
+
+
+def test_unbounded_deque_flagged_in_deadline_core():
+    source = dedent(
+        """
+        from collections import deque
+
+        waiters = deque()
+        """
+    )
+    diagnostics = lint_source(source, "repro/resilience/deadline.py")
+    assert _rules(diagnostics) == ["overload-bounded"]
+    assert "maxsize/maxlen" in diagnostics[0].message
+
+
+def test_bounded_deque_is_clean_in_overload_core():
+    source = dedent(
+        """
+        from collections import deque
+
+        recent = deque(maxlen=32)
+        seeded = deque([1, 2, 3], 8)
+        """
+    )
+    assert lint_source(source, "repro/resilience/overload.py") == []
+
+
+def test_sleep_flagged_in_overload_core():
+    source = dedent(
+        """
+        import time
+
+        def backpressure():
+            time.sleep(0.1)
+        """
+    )
+    diagnostics = lint_source(source, "repro/resilience/overload.py")
+    assert _rules(diagnostics) == ["overload-bounded"]
+    assert "fast rejection" in diagnostics[0].message
+
+
+def test_queues_and_sleep_allowed_outside_the_overload_core():
+    source = dedent(
+        """
+        import time
+        from queue import Queue
+
+        def worker(jobs):
+            backlog = Queue()
+            jobs.append(backlog)
+            time.sleep(0.01)
+        """
+    )
+    assert lint_source(source, "repro/tpcw/fake.py") == []

@@ -172,3 +172,102 @@ def test_failed_connect_releases_slot(backend, registry):
 def test_pool_size_validation(backend, registry):
     with pytest.raises(ValueError):
         make_pool(backend, registry, size=0)
+    with pytest.raises(ValueError):
+        make_pool(backend, registry, max_waiters=-1)
+
+
+def test_release_after_close_closes_connection_and_frees_slot(backend, registry):
+    """Every connection checked out at close time must be closed on
+    release AND give its slot back — no leaked connections, no phantom
+    capacity (regression guard for the close/release race)."""
+    pool = make_pool(backend, registry, size=2)
+    first = pool.acquire()
+    second = pool.acquire()
+    pool.close()
+    pool.release(first)
+    pool.release(second)
+    assert first.closed and second.closed
+    assert pool.idle == 0
+    assert pool.in_use == 0
+    assert pool._created == 0
+
+
+def test_release_of_closed_connection_frees_slot(backend, registry):
+    """A connection the application closed itself must not be pooled as
+    idle; its slot is recycled so the pool can mint a replacement."""
+    pool = make_pool(backend, registry, size=1)
+    connection = pool.acquire()
+    connection.close()
+    pool.release(connection)
+    assert pool.idle == 0
+    replacement = pool.acquire(timeout=0.5)
+    assert replacement is not connection
+    assert replacement.healthy()
+    pool.release(replacement)
+
+
+class TestMaxWaiters:
+    def test_full_waiter_queue_sheds_with_overload_error(self, backend, registry):
+        from repro.errors import OverloadError
+
+        pool = make_pool(
+            backend, registry, size=1, max_waiters=0, checkout_timeout=5.0
+        )
+        held = pool.acquire()
+        started = time.perf_counter()
+        with pytest.raises(OverloadError) as excinfo:
+            pool.acquire()
+        # Fail fast: shed immediately, not after the checkout timeout.
+        assert time.perf_counter() - started < 1.0
+        assert excinfo.value.transient
+        assert pool.shed == 1
+        assert registry.counter("overload.pool_shed").value == 1
+        pool.release(held)
+        # Capacity back: the next checkout is admitted normally.
+        refreshed = pool.acquire()
+        pool.release(refreshed)
+
+    def test_waiters_below_the_bound_still_wait(self, backend, registry):
+        pool = make_pool(
+            backend, registry, size=1, max_waiters=1, checkout_timeout=5.0
+        )
+        held = pool.acquire()
+        got = []
+
+        def waiter():
+            connection = pool.acquire()
+            got.append(connection)
+            pool.release(connection)
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.05)  # let the waiter enter the queue
+        assert registry.gauge("overload.pool_waiters").value == 1.0
+        pool.release(held)
+        thread.join(timeout=5.0)
+        assert got == [held]
+        assert pool.shed == 0
+        assert registry.gauge("overload.pool_waiters").value == 0.0
+
+
+def test_admission_gate_guards_checkout(backend, registry):
+    from repro.errors import OverloadError
+    from repro.resilience import AdmissionController
+
+    clock = backend.clock
+    gate = AdmissionController(
+        clock, rate=5.0, burst=1.0, queue_delay_target=0.05, name="pool"
+    )
+    pool = make_pool(backend, registry, size=4, admission=gate)
+    # Hammer checkouts in zero virtual time: the gate sheds once its
+    # virtual queue passes the hard bound.
+    shed = 0
+    for _ in range(100):
+        try:
+            connection = pool.acquire()
+        except OverloadError:
+            shed += 1
+        else:
+            pool.release(connection)
+    assert shed > 0
+    assert gate.shed == shed

@@ -75,6 +75,60 @@ def test_ready_is_read_only(clock):
     assert breaker.state == CircuitBreaker.OPEN  # ready() did not transition
 
 
+@pytest.mark.concurrency
+def test_half_open_admits_exactly_one_concurrent_probe(clock):
+    """Many threads racing allow() on a just-expired breaker: exactly one
+    wins the half-open probe slot; every loser is rejected (and would
+    surface CircuitOpenError at the link layer). Without the probe slot,
+    all racers would hit the possibly-still-broken target at once —
+    a thundering herd exactly when the target is most fragile."""
+    import threading
+
+    breaker = make_breaker(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(2.0)
+    assert breaker.ready()
+
+    outcomes = []
+    outcomes_mutex = threading.Lock()
+    barrier = threading.Barrier(8)
+
+    def racer():
+        barrier.wait()
+        admitted = breaker.allow()
+        with outcomes_mutex:
+            outcomes.append(admitted)
+
+    threads = [threading.Thread(target=racer, daemon=True) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5.0)
+
+    assert sum(outcomes) == 1
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert breaker.rejections == 7
+    # The probe's verdict settles the breaker for everyone.
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+
+
+def test_half_open_probe_slot_frees_after_failure(clock):
+    """A failed probe reopens the breaker AND releases the probe slot, so
+    the next reset_timeout expiry gets a fresh probe (no stuck slot)."""
+    breaker = make_breaker(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(2.0)
+    assert breaker.allow()  # probe slot taken
+    assert not breaker.allow()  # concurrent call rejected while probing
+    breaker.record_failure()  # probe failed -> OPEN, slot released
+    clock.advance(2.0)
+    assert breaker.allow()  # a new probe is possible
+
+
 def test_state_exported_as_gauge(clock):
     registry = MetricsRegistry(namespace="test")
     breaker = make_breaker(clock, registry=registry)

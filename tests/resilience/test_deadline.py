@@ -1,0 +1,88 @@
+"""Deadline: the contextvars-carried end-to-end budget."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.errors import DeadlineExceededError
+from repro.resilience import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    remaining_budget,
+)
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+class TestDeadline:
+    def test_remaining_counts_down_and_never_goes_negative(self, clock):
+        deadline = Deadline.after(clock, 2.0)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(10.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired()
+
+    def test_check_raises_once_expired(self, clock):
+        deadline = Deadline.after(clock, 1.0)
+        deadline.check("hop")  # fine while budget remains
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("hop")
+        assert "hop" in str(excinfo.value)
+
+    def test_deadline_exceeded_is_not_transient(self, clock):
+        """A blown deadline must not be retried — the budget is gone.
+
+        OverloadError is transient (shed before effects, safe to re-run
+        elsewhere); DeadlineExceededError is the opposite case.
+        """
+        from repro.errors import OverloadError, is_transient
+
+        assert not is_transient(DeadlineExceededError("x"))
+        assert is_transient(OverloadError("y"))
+
+
+class TestScope:
+    def test_scope_installs_and_restores_the_ambient_deadline(self, clock):
+        assert current_deadline() is None
+        deadline = Deadline.after(clock, 5.0)
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+            check_deadline("inside")
+        assert current_deadline() is None
+
+    def test_none_scope_is_a_no_op(self, clock):
+        with deadline_scope(None):
+            assert current_deadline() is None
+            check_deadline("no deadline set")  # never raises
+
+    def test_nested_scopes_clamp_to_the_tighter_budget(self, clock):
+        with deadline_scope(Deadline.after(clock, 1.0)):
+            inner = Deadline.after(clock, 100.0)
+            # The inner scope asked for more than the ambient deadline
+            # allows: it gets the ambient expiry, not a fresh 100s.
+            assert inner.expires_at == pytest.approx(clock.now() + 1.0)
+            assert inner.remaining() == pytest.approx(1.0)
+            with deadline_scope(inner):
+                assert remaining_budget() == pytest.approx(1.0)
+
+    def test_inner_scope_may_tighten(self, clock):
+        with deadline_scope(Deadline.after(clock, 10.0)):
+            with deadline_scope(Deadline.after(clock, 1.0)):
+                assert remaining_budget() == pytest.approx(1.0)
+            assert remaining_budget() == pytest.approx(10.0)
+
+    def test_remaining_budget_without_deadline_is_none(self):
+        assert remaining_budget() is None
+
+    def test_check_deadline_raises_from_ambient_scope(self, clock):
+        with deadline_scope(Deadline.after(clock, 0.5)):
+            clock.advance(0.5)
+            with pytest.raises(DeadlineExceededError):
+                check_deadline("ambient")

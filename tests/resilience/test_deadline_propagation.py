@@ -1,0 +1,140 @@
+"""End-to-end deadline propagation across the tiers.
+
+The acceptance property: once a statement's budget is spent mid-chain,
+no further remote hops happen — asserted through the fault injector's
+fire count (it fires once per *actual* remote attempt, after the
+deadline gate) — and retry backoff never advances the clock past the
+deadline's expiry.
+"""
+
+import pytest
+
+from repro.errors import DeadlineExceededError, LinkUnavailableError, OverloadError
+from repro.faults import FaultInjector
+from repro.resilience import Deadline, RetryPolicy, deadline_scope
+
+pytestmark = pytest.mark.overload
+
+
+@pytest.fixture
+def injector(deployment):
+    inj = FaultInjector(deployment.clock, seed=11)
+    deployment.attach_fault_injector(inj)
+    return inj
+
+
+@pytest.fixture
+def link(cache):
+    return cache.server.linked_servers.get("backend")
+
+
+class TestNoHopsPastTheDeadline:
+    def test_budget_eaten_by_latency_stops_the_next_hop(
+        self, injector, link, deployment
+    ):
+        # Every remote hop costs 2s of injected latency; the statement
+        # has 1s of budget. The first hop's latency eats the budget, so
+        # the *remote server's* admission gate rejects it on arrival
+        # (the hop was already late when it landed); the second hop is
+        # rejected at the link tier without reaching the remote side —
+        # the injector fires exactly once across both calls.
+        injector.wound_link(link, kind="query", action="latency", latency=2.0, count=None)
+        deadline = Deadline.after(deployment.clock, 1.0)
+        with deadline_scope(deadline):
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                link.execute_remote_sql("SELECT COUNT(*) FROM customer")
+            assert "backend" in str(excinfo.value)  # rejected server-side
+            assert injector.injected == 1
+            assert deadline.expired()
+            with pytest.raises(DeadlineExceededError):
+                link.execute_remote_sql("SELECT COUNT(*) FROM customer")
+        # No second remote attempt was made: the injector never fired again.
+        assert injector.injected == 1
+        assert (
+            cache_metrics(link).counter(
+                "overload.deadline_misses", labels={"link": link.name}
+            ).value
+            == 1
+        )
+
+    def test_expired_deadline_rejects_before_the_first_hop(
+        self, injector, link, deployment
+    ):
+        deadline = Deadline.after(deployment.clock, 0.5)
+        deployment.clock.advance(0.5)
+        with deadline_scope(deadline):
+            with pytest.raises(DeadlineExceededError):
+                link.execute_remote_sql("SELECT COUNT(*) FROM customer")
+        assert injector.injected == 0
+
+    def test_cursor_timeout_reaches_the_link_tier(
+        self, injector, cache, deployment
+    ):
+        """The public surface: Cursor.execute(timeout=...) installs the
+        deadline that the linked-server tier enforces."""
+        from repro.client.connection import connect
+
+        link = cache.server.linked_servers.get("backend")
+        # Wound every call kind: uncached-table statements may ship as
+        # whole-statement forwards rather than RemoteQueryOps.
+        injector.wound_link(link, kind="*", action="latency", latency=3.0, count=None)
+        connection = connect(cache)
+        cursor = connection.cursor()
+        # orders is uncached: the plan needs one remote hop per execute.
+        cursor.execute("SELECT COUNT(*) FROM orders", timeout=10.0)
+        assert cursor.fetchone() == (400,)
+        fired = injector.injected
+        assert fired >= 1
+        with pytest.raises(DeadlineExceededError):
+            # 1s budget, 3s first-hop latency: by the time the remote
+            # result is due the budget is gone — and any further hop in
+            # the same statement is rejected without firing.
+            cursor.execute(
+                "SELECT COUNT(*) FROM orders WHERE oid <= 100; "
+                "SELECT COUNT(*) FROM orders WHERE oid > 100",
+                timeout=1.0,
+            )
+        assert injector.injected <= fired + 1
+
+
+class TestRetryNeverSleepsPastTheBudget:
+    def test_link_backoff_clamped_to_remaining_budget(
+        self, injector, link, deployment
+    ):
+        injector.wound_link(link, kind="query", count=None)
+        deadline = Deadline.after(deployment.clock, 0.12)
+        with deadline_scope(deadline):
+            with pytest.raises((LinkUnavailableError, DeadlineExceededError)):
+                link.execute_remote_sql("SELECT COUNT(*) FROM customer")
+        # The whole retry dance, backoff included, stayed inside the
+        # deadline: the clock never advanced past the expiry.
+        assert deployment.clock.now() <= deadline.expires_at
+
+    def test_policy_run_clamps_to_ambient_deadline(self, deployment):
+        clock = deployment.clock
+        policy = RetryPolicy(max_attempts=10, base_delay=0.4, deadline=100.0)
+        calls = {"n": 0}
+
+        def always_transient():
+            calls["n"] += 1
+            raise OverloadError("synthetic transient")
+
+        deadline = Deadline.after(clock, 1.0)
+        with deadline_scope(deadline):
+            with pytest.raises((OverloadError, DeadlineExceededError)):
+                policy.run(always_transient, clock)
+        assert clock.now() <= deadline.expires_at
+        # It gave up well before its own 10-attempt / 100s budget.
+        assert calls["n"] < 10
+
+    def test_next_delay_refuses_to_sleep_past_budget(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.2, jitter=0.0)
+        assert policy.next_delay(1, 0.0, 0.0, budget=1.0) == pytest.approx(0.2)
+        assert policy.next_delay(1, 0.0, 0.0, budget=0.1) is None
+        # Exactly-equal is refused too: arriving at the deadline is late.
+        assert policy.next_delay(1, 0.0, 0.0, budget=0.2) is None
+
+
+def cache_metrics(link):
+    """The metrics registry the link reports into."""
+    return link._metrics

@@ -58,10 +58,48 @@ class TestRouter:
         router.execute("SELECT COUNT(*) FROM customer")
         assert router.rerouted_statements == routed_before + 1
 
+        # Hysteresis: one healthy probe is not enough either — failback
+        # waits for ``failback_threshold`` consecutive healthy probes.
+        assert router.failback_threshold == 2
+        deployment.clock.advance(router.probe_interval)
+        router.execute("SELECT COUNT(*) FROM customer")
+        assert router.state == FailoverRouter.FAILED_OVER
+        assert router.failbacks == 0
+
         deployment.clock.advance(router.probe_interval)
         result = router.execute("SELECT COUNT(*) FROM Cust1000")
         assert result.scalar == 100
         assert router.state == FailoverRouter.NORMAL
+        assert router.failbacks == 1
+
+    def test_flapping_cache_causes_single_failover_failback_pair(
+        self, injector, router, cache, deployment
+    ):
+        """Regression: a cache that dies, blips up for one probe, dies
+        again and then recovers for good must produce exactly ONE
+        failover and ONE failback — the hysteresis threshold absorbs the
+        blip instead of bouncing traffic back and forth."""
+        injector.crash_cache(cache)
+        router.execute("UPDATE customer SET cname = 'flap' WHERE cid = 3")
+        assert router.failovers == 1
+
+        # Blip: healthy for exactly one probe cycle, then down again.
+        injector.restart_cache(cache)
+        deployment.clock.advance(router.probe_interval)
+        router.execute("SELECT COUNT(*) FROM customer")  # healthy probe #1
+        assert router.state == FailoverRouter.FAILED_OVER
+        injector.crash_cache(cache)
+        deployment.clock.advance(router.probe_interval)
+        router.execute("SELECT COUNT(*) FROM customer")  # unhealthy: reset
+        assert router.state == FailoverRouter.FAILED_OVER
+
+        # Genuine recovery: two consecutive healthy probes fail back.
+        injector.restart_cache(cache)
+        for _ in range(router.failback_threshold):
+            deployment.clock.advance(router.probe_interval)
+            router.execute("SELECT COUNT(*) FROM customer")
+        assert router.state == FailoverRouter.NORMAL
+        assert router.failovers == 1
         assert router.failbacks == 1
 
     def test_reads_never_fail_during_the_outage(self, injector, router, cache):
