@@ -1,4 +1,4 @@
-"""Bench trajectory recording: persist bench numbers to ``BENCH_pr9.json``.
+"""Bench trajectory recording: persist bench numbers to ``BENCH_pr10.json``.
 
 ROADMAP asks for a recorded perf trajectory — numbers committed alongside
 the code that produced them, so a later PR can show its speedup against
@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 #: The trajectory tag this PR records under, and the default output file.
-BENCH_TAG = "pr9"
+BENCH_TAG = "pr10"
 DEFAULT_RECORD_PATH = Path(__file__).resolve().parents[1] / f"BENCH_{BENCH_TAG}.json"
 
 

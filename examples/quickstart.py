@@ -15,6 +15,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import MTCacheDeployment, Server, connect
+from repro.net import register_inproc
 
 
 def main() -> None:
@@ -53,7 +54,12 @@ def main() -> None:
     print("Dynamic plan for the parameterized query:")
     print(cache.plan(query).explain(), "\n")
 
-    connection = connect(cache)
+    # The client API is DSN-based: register the cache under an inproc
+    # name and dial it by URL. Swapping "inproc://..." for the "tcp://..."
+    # DSN printed by `python -m repro serve` moves the same code onto a
+    # real socket — nothing else changes.
+    register_inproc("quickstart/cache0", cache)
+    connection = connect("inproc://quickstart/cache0")
     cursor = connection.cursor()
     local = cursor.execute(query, {"cid": 500}).fetchall()
     remote = cursor.execute(query, {"cid": 1500}).fetchall()

@@ -13,6 +13,7 @@ Run:  python examples/sharded_tier.py
 
 from repro.client.connection import connect
 from repro.faults import FaultInjector
+from repro.net import register_inproc
 from repro.sharding import ShardedDeployment
 from repro.tpcw import TPCWConfig
 
@@ -28,7 +29,8 @@ def main() -> None:
     config = TPCWConfig(num_items=200, num_ebs=6, seed=11)
     sharded = ShardedDeployment(config=config, shards=4)
     connection = sharded.connect()
-    backend = connect(sharded.backend, database=sharded.database_name)
+    register_inproc("sharded/backend", sharded.backend, database=sharded.database_name)
+    backend = connect("inproc://sharded/backend")
 
     print("Slices (item ids per shard):")
     for name in sharded.partitioner.shards:

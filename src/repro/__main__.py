@@ -13,7 +13,10 @@ Commands:
 * ``analyze``  — run the static-analysis passes (``--self`` AST lint,
   ``--workload`` SQL lint, ``--plans`` plan-invariant verification,
   ``--concurrency`` lock-order/atomicity/witness checks; all four when
-  no flag is given).
+  no flag is given);
+* ``serve``    — boot a TCP network front end (``repro.net``) over a
+  TPC-W cache deployment (or a minimal shop backend) and print the
+  ``tcp://`` DSN clients dial with ``connect()`` / ``--dsn``.
 
 These wrap the scripts under ``examples/`` so the package is runnable
 after installation without a source checkout.
@@ -129,13 +132,61 @@ def _metrics() -> None:
     print(to_json(deployment_snapshot(deployment)))
 
 
+def _serve(args) -> None:
+    import threading
+    import time
+
+    from repro.net import ReproServer
+
+    if args.serve_workload == "tpcw":
+        from repro.tpcw import TPCWConfig, build_backend, enable_caching
+
+        backend, config = build_backend(TPCWConfig(num_items=args.items, num_ebs=20))
+        deployment, caches = enable_caching(backend, ["cache1"], config)
+        target = caches[0]
+        # Replication needs virtual time to flow while real clients talk
+        # over real sockets: a ticker tracks elapsed wall time onto the
+        # deployment clock (the ThreadedLoadDriver does the same).
+        virtual_start = deployment.clock.now()
+        wall_start = time.perf_counter()
+
+        def tick() -> None:
+            while True:
+                time.sleep(0.05)
+                deployment.clock.advance_to(
+                    virtual_start + (time.perf_counter() - wall_start)
+                )
+                deployment.tick()
+
+        threading.Thread(target=tick, name="repro-serve-ticker", daemon=True).start()
+    else:  # shop: a bare backend, no cache tier
+        from repro import Server
+
+        backend = Server("backend")
+        backend.create_database("shop")
+        backend.execute(
+            "CREATE TABLE customer (cid INT PRIMARY KEY, cname VARCHAR(40) NOT NULL)"
+        )
+        shop = backend.database("shop")
+        shop.bulk_load("customer", [(i, f"cust{i}") for i in range(1, 1001)])
+        shop.analyze_all()
+        target = backend
+
+    server = ReproServer.serve(
+        target, host=args.host, port=args.port, max_connections=args.max_connections
+    )
+    # The exact line tests and scripts parse to find the ephemeral port.
+    print(f"serving {server.dsn}", flush=True)
+    server.serve_forever()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="MTCache reproduction (SIGMOD 2003) demos",
     )
     parser.add_argument(
-        "command", choices=["demo", "scaleout", "tpcw", "metrics", "analyze"]
+        "command", choices=["demo", "scaleout", "tpcw", "metrics", "analyze", "serve"]
     )
     parser.add_argument(
         "--self",
@@ -164,7 +215,31 @@ def main(argv=None) -> int:
         help="analyze --concurrency: static passes over this source tree "
         "instead of the installed package",
     )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="serve: interface to bind"
+    )
+    parser.add_argument(
+        "--port", type=int, default=0, help="serve: port (0 = ephemeral; DSN is printed)"
+    )
+    parser.add_argument(
+        "--serve-workload",
+        choices=["tpcw", "shop"],
+        default="tpcw",
+        help="serve: tpcw cache deployment (default) or a bare shop backend",
+    )
+    parser.add_argument(
+        "--items", type=int, default=100, help="serve: TPC-W item count"
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        help="serve: accept limit before shedding with OverloadError",
+    )
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        _serve(args)
+        return 0
     if args.command == "analyze":
         from repro.analysis.cli import run_analyze
 

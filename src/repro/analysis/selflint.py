@@ -24,11 +24,13 @@ own source (``python -m repro analyze --self``):
   on the injected SimulatedClock, or fault runs stop being reproducible)
   nor use bare ``except:`` (which would swallow the very faults being
   injected).
-* ``session-construction`` — only ``repro/client`` and ``repro/engine``
-  may construct a raw ``Session``. Everything else goes through the
-  client API (``connect()``/``Connection``), which owns session
-  lifecycle; hand-made sessions bypass transaction cleanup and the pool's
-  rollback-on-release guarantee.
+* ``session-construction`` — only ``repro/client``, ``repro/engine`` and
+  ``repro/net`` may construct a raw ``Session``. Everything else goes
+  through the client API (``connect()``/``Connection``), which owns
+  session lifecycle; hand-made sessions bypass transaction cleanup and
+  the pool's rollback-on-release guarantee. The network front end is in
+  the allowlist because it is the server-side session owner: HELLO
+  creates the session, disconnect cleanup rolls it back.
 * ``raw-threading-lock`` — ``threading.Lock``/``RLock``/``Condition``
   may only be constructed in ``repro/common/locks.py`` and
   ``repro/engine/locks.py``. Concurrency primitives funnel through that
@@ -46,6 +48,13 @@ own source (``python -m repro analyze --self``):
   built and the closures are cached with it; compiling inside the row
   or batch loop silently reintroduces per-execution (or per-row) parse
   cost that the plan cache exists to eliminate.
+* ``net-raw-socket`` — raw transport construction (``socket.socket``,
+  ``socket.create_connection``/``create_server``,
+  ``asyncio.start_server``/``open_connection``) is confined to
+  ``repro/net``. Every other layer reaches the network through
+  ``repro.client.connect()`` with a ``tcp://`` DSN, so framing, error
+  taxonomy, deadline propagation and byte accounting cannot be bypassed
+  by an ad-hoc socket.
 * ``overload-bounded`` — the overload-protection core
   (``repro/resilience/overload.py`` and
   ``repro/resilience/deadline.py``) must stay O(1)-state and
@@ -271,7 +280,7 @@ def _check_resilience_determinism(tree: ast.AST, path: str) -> Iterator[Analysis
 
 
 def _check_session_construction(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
-    if _in_subtree(path, "client", "engine"):
+    if _in_subtree(path, "client", "engine", "net"):
         return
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
@@ -389,6 +398,59 @@ def _check_shard_ownership(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
             )
 
 
+#: Dotted call targets that construct a raw transport (sockets, asyncio
+#: streams). Confined to ``repro/net`` by the ``net-raw-socket`` rule.
+_RAW_SOCKET_CALLS = frozenset(
+    {
+        "socket.socket",
+        "socket.create_connection",
+        "socket.create_server",
+        "socket.socketpair",
+        "asyncio.start_server",
+        "asyncio.open_connection",
+        "asyncio.start_unix_server",
+        "asyncio.open_unix_connection",
+    }
+)
+
+#: Names that, imported from socket/asyncio, construct a raw transport.
+_RAW_SOCKET_NAMES = frozenset(
+    {
+        "create_connection",
+        "create_server",
+        "socketpair",
+        "start_server",
+        "open_connection",
+        "start_unix_server",
+        "open_unix_connection",
+    }
+)
+
+
+def _check_net_raw_socket(tree: ast.AST, path: str) -> Iterator[AnalysisError]:
+    if _in_subtree(path, "net"):
+        return  # the one layer allowed to touch transports directly
+    imported = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in ("socket", "asyncio"):
+            for alias in node.names:
+                if alias.name in _RAW_SOCKET_NAMES or alias.name == "socket":
+                    imported.add(alias.asname or alias.name)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_name(node.func)
+        if dotted in _RAW_SOCKET_CALLS or dotted in imported:
+            yield AnalysisError(
+                "net-raw-socket",
+                f"raw transport construction ({dotted}) outside repro.net; "
+                "dial through repro.client.connect('tcp://...') so framing, "
+                "error taxonomy and deadline propagation stay on the one "
+                "audited path",
+                location=f"{path}:{node.lineno}",
+            )
+
+
 #: Files forming the overload-protection core, which must not itself be
 #: able to queue unboundedly or block (the ``overload-bounded`` rule).
 _OVERLOAD_CORE = (
@@ -453,6 +515,7 @@ _ALL_CHECKS = (
     _check_raw_threading_lock,
     _check_shard_ownership,
     _check_compile_at_build_time,
+    _check_net_raw_socket,
     _check_overload_bounded,
 )
 

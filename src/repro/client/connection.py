@@ -14,6 +14,7 @@ connection sniffs the signature once at construction and adapts.
 from __future__ import annotations
 
 import inspect
+import warnings
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.results import Result
@@ -21,19 +22,90 @@ from repro.engine.session import Session
 from repro.errors import ClientError
 
 
-def connect(target: Any, database: Optional[str] = None, principal: str = "dbo") -> "Connection":
-    """Open a connection to an execution target (DBAPI ``connect``)."""
+def connect(
+    target: Any,
+    database: Optional[str] = None,
+    principal: str = "dbo",
+    timeout: Optional[float] = None,
+) -> "Connection":
+    """Open a connection (DBAPI ``connect``), by DSN or by object.
+
+    The one URL-shaped entrypoint of the client API. ``target`` is either:
+
+    * a **DSN string** — ``tcp://host:port/database`` dials a
+      :class:`~repro.net.wire.WireConnection` to a running
+      :class:`~repro.net.server.ReproServer`;
+      ``inproc://name[/subname]`` resolves a target registered with
+      :func:`repro.net.register_inproc` and calls it in-process. Either
+      way the same :class:`Connection`/:class:`Cursor` facade comes back,
+      so pools, failover routers and load drivers cannot tell the
+      transports apart.
+    * a **plain execution target object** (Server, CacheServer,
+      FailoverRouter, ...) — the pre-DSN calling convention, kept for
+      back-compat and for composing targets that have no name.
+
+    ``timeout`` (seconds) applies to tcp DSNs: the dial timeout and the
+    per-operation socket timeout (a DSN ``?timeout=`` takes precedence).
+    Passing ``database=`` alongside a DSN that already carries a
+    ``/database`` path is deprecated — the DSN wins.
+    """
+    if isinstance(target, str):
+        return _connect_dsn(target, database=database, principal=principal, timeout=timeout)
     return Connection(target, database=database, principal=principal)
+
+
+def _connect_dsn(
+    dsn_text: str,
+    database: Optional[str],
+    principal: str,
+    timeout: Optional[float],
+) -> "Connection":
+    from repro.net import WireConnection, parse_dsn, resolve_inproc
+
+    dsn = parse_dsn(dsn_text)
+    if dsn.database is not None and database is not None:
+        warnings.warn(
+            f"database={database!r} is ignored: the DSN {dsn_text!r} already "
+            f"carries /{dsn.database}; drop the argument",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        database = None
+    principal = dsn.principal or principal
+    if dsn.scheme == "inproc":
+        target, default_database = resolve_inproc(dsn.inproc_key)
+        return Connection(target, database=database or default_database, principal=principal)
+    wire = WireConnection(
+        dsn.host,
+        dsn.port,
+        database=dsn.database or database,
+        principal=principal,
+        timeout=dsn.timeout if dsn.timeout is not None else timeout,
+        fetch_rows=dsn.fetch_rows,
+    )
+    return Connection(wire, principal=principal, owns_target=True)
 
 
 class Connection:
     """One client connection: a session plus an execution target."""
 
-    def __init__(self, target: Any, database: Optional[str] = None, principal: str = "dbo"):
+    def __init__(
+        self,
+        target: Any,
+        database: Optional[str] = None,
+        principal: str = "dbo",
+        owns_target: bool = False,
+    ):
         self.target = target
         self.database = database
         self.session = Session(principal=principal, database=database)
         self.closed = False
+        #: True only for targets this connection created itself (a DSN
+        #: dial): close() tears those down. Shared targets — a Server
+        #: object, an inproc registration, a WireConnection handed in
+        #: directly — are never closed from here, so one checkout's
+        #: ``close()`` can never kill a sibling's live socket.
+        self._owns_target = owns_target
         self._bind_target(target)
 
     def _bind_target(self, target: Any) -> None:
@@ -41,6 +113,10 @@ class Connection:
         execute_params = inspect.signature(target.execute).parameters
         self._accepts_session = "session" in execute_params
         self._accepts_database = "database" in execute_params
+        #: Wire targets keep the real session server-side; transaction
+        #: state must be read from the target's mirrored flag, not from
+        #: the local (never-transacting) session.
+        self._remote_session = bool(getattr(target, "remote_session", False))
 
     def _reset_session(self, database: Optional[str] = None) -> None:
         """Replace the session (same principal) after a target rebind.
@@ -116,15 +192,26 @@ class Connection:
         """Start an explicit transaction (``BEGIN TRANSACTION``)."""
         self._raw_execute("BEGIN TRANSACTION", None)
 
+    def in_transaction(self) -> bool:
+        """Is this connection inside an explicit transaction?
+
+        For in-process targets the local session knows; for wire targets
+        the session lives server-side and the answer is mirrored from the
+        last RESULT frame's ``in_transaction`` bit.
+        """
+        if self._remote_session:
+            return bool(getattr(self.target, "in_transaction", False))
+        return self.session.in_transaction
+
     def commit(self) -> None:
         """Commit the session's transaction; no-op outside one (DBAPI
         autocommit-compatible behavior for this engine)."""
-        if self.session.in_transaction:
+        if self.in_transaction():
             self._raw_execute("COMMIT", None)
 
     def rollback(self) -> None:
         """Roll back the session's transaction; no-op outside one."""
-        if self.session.in_transaction:
+        if self.in_transaction():
             self._raw_execute("ROLLBACK", None)
 
     def close(self) -> None:
@@ -132,12 +219,20 @@ class Connection:
 
         Rolling back matters beyond tidiness: an explicit transaction
         holds the database latch exclusively, so an abandoned connection
-        must release it or every other session blocks forever.
+        must release it or every other session blocks forever. A target
+        this connection dialed itself (a ``tcp://`` DSN) is torn down
+        too; shared targets are left alone (see ``_owns_target``).
         """
         if self.closed:
             return
         try:
-            self.rollback()
+            try:
+                self.rollback()
+            finally:
+                if self._owns_target:
+                    target_close = getattr(self.target, "close", None)
+                    if target_close is not None:
+                        target_close()
         finally:
             self.closed = True
 

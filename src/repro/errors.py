@@ -150,9 +150,56 @@ class DeadlineExceededError(ReproError):
     """
 
 
+class NetworkError(ReproError):
+    """Base class for wire-protocol and transport failures (``repro.net``)."""
+
+
+class ConnectionLostError(NetworkError):
+    """Raised when the TCP connection to a wire server drops mid-call.
+
+    Transient: the client re-dials on the next call, so retry policies
+    may re-send the request. The wire protocol only marks *reads* as
+    safe to retry this way — a dropped response after a write may have
+    applied; callers who need exactly-once writes go through the DTC.
+    """
+
+    transient = True
+
+
+class ProtocolError(NetworkError):
+    """Raised on malformed or unexpected wire frames (framing violations,
+    unknown opcodes, oversized frames). Deliberately *not* transient:
+    a peer speaking garbage will keep speaking garbage."""
+
+
+class HandshakeError(NetworkError):
+    """Raised when the wire handshake is rejected: protocol version
+    mismatch, or a database the server does not serve. Not transient —
+    reconnecting with the same HELLO cannot succeed."""
+
+
+class RemoteError(ReproError):
+    """A server-side error reconstructed from a wire error frame whose
+    class could not be rebuilt locally (custom constructor signature,
+    unknown name). Carries the original class name in ``kind`` and the
+    original ``transient`` bit as an instance attribute, so retry and
+    failover logic behave identically across the wire."""
+
+    def __init__(self, kind: str, message: str, transient: bool = False):
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+        self.transient = transient
+
+
 class ClientError(ReproError):
     """Raised for client-API misuse (``repro.client``): operations on a
     closed connection or cursor, fetches before any execute."""
+
+
+class DsnError(ClientError):
+    """Raised when a connection DSN string cannot be parsed or names an
+    unknown in-process target. The message pinpoints the offending part
+    (scheme, host, port, database, query parameter)."""
 
 
 class PoolTimeoutError(ClientError):

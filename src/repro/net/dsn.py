@@ -1,0 +1,188 @@
+"""DSN parsing and the in-process target registry.
+
+The client API's one URL-shaped entrypoint (``repro.client.connect``)
+accepts *DSN strings* naming either transport:
+
+* ``tcp://host:port/database`` — dial a :class:`~repro.net.wire.WireConnection`
+  to a :class:`~repro.net.server.ReproServer` speaking the wire protocol;
+* ``inproc://name[/subname]`` — look the target up in the process-local
+  registry populated by :func:`register_inproc` and call it directly
+  (zero-copy, no sockets — the pre-PR-10 mode, now addressable).
+
+Grammar (both schemes)::
+
+    dsn       := scheme "://" authority [ "/" database ] [ "?" params ]
+    scheme    := "tcp" | "inproc"
+    authority := host [ ":" port ]          (tcp: port defaults to 7432)
+    params    := key "=" value ( "&" key "=" value )*
+
+Recognized query parameters: ``timeout`` (dial + per-operation socket
+timeout, seconds), ``principal`` (session principal), ``fetch_rows``
+(row-batch size for streamed results). Anything else is a
+:class:`~repro.errors.DsnError` — typos in connection strings must fail
+loudly at connect time, not act as silent defaults.
+
+For ``inproc`` the authority *and* path segments form the registry key
+(``inproc://deployment/cache0`` resolves key ``deployment/cache0``), so
+deployments can register a namespace of targets. A registration may carry
+its own default database; an explicit ``?database=`` is not needed —
+the registered target already knows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.common.locks import mutex
+from repro.errors import DsnError
+
+#: The default wire port (a nod to 5432; "74" for the paper's year 2003
+#: backwards, if you squint). Only applied when a tcp DSN omits the port.
+DEFAULT_PORT = 7432
+
+_SCHEMES = ("tcp", "inproc")
+_PARAM_KEYS = ("timeout", "principal", "fetch_rows")
+
+
+@dataclass(frozen=True)
+class DSN:
+    """A parsed connection string."""
+
+    scheme: str
+    host: str
+    port: Optional[int]
+    database: Optional[str]
+    params: Dict[str, str] = field(default_factory=dict)
+    raw: str = ""
+
+    @property
+    def inproc_key(self) -> str:
+        """The registry key an ``inproc`` DSN names (host + path)."""
+        if self.database:
+            return f"{self.host}/{self.database}"
+        return self.host
+
+    @property
+    def timeout(self) -> Optional[float]:
+        value = self.params.get("timeout")
+        return float(value) if value is not None else None
+
+    @property
+    def principal(self) -> Optional[str]:
+        return self.params.get("principal")
+
+    @property
+    def fetch_rows(self) -> Optional[int]:
+        value = self.params.get("fetch_rows")
+        return int(value) if value is not None else None
+
+    def __str__(self) -> str:
+        return self.raw or f"{self.scheme}://{self.host}"
+
+
+def parse_dsn(dsn: str) -> DSN:
+    """Parse a connection string, raising :class:`DsnError` with the
+    precise offending component on any malformation."""
+    if not isinstance(dsn, str) or "://" not in dsn:
+        raise DsnError(
+            f"not a DSN: {dsn!r} (expected scheme://host[:port][/database], "
+            f"schemes: {', '.join(_SCHEMES)})"
+        )
+    parts = urlsplit(dsn)
+    scheme = parts.scheme.lower()
+    if scheme not in _SCHEMES:
+        raise DsnError(
+            f"unknown DSN scheme {parts.scheme!r} in {dsn!r} "
+            f"(expected one of: {', '.join(_SCHEMES)})"
+        )
+    if not parts.hostname:
+        what = "registry name" if scheme == "inproc" else "host"
+        raise DsnError(f"DSN {dsn!r} is missing a {what} after {scheme}://")
+    try:
+        port = parts.port  # urlsplit raises ValueError on non-numeric ports
+    except ValueError as exc:
+        raise DsnError(f"invalid port in DSN {dsn!r}: {exc}") from None
+    if scheme == "inproc" and port is not None:
+        raise DsnError(f"inproc DSN {dsn!r} cannot carry a port")
+    if scheme == "tcp" and port is None:
+        port = DEFAULT_PORT
+    database = parts.path.lstrip("/") or None
+    if parts.path.count("/") > 1 and scheme == "tcp":
+        raise DsnError(
+            f"tcp DSN {dsn!r} has a multi-segment path; expected a single "
+            f"/database segment"
+        )
+    params: Dict[str, str] = {}
+    if parts.query:
+        for key, value in parse_qsl(parts.query, keep_blank_values=True):
+            if key not in _PARAM_KEYS:
+                raise DsnError(
+                    f"unknown DSN parameter {key!r} in {dsn!r} "
+                    f"(recognized: {', '.join(_PARAM_KEYS)})"
+                )
+            if not value:
+                raise DsnError(f"DSN parameter {key!r} in {dsn!r} has no value")
+            params[key] = value
+    for numeric, cast in (("timeout", float), ("fetch_rows", int)):
+        if numeric in params:
+            try:
+                cast(params[numeric])
+            except ValueError:
+                raise DsnError(
+                    f"DSN parameter {numeric}={params[numeric]!r} in {dsn!r} "
+                    f"is not a number"
+                ) from None
+    return DSN(
+        scheme=scheme, host=parts.hostname, port=port, database=database,
+        params=params, raw=dsn,
+    )
+
+
+# -- the inproc registry ----------------------------------------------------
+
+#: name -> (target object, default database). Guarded by a leaf mutex:
+#: registration happens at setup time but lookups may race with it when
+#: pools dial lazily from worker threads.
+_REGISTRY: Dict[str, Tuple[Any, Optional[str]]] = {}
+_REGISTRY_MUTEX = mutex()
+
+
+def register_inproc(name: str, target: Any, database: Optional[str] = None) -> Any:
+    """Register an execution target under an ``inproc://`` name.
+
+    ``name`` is the full registry key (``"deployment/cache0"``); the DSN
+    that reaches it is ``inproc://deployment/cache0``. Re-registering a
+    name replaces the previous target (deployments are rebuilt freely in
+    tests). Returns ``target`` so registration can be inlined.
+    """
+    key = name.strip("/")
+    if not key:
+        raise DsnError("cannot register an inproc target under an empty name")
+    with _REGISTRY_MUTEX:
+        _REGISTRY[key] = (target, database)
+    return target
+
+
+def unregister_inproc(name: str) -> None:
+    """Drop a registration (no-op when absent)."""
+    with _REGISTRY_MUTEX:
+        _REGISTRY.pop(name.strip("/"), None)
+
+
+def resolve_inproc(key: str) -> Tuple[Any, Optional[str]]:
+    """Resolve a registry key to ``(target, default_database)``.
+
+    Raises :class:`DsnError` listing the registered names when the key
+    is unknown — a typo in an inproc DSN should read like a typo.
+    """
+    with _REGISTRY_MUTEX:
+        entry = _REGISTRY.get(key.strip("/"))
+        known = sorted(_REGISTRY)
+    if entry is None:
+        listing = ", ".join(known) if known else "(none registered)"
+        raise DsnError(
+            f"no inproc target registered as {key!r}; known targets: {listing}"
+        )
+    return entry

@@ -1,0 +1,366 @@
+"""The blocking wire client: a socket-backed execution target.
+
+:class:`WireConnection` speaks the :mod:`repro.net.protocol` frames over
+one TCP socket and presents the same execution-target surface the client
+facade already binds to (``execute`` / ``healthy`` / ``name``), so
+:class:`~repro.client.connection.Connection`,
+:class:`~repro.client.pool.ConnectionPool` and
+:class:`~repro.resilience.failover.FailoverRouter` work over real sockets
+unchanged. Differences from an in-process target, all deliberate:
+
+* ``remote_session = True`` — the session lives server-side; the facade
+  must consult :attr:`in_transaction` (mirrored from RESULT headers)
+  rather than its local session.
+* :attr:`clock` is a wall clock (``time.monotonic``), because across a
+  real network hop there is no shared virtual clock. Client-side
+  deadline scopes measure wall seconds; the *remaining* budget ships in
+  each request header and the server re-anchors it on its own clock.
+* A dropped connection surfaces as a transient
+  :class:`~repro.errors.ConnectionLostError`; the next call transparently
+  re-dials, and prepared statements re-prepare from their kept text (the
+  PR 1 handle-recovery protocol, now spanning a process boundary). Only
+  the *caller* decides whether to retry the failed call itself — reads
+  are safe, writes go through a retry policy or the DTC.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+from typing import Any, Dict, Optional
+
+from repro.engine.results import Result
+from repro.errors import ClientError, ConnectionLostError, PreparedStatementError
+from repro.net import protocol
+from repro.obs.metrics import global_registry
+from repro.obs.tracing import active_span
+from repro.resilience.deadline import remaining_budget
+
+
+class _WallClock:
+    """Monotonic wall-clock with the SimulatedClock surface.
+
+    Lets :class:`~repro.resilience.deadline.Deadline` and
+    :class:`~repro.resilience.retry.RetryPolicy` run unmodified against a
+    wire target: ``advance`` really sleeps (backoff), ``now`` really
+    reads time (deadline bookkeeping).
+    """
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def advance(self, seconds: float) -> float:
+        if seconds > 0:
+            time.sleep(seconds)
+        return self.now()
+
+
+class _PreparedHandle:
+    """Client-side half of a prepared statement over the wire."""
+
+    __slots__ = ("sql", "handle_id", "generation", "reprepares")
+
+    def __init__(self, sql: str, handle_id: int, generation: int):
+        self.sql = sql
+        self.handle_id = handle_id
+        self.generation = generation
+        self.reprepares = 0
+
+
+class WireConnection:
+    """One TCP connection to a :class:`~repro.net.server.ReproServer`."""
+
+    #: Tells the Connection facade the session is remote (see module doc).
+    remote_session = True
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        database: Optional[str] = None,
+        principal: str = "dbo",
+        timeout: Optional[float] = None,
+        fetch_rows: Optional[int] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.database = database
+        self.principal = principal
+        self.timeout = timeout
+        self.fetch_rows = fetch_rows
+        self.clock = _WallClock()
+        self.closed = False
+        #: Mirrored from the last RESULT header: is the server-side
+        #: session inside an explicit transaction?
+        self.in_transaction = False
+        #: Bumped on every successful dial; prepared handles from an
+        #: older generation are stale and transparently re-prepared.
+        self.generation = 0
+        self.server_name: Optional[str] = None
+        self.server_batch_rows = 0
+        self._sock: Optional[socket.socket] = None
+        self._prepared: Dict[int, _PreparedHandle] = {}
+        metrics = global_registry()
+        self._m_roundtrips = metrics.counter("net.client.roundtrips")
+        self._m_bytes_out = metrics.counter("net.client.bytes_out")
+        self._m_bytes_in = metrics.counter("net.client.bytes_in")
+        self._m_redials = metrics.counter("net.client.redials")
+        self._m_seconds = metrics.histogram("net.client.roundtrip_seconds")
+        self._dial()
+
+    @property
+    def name(self) -> str:
+        return self.server_name or f"tcp://{self.host}:{self.port}"
+
+    # -- transport ---------------------------------------------------------
+
+    def _dial(self) -> None:
+        """Connect and handshake; transient errors on refusal/timeouts."""
+        try:
+            sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"cannot reach tcp://{self.host}:{self.port}: {exc}"
+            ) from exc
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        if self.generation:
+            self._m_redials.inc()
+        self.generation += 1
+        self.in_transaction = False
+        hello = {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "database": self.database,
+            "principal": self.principal,
+            "fetch_rows": self.fetch_rows,
+        }
+        opcode, payload = self._roundtrip(protocol.OP_HELLO, hello)
+        if opcode == protocol.OP_ERROR:
+            # HandshakeError (version/database rejection) or OverloadError
+            # (accept-time shedding) — either way the server said no.
+            self._drop()
+            protocol.raise_error(payload or {})
+        if opcode != protocol.OP_WELCOME:
+            self._drop()
+            raise protocol.ProtocolError(
+                f"expected WELCOME, got {protocol.OP_NAMES.get(opcode, opcode)}"
+            )
+        welcome = payload or {}
+        self.server_name = welcome.get("server")
+        self.server_batch_rows = int(welcome.get("batch_rows") or 0)
+
+    def _ensure_connected(self) -> None:
+        if self.closed:
+            raise ClientError("wire connection is closed")
+        if self._sock is None:
+            self._dial()
+
+    def _drop(self) -> None:
+        sock, self._sock = self._sock, None
+        self.in_transaction = False
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _send_frame(self, opcode: int, payload: Optional[Dict[str, Any]]) -> None:
+        frame = protocol.encode_frame(opcode, payload)
+        assert self._sock is not None
+        try:
+            self._sock.sendall(frame)
+        except OSError as exc:
+            self._drop()
+            raise ConnectionLostError(f"send to {self.name} failed: {exc}") from exc
+        self._m_bytes_out.inc(len(frame))
+
+    def _recv_exactly(self, count: int) -> bytes:
+        assert self._sock is not None
+        chunks = bytearray()
+        while len(chunks) < count:
+            try:
+                chunk = self._sock.recv(count - len(chunks))
+            except socket.timeout as exc:
+                self._drop()
+                raise ConnectionLostError(
+                    f"timed out reading from {self.name} (timeout={self.timeout}s)"
+                ) from exc
+            except OSError as exc:
+                self._drop()
+                raise ConnectionLostError(f"read from {self.name} failed: {exc}") from exc
+            if not chunk:
+                # EOF — possibly mid-frame (a torn reply). Transient: the
+                # server or network dropped us; re-dial on the next call.
+                self._drop()
+                raise ConnectionLostError(
+                    f"connection to {self.name} lost mid-frame"
+                )
+            chunks += chunk
+        self._m_bytes_in.inc(count)
+        return bytes(chunks)
+
+    def _recv_frame(self):
+        length = protocol.check_frame_length(
+            struct.unpack("!I", self._recv_exactly(4))[0]
+        )
+        return protocol.decode_body(self._recv_exactly(length))
+
+    def _roundtrip(self, opcode: int, payload: Optional[Dict[str, Any]]):
+        started = time.perf_counter()
+        self._send_frame(opcode, payload)
+        reply = self._recv_frame()
+        self._m_roundtrips.inc()
+        self._m_seconds.observe(time.perf_counter() - started)
+        return reply
+
+    # -- request headers ---------------------------------------------------
+
+    def _request(self, extra: Dict[str, Any]) -> Dict[str, Any]:
+        """Common request header: deadline budget + trace context."""
+        payload = dict(extra)
+        budget = remaining_budget()
+        if budget is not None:
+            payload["budget"] = budget
+        span = active_span()
+        if span is not None:
+            payload["trace"] = [span.trace_id, span.span_id]
+        if self.fetch_rows:
+            payload["fetch_rows"] = self.fetch_rows
+        return payload
+
+    def _read_result(self) -> Result:
+        """ERROR or RESULT + ROWS... stream → a local Result."""
+        opcode, payload = self._recv_frame()
+        if opcode == protocol.OP_ERROR:
+            protocol.raise_error(payload or {})
+        if opcode != protocol.OP_RESULT:
+            self._drop()
+            raise protocol.ProtocolError(
+                f"expected RESULT, got {protocol.OP_NAMES.get(opcode, opcode)}"
+            )
+        header = payload or {}
+        rows = []
+        while True:
+            opcode, chunk = self._recv_frame()
+            if opcode != protocol.OP_ROWS:
+                self._drop()
+                raise protocol.ProtocolError(
+                    f"expected ROWS, got {protocol.OP_NAMES.get(opcode, opcode)}"
+                )
+            chunk = chunk or {}
+            rows.extend(chunk.get("rows") or [])
+            if chunk.get("last"):
+                break
+        self.in_transaction = bool(header.get("in_transaction"))
+        return protocol.build_result(header, rows)
+
+    # -- execution target surface -----------------------------------------
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> Result:
+        """Execute a batch on the remote session (the facade's chokepoint)."""
+        self._ensure_connected()
+        started = time.perf_counter()
+        self._send_frame(protocol.OP_EXECUTE, self._request({"sql": sql, "params": params}))
+        result = self._read_result()
+        self._m_roundtrips.inc()
+        self._m_seconds.observe(time.perf_counter() - started)
+        return result
+
+    def prepare_sql(self, sql: str) -> int:
+        """Prepare on the server; returns a client-stable handle id.
+
+        The id returned here is the *server's* handle id, but the text is
+        kept so :meth:`execute_prepared` can transparently re-prepare
+        after a reconnect or a server restart.
+        """
+        self._ensure_connected()
+        handle_id = self._prepare_remote(sql)
+        self._prepared[handle_id] = _PreparedHandle(sql, handle_id, self.generation)
+        return handle_id
+
+    def _prepare_remote(self, sql: str) -> int:
+        opcode, payload = self._roundtrip(
+            protocol.OP_PREPARE, self._request({"sql": sql})
+        )
+        if opcode == protocol.OP_ERROR:
+            protocol.raise_error(payload or {})
+        if opcode != protocol.OP_PREPARED:
+            self._drop()
+            raise protocol.ProtocolError(
+                f"expected PREPARED, got {protocol.OP_NAMES.get(opcode, opcode)}"
+            )
+        return int((payload or {})["handle"])
+
+    def execute_prepared(
+        self, handle_id: int, params: Optional[Dict[str, Any]] = None
+    ) -> Result:
+        """Execute by handle, transparently re-preparing stale handles."""
+        handle = self._prepared.get(handle_id)
+        if handle is None:
+            raise PreparedStatementError(
+                f"no prepared statement with handle {handle_id} on this wire connection"
+            )
+        self._ensure_connected()
+        if handle.generation != self.generation:
+            # The socket was re-dialed since prepare: the server-side
+            # handle died with the old connection's cleanup (or a crash).
+            handle.handle_id = self._prepare_remote(handle.sql)
+            handle.generation = self.generation
+            handle.reprepares += 1
+        try:
+            self._send_frame(
+                protocol.OP_EXECUTE_PREPARED,
+                self._request({"handle": handle.handle_id, "params": params}),
+            )
+            return self._read_result()
+        except PreparedStatementError:
+            # Server restarted underneath a live connection: its volatile
+            # handle table is empty. Re-prepare from the kept text once.
+            handle.handle_id = self._prepare_remote(handle.sql)
+            handle.generation = self.generation
+            handle.reprepares += 1
+            self._send_frame(
+                protocol.OP_EXECUTE_PREPARED,
+                self._request({"handle": handle.handle_id, "params": params}),
+            )
+            return self._read_result()
+
+    # -- health / lifecycle ------------------------------------------------
+
+    def healthy(self) -> bool:
+        """PING round-trip; any failure marks the socket for re-dial."""
+        if self.closed:
+            return False
+        try:
+            self._ensure_connected()
+            opcode, _ = self._roundtrip(protocol.OP_PING, None)
+        except Exception:  # noqa: BLE001 — a health probe never raises
+            self._drop()
+            return False
+        return opcode == protocol.OP_PONG
+
+    def close(self) -> None:
+        """Idempotent close: best-effort BYE, then drop the socket."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._sock is not None:
+            try:
+                self._sock.sendall(protocol.encode_frame(protocol.OP_BYE))
+            except OSError:
+                pass
+        self._drop()
+        self._prepared.clear()
+
+    def __enter__(self) -> "WireConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else ("open" if self._sock else "idle")
+        return f"<WireConnection {self.name} db={self.database} {state}>"

@@ -30,6 +30,7 @@ from __future__ import annotations
 import itertools
 import time
 from collections import deque
+from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Dict, Iterable, List, Optional
 
@@ -219,6 +220,33 @@ class _SpanContext:
         _ACTIVE.reset(self._token)
         self._tracer.collector.record(span)
         return False
+
+
+@contextmanager
+def propagated_trace(trace_id: int, span_id: int, service: str = "remote"):
+    """Adopt a trace context received from another process.
+
+    The wire protocol ships ``(trace_id, span_id)`` of the client's active
+    span in each request frame; the server side wraps request handling in
+    this context manager so its spans become children of the client span —
+    the cross-process analogue of the free in-process propagation the
+    module docstring describes. The synthetic parent is never recorded
+    (the client already recorded the real span); it only exists to seed
+    ``_ACTIVE`` for :class:`_SpanContext` to parent under.
+    """
+    parent = Span(
+        name="(remote-parent)",
+        service=service,
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=None,
+        start=time.perf_counter(),
+    )
+    token = _ACTIVE.set(parent)
+    try:
+        yield parent
+    finally:
+        _ACTIVE.reset(token)
 
 
 class Tracer:

@@ -38,6 +38,12 @@ class TPCWApplication:
     """Issues the benchmark's database requests for each interaction."""
 
     def __init__(self, connection, config: TPCWConfig, rng: Optional[random.Random] = None):
+        if isinstance(connection, str):
+            # A DSN ("tcp://host:port/tpcw", "inproc://deployment/cache0")
+            # — dial it through the client API, same facade either way.
+            from repro.client import connect
+
+            connection = connect(connection)
         self.connection = connection
         self.config = config
         self.rng = rng or random.Random(config.seed + 1)

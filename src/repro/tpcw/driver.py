@@ -329,13 +329,31 @@ def main(argv=None) -> int:
     parser.add_argument("--mix", choices=sorted(MIXES), default="Shopping")
     parser.add_argument("--items", type=int, default=100)
     parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--dsn",
+        default=None,
+        help="drive an already-running server by DSN (e.g. the tcp:// line "
+        "printed by 'python -m repro serve') instead of building an "
+        "in-process deployment",
+    )
     args = parser.parse_args(argv)
 
-    backend, config = build_backend(TPCWConfig(num_items=args.items, num_ebs=20))
-    deployment, caches = enable_caching(backend, ["cache1"], config)
-    pool = ConnectionPool(
-        lambda: connect(caches[0].server, database="tpcw"), size=args.workers
-    )
+    if args.dsn is not None:
+        # Remote mode: the server process owns backend, caches and the
+        # replication ticker; every worker just dials the DSN. Same
+        # driver, same pool — only the transport changed.
+        config = TPCWConfig(num_items=args.items, num_ebs=20)
+        deployment = None
+        pool = ConnectionPool(lambda: connect(args.dsn), size=args.workers)
+    else:
+        from repro.net import register_inproc
+
+        backend, config = build_backend(TPCWConfig(num_items=args.items, num_ebs=20))
+        deployment, caches = enable_caching(backend, ["cache1"], config)
+        register_inproc("tpcw/cache0", caches[0].server, database="tpcw")
+        pool = ConnectionPool(
+            lambda: connect("inproc://tpcw/cache0"), size=args.workers
+        )
     driver = ThreadedLoadDriver(
         pool,
         config,

@@ -440,3 +440,68 @@ def test_queues_and_sleep_allowed_outside_the_overload_core():
         """
     )
     assert lint_source(source, "repro/tpcw/fake.py") == []
+
+
+# -- net-raw-socket ----------------------------------------------------------
+
+
+def test_raw_socket_flagged_outside_net():
+    source = dedent(
+        """
+        import socket
+
+        def dial(host, port):
+            return socket.create_connection((host, port))
+        """
+    )
+    diagnostics = lint_source(source, "repro/client/fake.py")
+    assert _rules(diagnostics) == ["net-raw-socket"]
+    assert "repro.client.connect" in diagnostics[0].message
+
+
+def test_asyncio_stream_construction_flagged_outside_net():
+    source = dedent(
+        """
+        import asyncio
+
+        async def listen():
+            return await asyncio.start_server(lambda r, w: None, "0.0.0.0", 1)
+        """
+    )
+    assert _rules(lint_source(source, "repro/resilience/fake.py")) == [
+        "net-raw-socket"
+    ]
+
+
+def test_from_imported_socket_names_flagged():
+    source = dedent(
+        """
+        from socket import create_connection
+        from asyncio import open_connection as dial
+
+        def go():
+            create_connection(("h", 1))
+        """
+    )
+    assert _rules(lint_source(source, "repro/tpcw/fake.py")) == ["net-raw-socket"]
+
+
+def test_raw_sockets_allowed_inside_net():
+    source = dedent(
+        """
+        import asyncio
+        import socket
+
+        def dial(host, port):
+            return socket.create_connection((host, port))
+
+        async def listen(handler):
+            return await asyncio.start_server(handler, "127.0.0.1", 0)
+        """
+    )
+    assert lint_source(source, "repro/net/fake.py") == []
+
+
+def test_session_construction_allowed_in_net():
+    source = "from repro.engine.session import Session\n\ns = Session()\n"
+    assert lint_source(source, "repro/net/fake.py") == []

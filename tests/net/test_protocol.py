@@ -1,0 +1,163 @@
+"""Frame codec round-trips and the error-taxonomy mapping."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.common.schema import Column, Schema
+from repro.common.types import INT, VARCHAR, SqlType, TypeKind
+from repro.engine.results import Result
+from repro.errors import (
+    ConstraintError,
+    OverloadError,
+    ProtocolError,
+    RemoteError,
+    is_transient,
+)
+from repro.net import protocol
+
+
+def roundtrip(value):
+    out = bytearray()
+    protocol.encode_value(out, value)
+    return protocol.decode_value(bytes(out))
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            -(2**62),
+            2**100,  # beyond int64: decimal-string bigint encoding
+            3.14159,
+            float("inf"),
+            "",
+            "héllo wörld",
+            b"\x00\xff raw bytes",
+            datetime.date(2003, 6, 9),
+            datetime.datetime(2003, 6, 9, 12, 30, 45, 123456),
+            [1, "two", 3.0, None],
+            (1, 2, 3),
+            {"sql": "SELECT 1", "params": {"n": 5}, "budget": 0.25},
+        ],
+    )
+    def test_scalar_roundtrip(self, value):
+        assert roundtrip(value) == value
+
+    def test_tuple_and_list_keep_their_kind(self):
+        assert roundtrip((1, 2)) == (1, 2)
+        assert isinstance(roundtrip((1, 2)), tuple)
+        assert isinstance(roundtrip([1, 2]), list)
+
+    def test_rows_stay_tuples(self):
+        rows = [(1, "a"), (2, "b")]
+        back = roundtrip({"rows": rows})["rows"]
+        assert back == rows
+        assert all(isinstance(row, tuple) for row in back)
+
+    def test_sqltype_roundtrip(self):
+        numeric = SqlType(TypeKind.NUMERIC, precision=10, scale=2)
+        back = roundtrip(numeric)
+        assert back.kind is TypeKind.NUMERIC
+        assert (back.precision, back.scale) == (10, 2)
+
+    def test_schema_roundtrip(self):
+        schema = Schema(
+            [
+                Column("cid", INT, qualifier="c", nullable=False),
+                Column("cname", VARCHAR(40)),
+            ]
+        )
+        back = roundtrip(schema)
+        assert isinstance(back, Schema)
+        assert [column.name for column in back] == ["cid", "cname"]
+        assert back.columns[0].qualifier == "c"
+        assert back.columns[0].nullable is False
+        assert back.columns[1].sql_type.length == 40
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(ProtocolError, match="cannot encode"):
+            roundtrip(object())
+
+    def test_non_string_dict_key_raises(self):
+        with pytest.raises(ProtocolError, match="keys on the wire"):
+            roundtrip({1: "x"})
+
+
+class TestFrames:
+    def test_frame_roundtrip(self):
+        frame = protocol.encode_frame(protocol.OP_EXECUTE, {"sql": "SELECT 1"})
+        length = int.from_bytes(frame[:4], "big")
+        assert protocol.check_frame_length(length) == length
+        opcode, payload = protocol.decode_body(frame[4:])
+        assert opcode == protocol.OP_EXECUTE
+        assert payload == {"sql": "SELECT 1"}
+
+    def test_empty_payload_frame(self):
+        frame = protocol.encode_frame(protocol.OP_PING)
+        opcode, payload = protocol.decode_body(frame[4:])
+        assert (opcode, payload) == (protocol.OP_PING, None)
+
+    def test_length_guard(self):
+        with pytest.raises(ProtocolError, match="invalid frame length"):
+            protocol.check_frame_length(0)
+        with pytest.raises(ProtocolError, match="invalid frame length"):
+            protocol.check_frame_length(protocol.MAX_FRAME + 1)
+
+    def test_truncated_and_trailing_payloads(self):
+        out = bytearray()
+        protocol.encode_value(out, "hello")
+        with pytest.raises(ProtocolError, match="truncated frame"):
+            protocol.decode_value(bytes(out[:-2]))
+        with pytest.raises(ProtocolError, match="trailing garbage"):
+            protocol.decode_value(bytes(out) + b"\x00")
+
+    def test_unknown_tag(self):
+        with pytest.raises(ProtocolError, match="unknown value tag"):
+            protocol.decode_value(b"\xfe")
+
+
+class TestResultFrames:
+    def test_result_header_and_rebuild(self):
+        schema = Schema([Column("n", INT)])
+        result = Result(rows=[(1,), (2,)], schema=schema, rowcount=2, messages=["ok"])
+        result.resultsets.append((schema, result.rows))
+        header = roundtrip(protocol.result_header(result, in_transaction=True))
+        assert header["in_transaction"] is True
+        assert header["row_total"] == 2
+        rebuilt = protocol.build_result(header, [(1,), (2,)])
+        assert rebuilt.rows == [(1,), (2,)]
+        assert rebuilt.rowcount == 2
+        assert rebuilt.messages == ["ok"]
+        assert [column.name for column in rebuilt.schema] == ["n"]
+        assert rebuilt.resultsets[-1][1] == [(1,), (2,)]
+
+
+class TestErrorFrames:
+    def test_taxonomy_class_reconstructed(self):
+        payload = roundtrip(protocol.error_payload(ConstraintError("duplicate key")))
+        with pytest.raises(ConstraintError, match="duplicate key"):
+            protocol.raise_error(payload)
+
+    def test_transient_bit_survives(self):
+        payload = protocol.error_payload(OverloadError("shed"))
+        assert payload["transient"] is True
+        with pytest.raises(OverloadError) as info:
+            protocol.raise_error(payload)
+        assert is_transient(info.value)
+
+    def test_unknown_kind_falls_back_to_remote_error(self):
+        payload = {"kind": "SomebodyElsesError", "message": "boom", "transient": True}
+        with pytest.raises(RemoteError) as info:
+            protocol.raise_error(payload)
+        assert info.value.kind == "SomebodyElsesError"
+        assert is_transient(info.value)
+        assert "boom" in str(info.value)

@@ -1,0 +1,308 @@
+"""End-to-end wire tests: WireConnection against a live ReproServer."""
+
+from __future__ import annotations
+
+import datetime
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.client import connect
+from repro.errors import (
+    BindError,
+    ConnectionLostError,
+    ConstraintError,
+    DeadlineExceededError,
+    HandshakeError,
+    OverloadError,
+    is_transient,
+)
+from repro.net import ReproServer, WireConnection, protocol
+from repro.obs.tracing import Tracer, global_collector
+from tests.conftest import make_shop_backend
+
+
+class TestBasicExecution:
+    def test_select_matches_in_process(self, wire_server):
+        backend, server = wire_server
+        local = backend.execute(
+            "SELECT cid, cname, segment FROM customer WHERE cid <= @n ORDER BY cid",
+            {"n": 10},
+            database="shop",
+        )
+        connection = connect(server.dsn)
+        try:
+            remote = connection.execute(
+                "SELECT cid, cname, segment FROM customer WHERE cid <= @n ORDER BY cid",
+                {"n": 10},
+            )
+            assert remote.rows == local.rows
+            assert remote.rowcount == local.rowcount
+            assert [c.name for c in remote.schema] == [c.name for c in local.schema]
+            assert [c.sql_type for c in remote.schema] == [
+                c.sql_type for c in local.schema
+            ]
+        finally:
+            connection.close()
+
+    def test_cursor_surface_over_the_wire(self, wire_server):
+        _, server = wire_server
+        with connect(server.dsn) as connection:
+            cursor = connection.cursor()
+            cursor.execute("SELECT cid, cname FROM customer WHERE cid <= 5 ORDER BY cid")
+            assert cursor.fetchone() == (1, "cust1")
+            assert len(cursor.fetchall()) == 4
+            assert cursor.description[0][0] == "cid"
+
+    def test_temporal_and_null_values_roundtrip(self, wire_server):
+        _, server = wire_server
+        with connect(server.dsn) as connection:
+            connection.execute(
+                "CREATE TABLE events (eid INT PRIMARY KEY, at DATETIME, day DATE, note VARCHAR(20))"
+            )
+            stamp = datetime.datetime(2003, 6, 9, 12, 0, 1)
+            day = datetime.date(2003, 6, 9)
+            connection.execute(
+                "INSERT INTO events (eid, at, day, note) VALUES (@e, @at, @day, @note)",
+                {"e": 1, "at": stamp, "day": day, "note": None},
+            )
+            row = connection.execute("SELECT at, day, note FROM events WHERE eid = 1").rows[0]
+            assert row == (stamp, day, None)
+
+    def test_server_errors_cross_as_their_own_class(self, wire_server):
+        _, server = wire_server
+        with connect(server.dsn) as connection:
+            with pytest.raises(ConstraintError):
+                connection.execute(
+                    "INSERT INTO customer (cid, cname) VALUES (1, 'dup')"
+                )
+            with pytest.raises(BindError):
+                connection.execute("SELECT x FROM no_such_table")
+
+    def test_batched_fetch_reassembles_large_results(self, wire_server):
+        backend, server = wire_server
+        with connect(f"{server.dsn}?fetch_rows=16") as connection:
+            rows = connection.execute("SELECT cid FROM customer ORDER BY cid").rows
+        assert len(rows) == 200
+        assert rows[0] == (1,) and rows[-1] == (200,)
+
+
+class TestTransactions:
+    def test_remote_transaction_state_is_mirrored(self, wire_server):
+        _, server = wire_server
+        with connect(server.dsn) as connection:
+            assert connection.in_transaction() is False
+            connection.begin()
+            assert connection.in_transaction() is True
+            connection.execute(
+                "INSERT INTO customer (cid, cname) VALUES (9001, 'txn')"
+            )
+            connection.rollback()
+            assert connection.in_transaction() is False
+            assert connection.execute(
+                "SELECT cid FROM customer WHERE cid = 9001"
+            ).rows == []
+
+    def test_commit_persists_across_connections(self, wire_server):
+        backend, server = wire_server
+        with connect(server.dsn) as connection:
+            connection.begin()
+            connection.execute(
+                "INSERT INTO customer (cid, cname) VALUES (9002, 'committed')"
+            )
+            connection.commit()
+        assert backend.execute(
+            "SELECT cname FROM customer WHERE cid = 9002", database="shop"
+        ).scalar == "committed"
+
+    def test_disconnect_rolls_back_and_releases_the_latch(self, wire_server):
+        backend, server = wire_server
+        connection = connect(server.dsn)
+        connection.begin()
+        connection.execute("INSERT INTO customer (cid, cname) VALUES (9003, 'lost')")
+        # Drop the socket without COMMIT: server-side cleanup must roll
+        # back and release the exclusive latch, or this execute blocks.
+        connection.target._drop()
+        connection.closed = True  # skip the facade's rollback-on-close
+        latch = backend.database("shop").latch
+        for _ in range(200):  # wait for server-side cleanup to run
+            if latch._writer is None:
+                break
+            time.sleep(0.05)
+        assert latch._writer is None
+        rows = backend.execute(
+            "SELECT cid FROM customer WHERE cid = 9003", database="shop"
+        ).rows
+        assert rows == []
+
+
+class TestPreparedStatements:
+    def test_prepare_execute_roundtrip(self, wire_server):
+        _, server = wire_server
+        with connect(server.dsn) as connection:
+            wire = connection.target
+            handle = wire.prepare_sql("SELECT cname FROM customer WHERE cid = @id")
+            assert wire.execute_prepared(handle, {"id": 7}).rows == [("cust7",)]
+            assert wire.execute_prepared(handle, {"id": 8}).rows == [("cust8",)]
+
+    def test_reprepare_after_server_restart(self, wire_server):
+        backend, server = wire_server
+        with connect(server.dsn) as connection:
+            wire = connection.target
+            handle = wire.prepare_sql("SELECT cname FROM customer WHERE cid = @id")
+            wire.execute_prepared(handle, {"id": 1})
+            backend.crash()  # volatile state (prepared handles) is lost
+            backend.restart()
+            assert wire.execute_prepared(handle, {"id": 2}).rows == [("cust2",)]
+
+    def test_reprepare_after_redial(self, wire_server):
+        _, server = wire_server
+        with connect(server.dsn) as connection:
+            wire = connection.target
+            handle = wire.prepare_sql("SELECT cname FROM customer WHERE cid = @id")
+            wire._drop()  # simulate a network drop between calls
+            assert wire.execute_prepared(handle, {"id": 3}).rows == [("cust3",)]
+            assert wire._prepared[handle].reprepares == 1
+
+
+class TestHandshake:
+    def test_version_mismatch_rejected(self, wire_server):
+        _, server = wire_server
+        with socket.create_connection((server.host, server.port), timeout=5) as raw:
+            raw.sendall(
+                protocol.encode_frame(
+                    protocol.OP_HELLO, {"protocol": 999, "database": "shop"}
+                )
+            )
+            length = struct.unpack("!I", _read_exactly(raw, 4))[0]
+            opcode, payload = protocol.decode_body(_read_exactly(raw, length))
+        assert opcode == protocol.OP_ERROR
+        with pytest.raises(HandshakeError, match="version mismatch"):
+            protocol.raise_error(payload)
+
+    def test_unknown_database_rejected_at_connect(self, wire_server):
+        _, server = wire_server
+        with pytest.raises(HandshakeError, match="does not serve database"):
+            connect(f"tcp://{server.host}:{server.port}/nope")
+
+    def test_statement_before_hello_is_a_protocol_error(self, wire_server):
+        _, server = wire_server
+        from repro.errors import ProtocolError
+
+        with socket.create_connection((server.host, server.port), timeout=5) as raw:
+            raw.sendall(
+                protocol.encode_frame(protocol.OP_EXECUTE, {"sql": "SELECT 1"})
+            )
+            length = struct.unpack("!I", _read_exactly(raw, 4))[0]
+            opcode, payload = protocol.decode_body(_read_exactly(raw, length))
+        assert opcode == protocol.OP_ERROR
+        with pytest.raises(ProtocolError, match="before HELLO"):
+            protocol.raise_error(payload)
+
+    def test_connect_refused_is_transient(self):
+        with socket.socket() as probe:  # find a port nobody listens on
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with pytest.raises(ConnectionLostError) as info:
+            connect(f"tcp://127.0.0.1:{free_port}/shop", timeout=0.5)
+        assert is_transient(info.value)
+
+
+class TestOverloadShedding:
+    def test_connections_beyond_limit_are_shed(self):
+        backend = make_shop_backend()
+        server = ReproServer.serve(backend, max_connections=1)
+        try:
+            first = connect(server.dsn)
+            with pytest.raises(OverloadError) as info:
+                connect(server.dsn)
+            assert is_transient(info.value)
+            first.close()
+            # Capacity freed: the next dial succeeds.
+            for _ in range(50):
+                try:
+                    second = connect(server.dsn)
+                    break
+                except OverloadError:
+                    continue
+            second.close()
+        finally:
+            server.stop()
+
+
+class TestDeadlinesAndTracing:
+    def test_spent_budget_fails_fast_across_the_wire(self, wire_server):
+        _, server = wire_server
+        with connect(server.dsn) as connection:
+            with pytest.raises(DeadlineExceededError):
+                connection.cursor().execute(
+                    "SELECT cid FROM customer", timeout=0.0
+                )
+            # An ample budget sails through.
+            rows = connection.cursor().execute(
+                "SELECT cid FROM customer WHERE cid = 1", timeout=30.0
+            ).fetchall()
+            assert rows == [(1,)]
+
+    def test_trace_id_propagates_into_server_spans(self, wire_server):
+        _, server = wire_server
+        collector = global_collector()
+        collector.clear()
+        tracer = Tracer(service="client-app")
+        with connect(server.dsn) as connection:
+            with tracer.span("interaction") as span:
+                connection.execute("SELECT cid FROM customer WHERE cid = 1")
+                client_trace = span.trace_id
+        services = {
+            recorded.service
+            for recorded in collector.trace(client_trace)
+        }
+        assert "backend" in services  # server-side spans joined the trace
+
+    def test_wire_metrics_recorded(self, wire_server):
+        backend, server = wire_server
+        with connect(server.dsn) as connection:
+            connection.execute("SELECT cid FROM customer WHERE cid = 1")
+        assert backend.metrics.counter("net.server.requests").value > 0
+        assert backend.metrics.counter("net.server.bytes_in").value > 0
+        assert backend.metrics.counter("net.server.bytes_out").value > 0
+
+
+class TestConnectionFacade:
+    def test_healthy_probe_and_failover_surface(self, wire_server):
+        backend, server = wire_server
+        with connect(server.dsn) as connection:
+            assert connection.healthy() is True
+            backend.crash()
+            # ServerUnavailableError crosses the wire as itself (transient).
+            from repro.errors import ServerUnavailableError
+
+            with pytest.raises(ServerUnavailableError):
+                connection.execute("SELECT cid FROM customer WHERE cid = 1")
+            backend.restart()
+            assert connection.healthy() is True
+
+    def test_wire_connection_object_still_accepted(self, wire_server):
+        _, server = wire_server
+        wire = WireConnection(server.host, server.port, database="shop")
+        try:
+            connection = connect(wire)  # back-compat: plain object target
+            assert connection.execute(
+                "SELECT cid FROM customer WHERE cid = 1"
+            ).rows == [(1,)]
+            connection.close()
+            # The facade did not own the handed-in target: still usable.
+            assert wire.healthy()
+        finally:
+            wire.close()
+
+
+def _read_exactly(sock: socket.socket, count: int) -> bytes:
+    data = bytearray()
+    while len(data) < count:
+        chunk = sock.recv(count - len(data))
+        assert chunk, "server closed the connection early"
+        data += chunk
+    return bytes(data)

@@ -158,3 +158,44 @@ class TestCrossServerPropagation:
         global_collector().clear()
         dark.execute("SELECT a FROM t")
         assert len(global_collector()) == 0
+
+
+class TestPropagatedTrace:
+    """Wire-protocol trace adoption: spans parent under a remote context."""
+
+    def test_spans_join_the_propagated_trace(self):
+        from repro.obs.tracing import propagated_trace
+
+        collector = SpanCollector()
+        tracer = Tracer("server", collector=collector)
+        with propagated_trace(trace_id=777, span_id=42, service="wire"):
+            with tracer.span("statement"):
+                pass
+        [span] = collector.trace(777)
+        assert span.trace_id == 777
+        assert span.parent_id == 42
+        assert span.service == "server"
+
+    def test_synthetic_parent_is_never_recorded(self):
+        from repro.obs.tracing import propagated_trace
+
+        collector = SpanCollector()
+        tracer = Tracer("server", collector=collector)
+        with propagated_trace(trace_id=778, span_id=43):
+            with tracer.span("statement"):
+                pass
+        names = {span.name for span in collector.trace(778)}
+        assert names == {"statement"}  # no "(remote-parent)" span
+
+    def test_context_is_restored_after_exit(self):
+        from repro.obs.tracing import propagated_trace
+
+        collector = SpanCollector()
+        tracer = Tracer("server", collector=collector)
+        with propagated_trace(trace_id=779, span_id=44):
+            pass
+        with tracer.span("after"):
+            pass
+        [span] = [s for s in collector.spans() if s.name == "after"]
+        assert span.trace_id != 779  # a fresh root, not the adopted trace
+        assert span.parent_id is None
